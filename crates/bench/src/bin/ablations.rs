@@ -1,0 +1,193 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out — the
+//! knobs the paper fixes by construction or tuning:
+//!
+//! 1. **Fairness threshold** — the paper: "After testing with different
+//!    traffic patterns, the threshold is set to four to obtain the best
+//!    performance. Setting the threshold too small can lead to difficulty
+//!    covering the round-trip delay of credits, while setting the number
+//!    too large does not help to solve the fairness issue."
+//! 2. **Secondary buffer depth** — 4 flits per input in the paper; how much
+//!    does saturation move with 2 or 8?
+//! 3. **BIST detection delay** — the paper assumes 5 cycles and argues the
+//!    delay is what hurts WF adaptive routing under faults.
+//! 4. **Mesh size** — the paper evaluates 8x8 only; saturation ordering
+//!    should persist on 4x4 and 12x12.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablations
+//! ```
+
+use bench::{emit, paper_config, par_grid};
+use dxbar_noc::noc_faults::FaultPlan;
+use dxbar_noc::noc_sim::report::render_series;
+use dxbar_noc::noc_topology::Mesh;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::{run_synthetic, run_synthetic_with_faults, Design, RunResult, SimConfig};
+
+fn main() {
+    let mut text = String::new();
+    let mut all_results: Vec<RunResult> = Vec::new();
+
+    // 1. Fairness threshold sweep at a post-saturation load: latency of the
+    //    injection-starved centre nodes is what the mechanism protects.
+    {
+        let thresholds = [1u32, 2, 4, 8, 16, 64];
+        let results = par_grid(&thresholds, |&t| {
+            let cfg = SimConfig {
+                fairness_threshold: t,
+                ..paper_config()
+            };
+            let mut r = run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, 0.45);
+            r.traffic = format!("UR thresh={t}");
+            r
+        });
+        let tp: Vec<(f64, f64)> = thresholds
+            .iter()
+            .zip(&results)
+            .map(|(&t, r)| (t as f64, r.accepted_fraction))
+            .collect();
+        let lat: Vec<(f64, f64)> = thresholds
+            .iter()
+            .zip(&results)
+            .map(|(&t, r)| (t as f64, r.avg_packet_latency))
+            .collect();
+        text.push_str(&render_series(
+            "ABLATION 1a — fairness threshold vs accepted load (UR @ 0.45)",
+            "threshold",
+            "accepted load",
+            &tp,
+        ));
+        text.push_str(&render_series(
+            "ABLATION 1b — fairness threshold vs avg packet latency",
+            "threshold",
+            "latency (cycles)",
+            &lat,
+        ));
+        text.push('\n');
+        all_results.extend(results);
+    }
+
+    // 2. Buffer depth sweep.
+    {
+        let depths = [1usize, 2, 4, 8, 16];
+        let results = par_grid(&depths, |&d| {
+            let cfg = SimConfig {
+                buffer_depth: d,
+                ..paper_config()
+            };
+            let mut r = run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, 0.6);
+            r.traffic = format!("UR depth={d}");
+            r
+        });
+        let tp: Vec<(f64, f64)> = depths
+            .iter()
+            .zip(&results)
+            .map(|(&d, r)| (d as f64, r.accepted_fraction))
+            .collect();
+        let en: Vec<(f64, f64)> = depths
+            .iter()
+            .zip(&results)
+            .map(|(&d, r)| (d as f64, r.avg_packet_energy_nj))
+            .collect();
+        text.push_str(&render_series(
+            "ABLATION 2a — secondary buffer depth vs saturation throughput (UR @ 0.6)",
+            "depth (flits)",
+            "accepted load",
+            &tp,
+        ));
+        text.push_str(&render_series(
+            "ABLATION 2b — secondary buffer depth vs energy per packet",
+            "depth (flits)",
+            "energy (nJ/packet)",
+            &en,
+        ));
+        text.push('\n');
+        all_results.extend(results);
+    }
+
+    // 3. Detection-delay sweep under 100 % faults, WF routing (the paper's
+    //    explanation for WF's fault sensitivity).
+    {
+        let delays = [0u64, 2, 5, 10, 20, 50];
+        let results = par_grid(&delays, |&delay| {
+            let cfg = SimConfig {
+                fault_detection_delay: delay,
+                ..paper_config()
+            };
+            let mesh = Mesh::new(cfg.width, cfg.height);
+            let plan = FaultPlan::generate(
+                &mesh,
+                1.0,
+                cfg.warmup_cycles / 2,
+                cfg.warmup_cycles.max(1),
+                cfg.seed,
+            );
+            let mut r = run_synthetic_with_faults(
+                Design::DXbarWf,
+                &cfg,
+                Pattern::UniformRandom,
+                0.35,
+                &plan,
+            );
+            r.traffic = format!("UR 100% faults delay={delay}");
+            r
+        });
+        let tp: Vec<(f64, f64)> = delays
+            .iter()
+            .zip(&results)
+            .map(|(&d, r)| (d as f64, r.accepted_fraction))
+            .collect();
+        text.push_str(&render_series(
+            "ABLATION 3 — BIST detection delay vs WF throughput (100% faults, UR @ 0.35)",
+            "detection delay (cycles)",
+            "accepted load",
+            &tp,
+        ));
+        text.push('\n');
+        all_results.extend(results);
+    }
+
+    // 4. Mesh-size scaling: does the DXbar-vs-baselines ordering persist?
+    {
+        let sizes = [4u16, 8, 12];
+        let designs = [Design::FlitBless, Design::Buffered8, Design::DXbarDor];
+        let points: Vec<(u16, Design)> = sizes
+            .iter()
+            .flat_map(|&s| designs.iter().map(move |&d| (s, d)))
+            .collect();
+        let results = par_grid(&points, |&(s, d)| {
+            let cfg = SimConfig {
+                width: s,
+                height: s,
+                ..paper_config()
+            };
+            let mut r = run_synthetic(d, &cfg, Pattern::UniformRandom, 0.6);
+            r.traffic = format!("UR {s}x{s}");
+            r
+        });
+        text.push_str("# ABLATION 4 — saturation throughput across mesh sizes (UR @ 0.6)\n");
+        text.push_str(&format!(
+            "# {:<8} {:>12} {:>12} {:>12}\n",
+            "mesh", "Flit-Bless", "Buffered 8", "DXbar DOR"
+        ));
+        for &s in &sizes {
+            let get = |d: Design| {
+                results
+                    .iter()
+                    .find(|r| r.design == d.name() && r.traffic == format!("UR {s}x{s}"))
+                    .map(|r| r.accepted_fraction)
+                    .unwrap_or(f64::NAN)
+            };
+            text.push_str(&format!(
+                "{:<10} {:>12.3} {:>12.3} {:>12.3}\n",
+                format!("{s}x{s}"),
+                get(Design::FlitBless),
+                get(Design::Buffered8),
+                get(Design::DXbarDor)
+            ));
+        }
+        all_results.extend(results);
+    }
+
+    emit("ablations", &text, &all_results);
+}

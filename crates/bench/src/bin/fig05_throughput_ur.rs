@@ -1,0 +1,71 @@
+//! Figure 5 — throughput (accepted vs offered load) of uniform random
+//! traffic for all six designs on the 8x8 mesh.
+//!
+//! Paper shape to match: DXbar DOR saturates above 0.4 of capacity
+//! (~20 % over Buffered 8, ~40 % over Buffered 4 / Flit-Bless / SCARAB);
+//! DXbar WF slightly below DOR but above everything else; the bufferless
+//! designs saturate below 0.3.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig05_throughput_ur
+//! ```
+
+use bench::svg::{line_chart, Series};
+use bench::{all_designs, emit, emit_svg, paper_config, par_grid, PAPER_LOADS};
+use dxbar_noc::noc_sim::report::render_series;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::run_synthetic;
+
+fn main() {
+    let cfg = paper_config();
+    let designs = all_designs();
+    let points: Vec<(usize, f64)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| PAPER_LOADS.iter().map(move |&l| (i, l)))
+        .collect();
+    let results = par_grid(&points, |&(i, load)| {
+        run_synthetic(designs[i], &cfg, Pattern::UniformRandom, load)
+    });
+
+    let mut text = String::from("FIGURE 5 — Throughput of Uniform Random traffic\n");
+    for (i, design) in designs.iter().enumerate() {
+        let series: Vec<(f64, f64)> = results
+            .iter()
+            .filter(|r| r.design == design.name())
+            .map(|r| (r.offered_load.unwrap(), r.accepted_fraction))
+            .collect();
+        let _ = i;
+        text.push_str(&render_series(
+            design.name(),
+            "offered load",
+            "accepted load (fraction of capacity)",
+            &series,
+        ));
+        let sat = series.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
+        text.push_str(&format!("# saturation throughput: {sat:.3}\n\n"));
+    }
+
+    let chart: Vec<Series> = designs
+        .iter()
+        .map(|d| Series {
+            name: d.name().to_string(),
+            points: results
+                .iter()
+                .filter(|r| r.design == d.name())
+                .map(|r| (r.offered_load.unwrap(), r.accepted_fraction))
+                .collect(),
+        })
+        .collect();
+    emit_svg(
+        "fig05_throughput_ur",
+        &line_chart(
+            "Fig. 5 — Throughput, uniform random (8x8 mesh)",
+            "offered load (fraction of capacity)",
+            "accepted load",
+            &chart,
+        ),
+    );
+
+    emit("fig05_throughput_ur", &text, &results);
+}

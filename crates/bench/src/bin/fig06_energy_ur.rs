@@ -1,0 +1,74 @@
+//! Figure 6 — average energy per packet vs offered load, uniform random
+//! traffic.
+//!
+//! Paper shape to match: the bufferless designs are cheapest at zero load
+//! but blow up near/after saturation (Flit-Bless ~3X, SCARAB ~2X); the
+//! buffered baselines are flat and high (they buffer every flit); DXbar is
+//! cheapest and nearly flat (only a small fraction of flits ever buffer).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig06_energy_ur
+//! ```
+
+use bench::svg::{line_chart, Series};
+use bench::{all_designs, emit, emit_svg, paper_config, par_grid, PAPER_LOADS};
+use dxbar_noc::noc_sim::report::render_series;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::run_synthetic;
+
+fn main() {
+    let cfg = paper_config();
+    let designs = all_designs();
+    let points: Vec<(usize, f64)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| PAPER_LOADS.iter().map(move |&l| (i, l)))
+        .collect();
+    let results = par_grid(&points, |&(i, load)| {
+        run_synthetic(designs[i], &cfg, Pattern::UniformRandom, load)
+    });
+
+    let mut text = String::from("FIGURE 6 — Energy of Uniform Random traffic\n");
+    for design in &designs {
+        let series: Vec<(f64, f64)> = results
+            .iter()
+            .filter(|r| r.design == design.name())
+            .map(|r| (r.offered_load.unwrap(), r.avg_packet_energy_nj))
+            .collect();
+        text.push_str(&render_series(
+            design.name(),
+            "offered load",
+            "average energy (nJ/packet)",
+            &series,
+        ));
+        let low = series.first().map(|&(_, y)| y).unwrap_or(0.0);
+        let high = series.last().map(|&(_, y)| y).unwrap_or(0.0);
+        text.push_str(&format!(
+            "# zero-load {low:.3} nJ -> high-load {high:.3} nJ ({:.2}x)\n\n",
+            if low > 0.0 { high / low } else { 0.0 }
+        ));
+    }
+
+    let chart: Vec<Series> = designs
+        .iter()
+        .map(|d| Series {
+            name: d.name().to_string(),
+            points: results
+                .iter()
+                .filter(|r| r.design == d.name())
+                .map(|r| (r.offered_load.unwrap(), r.avg_packet_energy_nj))
+                .collect(),
+        })
+        .collect();
+    emit_svg(
+        "fig06_energy_ur",
+        &line_chart(
+            "Fig. 6 — Energy per packet, uniform random (8x8 mesh)",
+            "offered load (fraction of capacity)",
+            "average energy (nJ/packet)",
+            &chart,
+        ),
+    );
+
+    emit("fig06_energy_ur", &text, &results);
+}

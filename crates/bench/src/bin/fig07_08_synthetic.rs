@@ -1,0 +1,100 @@
+//! Figures 7 & 8 — throughput and energy at an offered load of 0.5 for all
+//! nine synthetic traffic patterns (UR, NUR, BR, BF, CP, MT, PS, NB, TOR).
+//!
+//! Paper shape to match: DXbar DOR leads on UR, NUR, CP and TOR; DXbar WF
+//! is very competitive on the adaptive-friendly patterns (BR, BF, MT, PS);
+//! DXbar uses the least power, Flit-Bless the most, SCARAB second, and the
+//! generic buffered routers in between.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig07_08_synthetic
+//! ```
+
+use bench::svg::bar_chart;
+use bench::{all_designs, emit, emit_svg, paper_config, par_grid};
+use dxbar_noc::noc_sim::report::render_bars;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::run_synthetic;
+
+fn main() {
+    let cfg = paper_config();
+    let designs = all_designs();
+    let load = 0.5;
+
+    let points: Vec<(usize, Pattern)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| Pattern::ALL.into_iter().map(move |p| (i, p)))
+        .collect();
+    let results = par_grid(&points, |&(i, pattern)| {
+        run_synthetic(designs[i], &cfg, pattern, load)
+    });
+
+    let names: Vec<&str> = designs.iter().map(|d| d.name()).collect();
+    let row = |metric: &dyn Fn(&dxbar_noc::RunResult) -> f64| -> Vec<(String, Vec<f64>)> {
+        Pattern::ALL
+            .into_iter()
+            .map(|p| {
+                let vals: Vec<f64> = designs
+                    .iter()
+                    .map(|d| {
+                        results
+                            .iter()
+                            .find(|r| {
+                                r.design == d.name()
+                                    && r.traffic.starts_with(p.abbrev())
+                                    && r.traffic.contains('@')
+                                    && r.traffic.split('@').next() == Some(p.abbrev())
+                            })
+                            .map(metric)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                (p.abbrev().to_string(), vals)
+            })
+            .collect()
+    };
+
+    let mut text = String::new();
+    text.push_str(&render_bars(
+        "FIGURE 7 — Throughput at offered load = 0.5, all synthetic traces",
+        &names,
+        &row(&|r| r.accepted_fraction),
+    ));
+    text.push('\n');
+    text.push_str(&render_bars(
+        "FIGURE 8 — Energy (nJ/packet) at offered load = 0.5, all synthetic traces",
+        &names,
+        &row(&|r| r.avg_packet_energy_nj),
+    ));
+
+    let cats: Vec<String> = Pattern::ALL
+        .iter()
+        .map(|p| p.abbrev().to_string())
+        .collect();
+    let snames: Vec<String> = designs.iter().map(|d| d.name().to_string()).collect();
+    let tp_rows = row(&|r| r.accepted_fraction);
+    let en_rows = row(&|r| r.avg_packet_energy_nj);
+    emit_svg(
+        "fig07_throughput_synthetic",
+        &bar_chart(
+            "Fig. 7 — Throughput at load 0.5, all synthetic traces",
+            "accepted load",
+            &cats,
+            &snames,
+            &tp_rows.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>(),
+        ),
+    );
+    emit_svg(
+        "fig08_energy_synthetic",
+        &bar_chart(
+            "Fig. 8 — Energy at load 0.5, all synthetic traces",
+            "energy (nJ/packet)",
+            &cats,
+            &snames,
+            &en_rows.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>(),
+        ),
+    );
+
+    emit("fig07_08_synthetic", &text, &results);
+}

@@ -1,0 +1,130 @@
+//! Figures 9 & 10 — normalized execution time and energy for the nine
+//! SPLASH-2 applications (closed-loop coherence workload model; see
+//! DESIGN.md for the substitution of the paper's Simics/GEMS traces).
+//!
+//! Paper shape to match: DXbar DOR beats DXbar WF; DXbar achieves the best
+//! execution time for most applications (the bufferless designs keep up
+//! and can edge it out on FFT-like traces); Flit-Bless and SCARAB pay much
+//! more energy than DXbar; DXbar saves energy over the buffered baselines.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig09_10_splash
+//! ```
+
+use bench::svg::bar_chart;
+use bench::{emit, emit_svg, par_grid, splash_cap};
+use dxbar_noc::noc_sim::report::render_bars;
+use dxbar_noc::noc_traffic::splash::SplashApp;
+use dxbar_noc::{run_splash, Design, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let designs = Design::PAPER_SET;
+    let cap = splash_cap();
+    let apps: Vec<SplashApp> = if bench::quick_mode() {
+        vec![SplashApp::Fft, SplashApp::Ocean, SplashApp::Water]
+    } else {
+        SplashApp::ALL.to_vec()
+    };
+
+    let points: Vec<(usize, SplashApp)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| apps.iter().map(move |&a| (i, a)))
+        .collect();
+    let results = par_grid(&points, |&(i, app)| run_splash(designs[i], &cfg, app, cap));
+
+    let names: Vec<&str> = designs.iter().map(|d| d.name()).collect();
+    let find = |app: SplashApp, d: Design| {
+        results
+            .iter()
+            .find(|r| r.design == d.name() && r.traffic.ends_with(app.name()))
+            .expect("run exists")
+    };
+
+    // Fig. 9: execution time normalized to the Buffered 4 baseline.
+    let time_rows: Vec<(String, Vec<f64>)> = apps
+        .iter()
+        .map(|&app| {
+            let base = find(app, Design::Buffered4)
+                .finish_cycle
+                .map(|c| c as f64)
+                .unwrap_or(f64::NAN);
+            let vals = designs
+                .iter()
+                .map(|&d| {
+                    find(app, d)
+                        .finish_cycle
+                        .map(|c| c as f64 / base)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            (app.name().to_string(), vals)
+        })
+        .collect();
+
+    // Fig. 10: whole-run network energy, microjoules.
+    let energy_rows: Vec<(String, Vec<f64>)> = apps
+        .iter()
+        .map(|&app| {
+            let vals = designs
+                .iter()
+                .map(|&d| find(app, d).energy.total_pj() / 1e6)
+                .collect();
+            (app.name().to_string(), vals)
+        })
+        .collect();
+
+    let mut text = String::new();
+    text.push_str(&render_bars(
+        "FIGURE 9 — Normalized execution time of SPLASH-2 traces (vs Buffered 4)",
+        &names,
+        &time_rows,
+    ));
+    text.push('\n');
+    text.push_str(&render_bars(
+        "FIGURE 10 — Energy consumed on SPLASH-2 traces (uJ)",
+        &names,
+        &energy_rows,
+    ));
+
+    // Headline ratios the paper quotes.
+    let mut bless_ratio: f64 = 0.0;
+    let mut scarab_ratio: f64 = 0.0;
+    for &app in &apps {
+        let dx = find(app, Design::DXbarDor).energy.total_pj();
+        bless_ratio = bless_ratio.max(find(app, Design::FlitBless).energy.total_pj() / dx);
+        scarab_ratio = scarab_ratio.max(find(app, Design::Scarab).energy.total_pj() / dx);
+    }
+    text.push_str(&format!(
+        "\n# max energy ratio vs DXbar DOR: Flit-Bless {bless_ratio:.1}x (paper: >=16x), SCARAB {scarab_ratio:.1}x (paper: >=2x)\n"
+    ));
+
+    let cats: Vec<String> = apps.iter().map(|a| a.name().to_string()).collect();
+    let snames: Vec<String> = designs.iter().map(|d| d.name().to_string()).collect();
+    emit_svg(
+        "fig09_exec_time_splash",
+        &bar_chart(
+            "Fig. 9 — Normalized execution time, SPLASH-2 (vs Buffered 4)",
+            "normalized execution time",
+            &cats,
+            &snames,
+            &time_rows.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>(),
+        ),
+    );
+    emit_svg(
+        "fig10_energy_splash",
+        &bar_chart(
+            "Fig. 10 — Energy, SPLASH-2 (uJ)",
+            "energy (uJ)",
+            &cats,
+            &snames,
+            &energy_rows
+                .iter()
+                .map(|(_, v)| v.clone())
+                .collect::<Vec<_>>(),
+        ),
+    );
+
+    emit("fig09_10_splash", &text, &results);
+}

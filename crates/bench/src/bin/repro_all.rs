@@ -1,0 +1,34 @@
+//! Runs every table/figure regenerator in sequence — the one-command
+//! reproduction of the paper's evaluation section.
+//!
+//! ```text
+//! DXBAR_OUT=results cargo run --release -p bench --bin repro_all
+//! ```
+//!
+//! Set `DXBAR_QUICK=1` for a fast smoke run.
+
+use std::process::Command;
+
+const BINS: [&str; 7] = [
+    "tables",
+    "fig05_throughput_ur",
+    "fig06_energy_ur",
+    "fig07_08_synthetic",
+    "fig09_10_splash",
+    "fig11_12_faults",
+    "ablations",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in BINS {
+        eprintln!("=== running {bin} ===");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    eprintln!("=== all figures regenerated ===");
+}

@@ -1,0 +1,155 @@
+//! Shared harness for the figure/table regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md's experiment index). They all
+//! honour two environment variables:
+//!
+//! * `DXBAR_QUICK=1` — shrink the simulated windows (smoke-test mode used
+//!   in CI; the shapes survive, the absolute numbers get noisier);
+//! * `DXBAR_OUT=<dir>` — additionally write each figure's data as text and
+//!   JSON into `<dir>`.
+
+pub mod svg;
+
+use dxbar_noc::{Design, RunResult, SimConfig};
+use rayon::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+pub use dxbar_noc;
+
+/// The offered-load sweep of the paper ("network load varies from 0.1 to
+/// 0.9 of the network capacity").
+pub const PAPER_LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Whether quick (smoke-test) mode is active.
+pub fn quick_mode() -> bool {
+    std::env::var("DXBAR_QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// The paper's simulation configuration (8x8 mesh, 128-bit flits), with
+/// windows shrunk in quick mode.
+pub fn paper_config() -> SimConfig {
+    if quick_mode() {
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 3_000,
+            drain_cycles: 1_500,
+            ..SimConfig::default()
+        }
+    } else {
+        SimConfig::default()
+    }
+}
+
+/// Cap for closed-loop (SPLASH) runs.
+pub fn splash_cap() -> u64 {
+    if quick_mode() {
+        1_000_000
+    } else {
+        5_000_000
+    }
+}
+
+/// Run a grid of independent points in parallel, preserving order.
+/// Each point owns a seeded PRNG, so results are identical to a sequential
+/// run.
+pub fn par_grid<P: Sync, F: Fn(&P) -> RunResult + Sync + Send>(
+    points: &[P],
+    f: F,
+) -> Vec<RunResult> {
+    points.par_iter().map(f).collect()
+}
+
+/// The six designs of the paper's main comparison plus the two unified
+/// variants this reproduction adds.
+pub fn all_designs() -> Vec<Design> {
+    Design::ALL.to_vec()
+}
+
+/// Emit a figure's rendered text to stdout and (with `DXBAR_OUT`) to disk,
+/// alongside a JSON dump of the raw results.
+pub fn emit(figure_id: &str, text: &str, results: &[RunResult]) {
+    println!("{text}");
+    if let Some(dir) = out_dir() {
+        std::fs::create_dir_all(&dir).expect("create DXBAR_OUT dir");
+        let txt_path = dir.join(format!("{figure_id}.txt"));
+        std::fs::File::create(&txt_path)
+            .and_then(|mut f| f.write_all(text.as_bytes()))
+            .unwrap_or_else(|e| panic!("write {}: {e}", txt_path.display()));
+        let json_path = dir.join(format!("{figure_id}.json"));
+        let json = serde_json::to_string_pretty(results).expect("serialize results");
+        std::fs::write(&json_path, json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", json_path.display()));
+        eprintln!(
+            "[{figure_id}] wrote {} and {}",
+            txt_path.display(),
+            json_path.display()
+        );
+    }
+}
+
+/// Write an SVG chart next to the figure's text/JSON output (only when
+/// `DXBAR_OUT` is set).
+pub fn emit_svg(figure_id: &str, svg: &str) {
+    if let Some(dir) = out_dir() {
+        std::fs::create_dir_all(&dir).expect("create DXBAR_OUT dir");
+        let path = dir.join(format!("{figure_id}.svg"));
+        std::fs::write(&path, svg).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("[{figure_id}] wrote {}", path.display());
+    }
+}
+
+fn out_dir() -> Option<PathBuf> {
+    std::env::var_os("DXBAR_OUT").map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loads_span_the_papers_range() {
+        assert_eq!(PAPER_LOADS.len(), 9);
+        assert_eq!(PAPER_LOADS[0], 0.1);
+        assert_eq!(PAPER_LOADS[8], 0.9);
+    }
+
+    #[test]
+    fn paper_config_is_the_default_8x8() {
+        // Outside quick mode the evaluation uses the paper defaults.
+        if !quick_mode() {
+            let c = paper_config();
+            assert_eq!(c.width, 8);
+            assert_eq!(c.warmup_cycles, 10_000);
+        }
+    }
+
+    #[test]
+    fn par_grid_preserves_order_and_determinism() {
+        use dxbar_noc::noc_traffic::patterns::Pattern;
+        use dxbar_noc::run_synthetic;
+        let cfg = SimConfig {
+            width: 4,
+            height: 4,
+            warmup_cycles: 100,
+            measure_cycles: 300,
+            drain_cycles: 150,
+            ..SimConfig::default()
+        };
+        let loads = [0.1, 0.2, 0.3];
+        let a = par_grid(&loads, |&l| {
+            run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, l)
+        });
+        let b: Vec<RunResult> = loads
+            .iter()
+            .map(|&l| run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, l))
+            .collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offered_load, y.offered_load);
+            assert_eq!(x.accepted_packets, y.accepted_packets);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Minimal standalone SVG charting — no dependencies, just enough to turn
+//! the figure regenerators' series into the paper's line and bar plots.
+//!
+//! The output is a self-contained `.svg` file (axes, ticks, grid, legend,
+//! series in distinguishable colours) that renders in any browser.
+
+/// Chart colours (colour-blind-safe Okabe-Ito palette).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+const W: f64 = 720.0;
+const H: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Nice rounded tick step covering `span` with ~`n` ticks.
+fn tick_step(span: f64, n: usize) -> f64 {
+    if span <= 0.0 {
+        return 1.0;
+    }
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render a multi-series line chart.
+pub fn line_chart(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().cloned())
+        .collect();
+    let (x0, x1) = bounds(all.iter().map(|p| p.0));
+    let (mut y0, mut y1) = bounds(all.iter().map(|p| p.1));
+    if y0 > 0.0 {
+        y0 = 0.0; // anchor throughput/energy axes at zero like the paper
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(1e-12) * (W - MARGIN_L - MARGIN_R);
+    let py = |y: f64| H - MARGIN_B - (y - y0) / (y1 - y0) * (H - MARGIN_T - MARGIN_B);
+
+    let mut svg = header(title);
+    svg.push_str(&axes(xlabel, ylabel));
+
+    // Ticks + grid.
+    let xs = tick_step(x1 - x0, 8);
+    let mut t = (x0 / xs).ceil() * xs;
+    while t <= x1 + 1e-9 {
+        let x = px(t);
+        svg.push_str(&format!(
+            "<line x1='{x:.1}' y1='{:.1}' x2='{x:.1}' y2='{:.1}' stroke='#ddd'/>\n",
+            MARGIN_T,
+            H - MARGIN_B
+        ));
+        svg.push_str(&format!(
+            "<text x='{x:.1}' y='{:.1}' font-size='12' text-anchor='middle'>{t:.2}</text>\n",
+            H - MARGIN_B + 18.0
+        ));
+        t += xs;
+    }
+    let ys = tick_step(y1 - y0, 6);
+    let mut t = (y0 / ys).ceil() * ys;
+    while t <= y1 + 1e-9 {
+        let y = py(t);
+        svg.push_str(&format!(
+            "<line x1='{:.1}' y1='{y:.1}' x2='{:.1}' y2='{y:.1}' stroke='#ddd'/>\n",
+            MARGIN_L,
+            W - MARGIN_R
+        ));
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='end'>{t:.2}</text>\n",
+            MARGIN_L - 8.0,
+            y + 4.0
+        ));
+        t += ys;
+    }
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points='{}' fill='none' stroke='{color}' stroke-width='2'/>\n",
+            pts.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                "<circle cx='{:.1}' cy='{:.1}' r='3' fill='{color}'/>\n",
+                px(x),
+                py(y)
+            ));
+        }
+        // Legend row.
+        let ly = MARGIN_T + 16.0 * i as f64;
+        svg.push_str(&format!(
+            "<rect x='{:.1}' y='{:.1}' width='12' height='12' fill='{color}'/>\n",
+            W - MARGIN_R + 12.0,
+            ly
+        ));
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12'>{}</text>\n",
+            W - MARGIN_R + 30.0,
+            ly + 10.0,
+            esc(&s.name)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render a grouped bar chart (one group per category, one bar per series).
+pub fn bar_chart(
+    title: &str,
+    ylabel: &str,
+    categories: &[String],
+    series_names: &[String],
+    values: &[Vec<f64>], // values[cat][series]
+) -> String {
+    assert_eq!(categories.len(), values.len());
+    let y1 = values
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let py = |y: f64| H - MARGIN_B - (y / y1) * (H - MARGIN_T - MARGIN_B);
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let group_w = plot_w / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series_names.len().max(1) as f64;
+
+    let mut svg = header(title);
+    svg.push_str(&axes("", ylabel));
+
+    let ys = tick_step(y1, 6);
+    let mut t = 0.0;
+    while t <= y1 + 1e-9 {
+        let y = py(t);
+        svg.push_str(&format!(
+            "<line x1='{:.1}' y1='{y:.1}' x2='{:.1}' y2='{y:.1}' stroke='#ddd'/>\n",
+            MARGIN_L,
+            W - MARGIN_R
+        ));
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='end'>{t:.2}</text>\n",
+            MARGIN_L - 8.0,
+            y + 4.0
+        ));
+        t += ys;
+    }
+
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, _) in series_names.iter().enumerate() {
+            let v = values[ci][si];
+            let x = gx + bar_w * si as f64;
+            let y = py(v.max(0.0));
+            svg.push_str(&format!(
+                "<rect x='{x:.1}' y='{y:.1}' width='{:.1}' height='{:.1}' fill='{}'/>\n",
+                bar_w * 0.92,
+                (H - MARGIN_B - y).max(0.0),
+                PALETTE[si % PALETTE.len()]
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12' text-anchor='middle'>{}</text>\n",
+            gx + group_w * 0.4,
+            H - MARGIN_B + 18.0,
+            esc(cat)
+        ));
+    }
+
+    for (si, name) in series_names.iter().enumerate() {
+        let ly = MARGIN_T + 16.0 * si as f64;
+        svg.push_str(&format!(
+            "<rect x='{:.1}' y='{ly:.1}' width='12' height='12' fill='{}'/>\n",
+            W - MARGIN_R + 12.0,
+            PALETTE[si % PALETTE.len()]
+        ));
+        svg.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='12'>{}</text>\n",
+            W - MARGIN_R + 30.0,
+            ly + 10.0,
+            esc(name)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn header(title: &str) -> String {
+    format!(
+        "<svg xmlns='http://www.w3.org/2000/svg' width='{W}' height='{H}' \
+         viewBox='0 0 {W} {H}' font-family='sans-serif'>\n\
+         <rect width='{W}' height='{H}' fill='white'/>\n\
+         <text x='{:.1}' y='28' font-size='16' font-weight='bold'>{}</text>\n",
+        MARGIN_L,
+        esc(title)
+    )
+}
+
+fn axes(xlabel: &str, ylabel: &str) -> String {
+    let mut s = format!(
+        "<line x1='{MARGIN_L}' y1='{MARGIN_T}' x2='{MARGIN_L}' y2='{:.1}' stroke='black'/>\n\
+         <line x1='{MARGIN_L}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='black'/>\n",
+        H - MARGIN_B,
+        H - MARGIN_B,
+        W - MARGIN_R,
+        H - MARGIN_B
+    );
+    if !xlabel.is_empty() {
+        s.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-size='13' text-anchor='middle'>{}</text>\n",
+            (MARGIN_L + W - MARGIN_R) / 2.0,
+            H - 14.0,
+            esc(xlabel)
+        ));
+    }
+    if !ylabel.is_empty() {
+        s.push_str(&format!(
+            "<text x='18' y='{:.1}' font-size='13' text-anchor='middle' \
+             transform='rotate(-90 18 {:.1})'>{}</text>\n",
+            (MARGIN_T + H - MARGIN_B) / 2.0,
+            (MARGIN_T + H - MARGIN_B) / 2.0,
+            esc(ylabel)
+        ));
+    }
+    s
+}
+
+/// Bounds of an iterator, defaulting to (0, 1).
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "DXbar DOR".into(),
+                points: vec![(0.1, 0.1), (0.5, 0.4), (0.9, 0.41)],
+            },
+            Series {
+                name: "Flit-Bless".into(),
+                points: vec![(0.1, 0.1), (0.5, 0.3), (0.9, 0.3)],
+            },
+        ]
+    }
+
+    #[test]
+    fn line_chart_is_valid_svg_with_all_series() {
+        let svg = line_chart("Fig 5", "offered", "accepted", &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("DXbar DOR"));
+        assert!(svg.contains("Flit-Bless"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value_plus_legend() {
+        let svg = bar_chart(
+            "Fig 7",
+            "accepted",
+            &["UR".into(), "TOR".into()],
+            &["DXbar".into(), "BLESS".into()],
+            &[vec![0.4, 0.3], vec![0.34, 0.33]],
+        );
+        // 4 bars + 2 legend swatches + background rect.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains("UR"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = line_chart("a<b & c", "x", "y", &demo_series());
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn tick_steps_are_round() {
+        assert_eq!(tick_step(1.0, 8), 0.1);
+        assert_eq!(tick_step(10.0, 8), 1.0);
+        assert_eq!(tick_step(0.45, 6), 0.1); // norm 7.5 rounds up
+        assert_eq!(tick_step(0.0, 6), 1.0);
+    }
+
+    #[test]
+    fn zero_span_series_does_not_panic() {
+        let s = vec![Series {
+            name: "flat".into(),
+            points: vec![(0.5, 2.0), (0.5, 2.0)],
+        }];
+        let svg = line_chart("flat", "x", "y", &s);
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Physical crossbar connection model.
+//!
+//! A matrix crossbar connects `I` inputs to `O` outputs through crosspoints;
+//! per cycle each input drives at most one output and each output listens to
+//! at most one input. [`Crossbar`] enforces exactly that, so the routers can
+//! *prove* (via `connect`) that every switch allocation they compute is
+//! physically realizable — and so crosspoint faults can veto traversals.
+
+use noc_core::types::Cycle;
+
+/// Per-cycle connection state of an `inputs x outputs` matrix crossbar.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    inputs: usize,
+    outputs: usize,
+    /// `in_to_out[i] = Some(o)` while input `i` drives output `o`.
+    in_to_out: Vec<Option<usize>>,
+    /// `out_from[o] = Some(i)` while output `o` listens to input `i`.
+    out_from: Vec<Option<usize>>,
+    /// Whole-crossbar permanent failure (the paper's fault unit) and its
+    /// onset cycle.
+    failed_at: Option<Cycle>,
+    /// Individual crosspoint failures ("faults that could occur at the
+    /// crosspoints connecting any input to output", Section I): onset cycle
+    /// per broken (input, output) pair.
+    crosspoint_faults: Vec<(usize, usize, Cycle)>,
+    /// Traversals completed over the crossbar's lifetime.
+    traversals: u64,
+}
+
+/// Why a connection was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// Input already drives another output this cycle.
+    InputBusy,
+    /// Output already listens to another input this cycle.
+    OutputBusy,
+    /// The crossbar has a manifested fault; the electrical path is dead.
+    Faulty,
+}
+
+impl Crossbar {
+    pub fn new(inputs: usize, outputs: usize) -> Crossbar {
+        assert!(inputs > 0 && outputs > 0);
+        Crossbar {
+            inputs,
+            outputs,
+            in_to_out: vec![None; inputs],
+            out_from: vec![None; outputs],
+            failed_at: None,
+            crosspoint_faults: Vec::new(),
+            traversals: 0,
+        }
+    }
+
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Mark the crossbar permanently failed from `cycle` on.
+    pub fn fail(&mut self, cycle: Cycle) {
+        self.failed_at.get_or_insert(cycle);
+    }
+
+    /// Whether the whole-crossbar fault has manifested at `cycle`.
+    pub fn is_faulty(&self, cycle: Cycle) -> bool {
+        matches!(self.failed_at, Some(at) if cycle >= at)
+    }
+
+    /// Mark one crosspoint permanently failed from `cycle` on (finer-grained
+    /// than the whole-crossbar fault the paper's evaluation sweeps).
+    pub fn fail_crosspoint(&mut self, input: usize, output: usize, cycle: Cycle) {
+        assert!(
+            input < self.inputs && output < self.outputs,
+            "port out of range"
+        );
+        if !self
+            .crosspoint_faults
+            .iter()
+            .any(|&(i, o, _)| i == input && o == output)
+        {
+            self.crosspoint_faults.push((input, output, cycle));
+        }
+    }
+
+    /// Whether the specific crosspoint is broken at `cycle`.
+    pub fn crosspoint_faulty(&self, input: usize, output: usize, cycle: Cycle) -> bool {
+        self.crosspoint_faults
+            .iter()
+            .any(|&(i, o, at)| i == input && o == output && cycle >= at)
+    }
+
+    /// Establish a connection for this cycle.
+    pub fn connect(
+        &mut self,
+        cycle: Cycle,
+        input: usize,
+        output: usize,
+    ) -> Result<(), ConnectError> {
+        assert!(
+            input < self.inputs && output < self.outputs,
+            "port out of range"
+        );
+        if self.is_faulty(cycle) || self.crosspoint_faulty(input, output, cycle) {
+            return Err(ConnectError::Faulty);
+        }
+        if self.in_to_out[input].is_some() {
+            return Err(ConnectError::InputBusy);
+        }
+        if self.out_from[output].is_some() {
+            return Err(ConnectError::OutputBusy);
+        }
+        self.in_to_out[input] = Some(output);
+        self.out_from[output] = Some(input);
+        self.traversals += 1;
+        Ok(())
+    }
+
+    /// Release all connections at the end of the cycle.
+    pub fn reset(&mut self) {
+        self.in_to_out.fill(None);
+        self.out_from.fill(None);
+    }
+
+    /// Connections currently established.
+    pub fn active_connections(&self) -> usize {
+        self.in_to_out.iter().flatten().count()
+    }
+
+    /// Lifetime traversal count (energy cross-check).
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn connect_and_reset() {
+        let mut x = Crossbar::new(4, 5);
+        assert!(x.connect(0, 0, 3).is_ok());
+        assert!(x.connect(0, 1, 4).is_ok());
+        assert_eq!(x.active_connections(), 2);
+        x.reset();
+        assert_eq!(x.active_connections(), 0);
+        assert!(x.connect(1, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn input_conflict_rejected() {
+        let mut x = Crossbar::new(4, 5);
+        x.connect(0, 2, 1).unwrap();
+        assert_eq!(x.connect(0, 2, 3), Err(ConnectError::InputBusy));
+    }
+
+    #[test]
+    fn output_conflict_rejected() {
+        let mut x = Crossbar::new(4, 5);
+        x.connect(0, 1, 2).unwrap();
+        assert_eq!(x.connect(0, 3, 2), Err(ConnectError::OutputBusy));
+    }
+
+    #[test]
+    fn fault_vetoes_traversal_after_onset() {
+        let mut x = Crossbar::new(5, 5);
+        x.fail(100);
+        assert!(!x.is_faulty(99));
+        assert!(x.connect(99, 0, 0).is_ok());
+        x.reset();
+        assert!(x.is_faulty(100));
+        assert_eq!(x.connect(100, 0, 0), Err(ConnectError::Faulty));
+        assert_eq!(x.connect(5000, 1, 1), Err(ConnectError::Faulty));
+    }
+
+    #[test]
+    fn crosspoint_fault_blocks_only_its_path() {
+        let mut x = Crossbar::new(4, 5);
+        x.fail_crosspoint(1, 2, 10);
+        assert!(!x.crosspoint_faulty(1, 2, 9));
+        assert!(x.connect(9, 1, 2).is_ok());
+        x.reset();
+        // After onset: (1,2) dead, everything else alive.
+        assert_eq!(x.connect(10, 1, 2), Err(ConnectError::Faulty));
+        assert!(x.connect(10, 1, 3).is_ok(), "same input, other output");
+        assert!(x.connect(10, 0, 2).is_ok(), "other input, same output");
+    }
+
+    #[test]
+    fn duplicate_crosspoint_fault_is_idempotent() {
+        let mut x = Crossbar::new(2, 2);
+        x.fail_crosspoint(0, 0, 5);
+        x.fail_crosspoint(0, 0, 50); // ignored; first onset stands
+        assert!(x.crosspoint_faulty(0, 0, 5));
+        assert!(x.connect(4, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn first_fail_wins() {
+        let mut x = Crossbar::new(2, 2);
+        x.fail(50);
+        x.fail(10); // ignored: permanent fault already recorded
+        assert!(!x.is_faulty(20));
+        assert!(x.is_faulty(60));
+    }
+
+    #[test]
+    fn traversal_counting() {
+        let mut x = Crossbar::new(4, 5);
+        x.connect(0, 0, 0).unwrap();
+        x.connect(0, 1, 1).unwrap();
+        x.reset();
+        x.connect(1, 0, 1).unwrap();
+        assert_eq!(x.traversals(), 3);
+    }
+
+    proptest! {
+        /// Any sequence of connect attempts keeps the permutation property:
+        /// each input drives <= 1 output and vice versa.
+        #[test]
+        fn prop_permutation_invariant(pairs in proptest::collection::vec((0usize..5, 0usize..5), 0..25)) {
+            let mut x = Crossbar::new(5, 5);
+            let mut in_used = [false; 5];
+            let mut out_used = [false; 5];
+            for (i, o) in pairs {
+                let expect = if in_used[i] {
+                    Err(ConnectError::InputBusy)
+                } else if out_used[o] {
+                    Err(ConnectError::OutputBusy)
+                } else {
+                    Ok(())
+                };
+                prop_assert_eq!(x.connect(0, i, o), expect);
+                if expect.is_ok() {
+                    in_used[i] = true;
+                    out_used[o] = true;
+                }
+            }
+            prop_assert_eq!(x.active_connections(), in_used.iter().filter(|&&b| b).count());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The fairness counter (Section II-A-2).
+//!
+//! Age-based arbitration lets flits injected at mesh-edge nodes dominate
+//! the primary crossbar through the centre, starving buffered and
+//! injection-port flits. Each router therefore counts consecutive cycles in
+//! which an incoming (primary-crossbar) flit wins arbitration *while at
+//! least one flit waits* in a buffer or at the injection port. When the
+//! count exceeds a threshold (4 after the paper's tuning), priority flips
+//! for one cycle so the waiters are served first, then normal priority
+//! resumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Priority-flip fairness counter.
+///
+/// ```
+/// use dxbar::FairnessCounter;
+/// let mut f = FairnessCounter::new(4);
+/// for _ in 0..4 {
+///     f.update(true, true, false); // waiters exist, incoming keeps winning
+/// }
+/// assert!(f.flipped());            // next cycle serves the waiters first
+/// f.update(true, false, true);     // the flipped cycle happens...
+/// assert!(!f.flipped());           // ...and normal priority resumes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FairnessCounter {
+    threshold: u32,
+    count: u32,
+    flipped: bool,
+}
+
+impl FairnessCounter {
+    /// `threshold` consecutive incoming wins trigger a one-cycle flip.
+    pub fn new(threshold: u32) -> FairnessCounter {
+        assert!(threshold > 0, "threshold must be positive");
+        FairnessCounter {
+            threshold,
+            count: 0,
+            flipped: false,
+        }
+    }
+
+    /// Whether buffered/injection flits have priority this cycle.
+    #[inline]
+    pub fn flipped(&self) -> bool {
+        self.flipped
+    }
+
+    /// Current consecutive-win count (diagnostics).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Record the outcome of one arbitration cycle.
+    ///
+    /// * `waiters_exist` — a flit was waiting in a buffer or at the
+    ///   injection port when arbitration ran;
+    /// * `incoming_won` — at least one incoming (primary) flit won;
+    /// * `waiter_won` — at least one waiting flit won.
+    pub fn update(&mut self, waiters_exist: bool, incoming_won: bool, waiter_won: bool) {
+        if self.flipped {
+            // The flipped cycle has been served; resume normal priority.
+            self.flipped = false;
+            self.count = 0;
+            return;
+        }
+        if waiter_won {
+            self.count = 0;
+        } else if waiters_exist && incoming_won {
+            self.count += 1;
+            if self.count >= self.threshold {
+                self.flipped = true;
+                self.count = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_after_threshold_consecutive_wins() {
+        let mut f = FairnessCounter::new(4);
+        for i in 0..3 {
+            f.update(true, true, false);
+            assert!(!f.flipped(), "no flip after {} wins", i + 1);
+        }
+        f.update(true, true, false);
+        assert!(f.flipped(), "flip after 4 consecutive wins");
+    }
+
+    #[test]
+    fn waiter_win_resets() {
+        let mut f = FairnessCounter::new(4);
+        f.update(true, true, false);
+        f.update(true, true, false);
+        f.update(true, true, true); // a waiter got through
+        assert_eq!(f.count(), 0);
+        f.update(true, true, false);
+        assert!(!f.flipped());
+    }
+
+    #[test]
+    fn counter_idle_without_waiters() {
+        let mut f = FairnessCounter::new(4);
+        for _ in 0..100 {
+            f.update(false, true, false);
+        }
+        assert!(!f.flipped());
+        assert_eq!(f.count(), 0);
+    }
+
+    #[test]
+    fn flip_lasts_one_cycle() {
+        let mut f = FairnessCounter::new(2);
+        f.update(true, true, false);
+        f.update(true, true, false);
+        assert!(f.flipped());
+        // The flipped cycle itself: whatever happens, revert next.
+        f.update(true, false, true);
+        assert!(!f.flipped());
+        assert_eq!(f.count(), 0);
+    }
+
+    #[test]
+    fn refills_after_flip() {
+        let mut f = FairnessCounter::new(2);
+        for _ in 0..2 {
+            f.update(true, true, false);
+        }
+        assert!(f.flipped());
+        f.update(true, false, true); // flip consumed
+        for _ in 0..2 {
+            f.update(true, true, false);
+        }
+        assert!(f.flipped(), "counter re-arms after a flip");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = FairnessCounter::new(0);
+    }
+}

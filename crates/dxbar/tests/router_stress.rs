@@ -1,0 +1,204 @@
+//! Property-based stress of a single DXbar / unified router: arbitrary
+//! arrival, credit-return and injection sequences must never violate the
+//! physical invariants of the micro-architecture:
+//!
+//! * flit conservation (nothing created or destroyed inside the router);
+//! * at most one flit per output port per cycle (the output MUXes);
+//! * buffer occupancy never exceeds the FIFO depth (credit discipline);
+//! * every emitted flit leaves through a port that is productive for it
+//!   (DXbar never deflects);
+//! * credits returned never exceed flits accepted.
+
+use dxbar::{DXbarRouter, UnifiedRouter};
+use noc_core::flit::{Flit, PacketId};
+use noc_core::types::{NodeId, LINK_DIRECTIONS};
+use noc_core::Rng;
+use noc_routing::{is_productive, Algorithm};
+use noc_sim::router::{RouterModel, StepCtx};
+use noc_topology::Mesh;
+use proptest::prelude::*;
+
+const DEPTH: usize = 4;
+
+/// Upstream-side credit ledger: how many flits we may legally send per
+/// input without overflowing the router's FIFOs.
+struct UpstreamLedger {
+    available: [i64; 4],
+}
+
+impl UpstreamLedger {
+    fn new() -> Self {
+        UpstreamLedger {
+            available: [DEPTH as i64; 4],
+        }
+    }
+}
+
+fn drive_router<R: RouterModel>(
+    router: &mut R,
+    mesh: &Mesh,
+    node: NodeId,
+    seed: u64,
+    cycles: u64,
+    arrival_prob: f64,
+) {
+    let mut rng = Rng::seed_from(seed);
+    let mut ledger = UpstreamLedger::new();
+    // Flits the router has sent downstream whose credits we still owe it.
+    let mut owed: [u64; 4] = [0; 4];
+    let mut pid = 0u64;
+    let mut in_flight: i64 = 0; // accepted minus (out + ejected)
+
+    for t in 0..cycles {
+        let mut ctx = StepCtx::new(t);
+
+        // Arrivals respect the upstream credit ledger, like real neighbours.
+        for d in LINK_DIRECTIONS {
+            if mesh.neighbor(node, d).is_none() {
+                continue;
+            }
+            if ledger.available[d.index()] > 0 && rng.gen_bool(arrival_prob) {
+                let dst = loop {
+                    let cand = NodeId(rng.gen_range(mesh.num_nodes() as u64) as u16);
+                    if cand != node {
+                        break cand;
+                    }
+                };
+                ctx.arrivals[d.index()] = Some(Flit::synthetic(PacketId(pid), NodeId(0), dst, t));
+                pid += 1;
+                ledger.available[d.index()] -= 1;
+            }
+        }
+        // Downstream drains: return one *owed* credit per output per cycle
+        // with some probability (credits are only owed for flits actually
+        // sent).
+        for d in LINK_DIRECTIONS {
+            if owed[d.index()] > 0 && rng.gen_bool(0.8) {
+                ctx.credits_in[d.index()] = 1;
+                owed[d.index()] -= 1;
+            }
+        }
+        // Occasional injection offer.
+        if rng.gen_bool(0.3) {
+            let dst = NodeId(rng.gen_range(mesh.num_nodes() as u64) as u16);
+            if dst != node {
+                ctx.injection = Some(Flit::synthetic(PacketId(pid), node, dst, t));
+                pid += 1;
+            }
+        }
+
+        let arrivals = ctx.arrivals.iter().flatten().count();
+        let occ_before = router.occupancy();
+        router.step(&mut ctx);
+        let occ_after = router.occupancy();
+
+        // 1. Conservation.
+        let outs = ctx.out_links.iter().flatten().count() + ctx.ejected.len();
+        assert_eq!(
+            occ_before + arrivals + usize::from(ctx.injected),
+            occ_after + outs,
+            "conservation violated at cycle {t}"
+        );
+        in_flight += arrivals as i64 + i64::from(ctx.injected) - outs as i64;
+        assert!(in_flight >= 0);
+
+        // 2. Occupancy bounded by total FIFO capacity.
+        assert!(occ_after <= 4 * DEPTH, "buffers overflowed");
+
+        // 3. Every emitted flit uses a productive port (no deflection), and
+        //    ejections are truly at the destination.
+        for d in LINK_DIRECTIONS {
+            if let Some(f) = &ctx.out_links[d.index()] {
+                assert!(
+                    is_productive(mesh, node, f.dst, d),
+                    "cycle {t}: flit for {} emitted via non-productive {d}",
+                    f.dst
+                );
+                owed[d.index()] += 1;
+            }
+        }
+        for f in &ctx.ejected {
+            assert_eq!(f.dst, node, "ejected a flit addressed elsewhere");
+        }
+        assert!(
+            ctx.ejected.len() <= 1,
+            "output MUX allows one ejection/cycle"
+        );
+
+        // 4. Credits returned flow back to the ledger and never exceed the
+        //    FIFO capacity.
+        for d in LINK_DIRECTIONS {
+            ledger.available[d.index()] += ctx.credits_out[d.index()] as i64;
+            assert!(
+                ledger.available[d.index()] <= DEPTH as i64,
+                "cycle {t}: more credits returned than consumed on {d}"
+            );
+        }
+
+        // 5. DXbar never drops.
+        assert!(ctx.dropped.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_dxbar_router_invariants(
+        seed in any::<u64>(),
+        node_idx in 0u16..16,
+        wf in any::<bool>(),
+        arrival_prob in 0.1f64..0.9,
+    ) {
+        let mesh = Mesh::new(4, 4);
+        let node = NodeId(node_idx);
+        let alg = if wf { Algorithm::WestFirst } else { Algorithm::Dor };
+        let mut r = DXbarRouter::healthy(node, mesh, alg, DEPTH, 4);
+        drive_router(&mut r, &mesh, node, seed, 400, arrival_prob);
+    }
+
+    #[test]
+    fn prop_unified_router_invariants(
+        seed in any::<u64>(),
+        node_idx in 0u16..16,
+        wf in any::<bool>(),
+        arrival_prob in 0.1f64..0.9,
+    ) {
+        let mesh = Mesh::new(4, 4);
+        let node = NodeId(node_idx);
+        let alg = if wf { Algorithm::WestFirst } else { Algorithm::Dor };
+        let mut r = UnifiedRouter::new(node, mesh, alg, DEPTH, 4);
+        drive_router(&mut r, &mesh, node, seed, 400, arrival_prob);
+    }
+
+    /// Under a fault (either crossbar, any onset) the invariants still hold
+    /// except flits may wait longer; nothing is lost or deflected.
+    #[test]
+    fn prop_faulty_dxbar_invariants(
+        seed in any::<u64>(),
+        primary in any::<bool>(),
+        onset in 0u64..200,
+    ) {
+        use noc_faults::{CrossbarId, RouterFault};
+        let mesh = Mesh::new(4, 4);
+        let node = NodeId(5);
+        let fault = RouterFault {
+            router: node,
+            target: if primary { CrossbarId::Primary } else { CrossbarId::Secondary },
+            onset,
+        };
+        let mut r = DXbarRouter::new(node, mesh, Algorithm::Dor, DEPTH, 4, Some(fault), 5);
+        drive_router(&mut r, &mesh, node, seed, 400, 0.4);
+    }
+}
+
+#[test]
+fn long_stress_run_dxbar() {
+    // One long deterministic soak per algorithm.
+    let mesh = Mesh::new(4, 4);
+    let node = NodeId(5);
+    for alg in [Algorithm::Dor, Algorithm::WestFirst] {
+        let mut r = DXbarRouter::healthy(node, mesh, alg, DEPTH, 4);
+        drive_router(&mut r, &mesh, node, 0xC0FFEE, 20_000, 0.6);
+    }
+}

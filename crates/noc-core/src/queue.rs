@@ -1,0 +1,245 @@
+//! A fixed-capacity ring-buffer FIFO.
+//!
+//! Router input buffers in the paper are small (4 flit slots, "connected
+//! serially, thus eliminating VCs"). A bounded ring buffer models them
+//! exactly: pushes beyond capacity are a flow-control bug, so `push` returns
+//! an error value instead of growing.
+
+/// Fixed-capacity FIFO backed by a ring buffer. Capacity is set at
+/// construction and never changes; `push` on a full queue returns the value
+/// back to the caller.
+///
+/// ```
+/// use noc_core::FixedQueue;
+/// let mut q = FixedQueue::new(2);
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert_eq!(q.push(3), Err(3));      // full: flow-control boundary
+/// assert_eq!(q.pop(), Some(1));       // FIFO order
+/// assert_eq!(q.free(), 1);            // the credit the router returns
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedQueue<T> {
+    slots: Box<[Option<T>]>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> FixedQueue<T> {
+    /// Create an empty queue with room for exactly `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`; a zero-capacity buffer cannot participate
+    /// in credit-based flow control.
+    pub fn new(capacity: usize) -> FixedQueue<T> {
+        assert!(capacity > 0, "FixedQueue capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        FixedQueue {
+            slots: slots.into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of items the queue can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of items currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Free slots remaining (the credit count exposed to the upstream
+    /// router).
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Append at the tail. On overflow the value is handed back as
+    /// `Err(value)` so the caller can treat it as the flow-control violation
+    /// it is.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(value);
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        debug_assert!(self.slots[tail].is_none());
+        self.slots[tail] = Some(value);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Remove and return the head item.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.slots[self.head].take();
+        debug_assert!(value.is_some());
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        value
+    }
+
+    /// Borrow the head item without removing it.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Mutably borrow the head item without removing it.
+    #[inline]
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_mut()
+        }
+    }
+
+    /// Iterate from head to tail without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.capacity();
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % cap]
+                .as_ref()
+                .expect("occupied slot")
+        })
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FixedQueue::<u32>::new(0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FixedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut q = FixedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        q.push(4).unwrap(); // wraps
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut q = FixedQueue::new(2);
+        q.push(7).unwrap();
+        assert_eq!(q.front(), Some(&7));
+        assert_eq!(q.len(), 1);
+        *q.front_mut().unwrap() = 8;
+        assert_eq!(q.pop(), Some(8));
+    }
+
+    #[test]
+    fn free_tracks_credits() {
+        let mut q = FixedQueue::new(4);
+        assert_eq!(q.free(), 4);
+        q.push(0).unwrap();
+        assert_eq!(q.free(), 3);
+        q.pop();
+        assert_eq!(q.free(), 4);
+    }
+
+    #[test]
+    fn iter_runs_head_to_tail() {
+        let mut q = FixedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.push(3).unwrap();
+        let v: Vec<i32> = q.iter().copied().collect();
+        assert_eq!(v, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = FixedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.free(), 3);
+    }
+
+    proptest! {
+        /// The ring buffer behaves exactly like a bounded VecDeque for any
+        /// sequence of push/pop operations.
+        #[test]
+        fn matches_vecdeque_model(cap in 1usize..8, ops in proptest::collection::vec(any::<Option<u8>>(), 0..200)) {
+            let mut q = FixedQueue::new(cap);
+            let mut model: std::collections::VecDeque<u8> = Default::default();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let expect_ok = model.len() < cap;
+                        let got = q.push(v);
+                        prop_assert_eq!(got.is_ok(), expect_ok);
+                        if expect_ok { model.push_back(v); }
+                    }
+                    None => {
+                        prop_assert_eq!(q.pop(), model.pop_front());
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.front(), model.front());
+                prop_assert_eq!(q.is_full(), model.len() == cap);
+                let qv: Vec<u8> = q.iter().copied().collect();
+                let mv: Vec<u8> = model.iter().copied().collect();
+                prop_assert_eq!(qv, mv);
+            }
+        }
+    }
+}

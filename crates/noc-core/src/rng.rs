@@ -1,0 +1,278 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic element of the evaluation (Bernoulli injection, pattern
+//! hot-spot selection, fault placement, onset cycles) must be reproducible
+//! from a single seed, and independent sweep points must have independent
+//! streams so they can run in parallel (rayon) with bit-identical results.
+//!
+//! We implement xoshiro256** seeded through SplitMix64, the combination
+//! recommended by the xoshiro authors. No external crate is needed, and the
+//! generator is `Clone` + `Send`, tiny, and fast.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step — used for seeding and for stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** deterministic PRNG.
+///
+/// ```
+/// use noc_core::Rng;
+/// let mut a = Rng::seed_from(42);
+/// let mut b = Rng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());       // reproducible
+/// assert!(Rng::stream(42, 1) != Rng::stream(42, 2)); // independent streams
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed from a single 64-bit value (SplitMix64 expansion, as the xoshiro
+    /// reference implementation does).
+    pub fn seed_from(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state is the one invalid xoshiro state; splitmix cannot
+        // produce four zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            Rng { s: [1, 2, 3, 4] }
+        } else {
+            Rng { s }
+        }
+    }
+
+    /// Derive an independent stream for `(seed, stream)`. Used to give each
+    /// node / sweep point its own generator.
+    pub fn stream(seed: u64, stream: u64) -> Rng {
+        // Mix the stream id through splitmix before combining so that
+        // adjacent stream ids give uncorrelated seeds.
+        let mut sm = stream ^ 0x6A09_E667_F3BC_C909;
+        let mixed = splitmix64(&mut sm);
+        Rng::seed_from(seed ^ mixed)
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (Lemire's unbiased method).
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `0..bound`.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen_f64() < p
+        }
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose `k` distinct indices out of `0..n` (partial Fisher-Yates),
+    /// returned in random order. Panics if `k > n`.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.gen_index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+    // Explicit import (proptest's prelude also exports an `Rng` trait).
+    use super::Rng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from(42);
+        let mut b = Rng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Rng::stream(7, 0);
+        let mut b = Rng::stream(7, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_within_bound() {
+        let mut r = Rng::seed_from(3);
+        for bound in [1u64, 2, 3, 7, 64, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_small_values() {
+        let mut r = Rng::seed_from(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng::seed_from(5);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_expectation_roughly_matches_p() {
+        let mut r = Rng::seed_from(9);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(-0.5));
+        assert!(r.gen_bool(1.5));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_in_range() {
+        let mut r = Rng::seed_from(17);
+        let chosen = r.choose_indices(64, 16);
+        assert_eq!(chosen.len(), 16);
+        let mut s = chosen.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 16);
+        assert!(chosen.iter().all(|&i| i < 64));
+    }
+
+    #[test]
+    fn choose_all_is_permutation() {
+        let mut r = Rng::seed_from(19);
+        let mut chosen = r.choose_indices(10, 10);
+        chosen.sort_unstable();
+        assert_eq!(chosen, (0..10).collect::<Vec<usize>>());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gen_range_bounded(seed in any::<u64>(), bound in 1u64..10_000) {
+            let mut r = Rng::seed_from(seed);
+            for _ in 0..50 {
+                prop_assert!(r.gen_range(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn prop_choose_indices_distinct(seed in any::<u64>(), n in 1usize..100, frac in 0usize..100) {
+            let k = frac * n / 100;
+            let mut r = Rng::seed_from(seed);
+            let mut chosen = r.choose_indices(n, k);
+            chosen.sort_unstable();
+            let before = chosen.len();
+            chosen.dedup();
+            prop_assert_eq!(chosen.len(), before);
+            prop_assert!(chosen.iter().all(|&i| i < n));
+        }
+    }
+}

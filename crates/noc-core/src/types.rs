@@ -1,0 +1,270 @@
+//! Fundamental identifiers: nodes, directions and router ports.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time, measured in router clock cycles (1 GHz in the paper).
+pub type Cycle = u64;
+
+/// Identifier of a network node (router + attached processing element).
+///
+/// Nodes are numbered row-major on the mesh: `id = y * width + x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index, usable to address per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The four cardinal link directions plus the local (PE) port.
+///
+/// The paper's router has four input links (N/E/S/W) plus an injection port,
+/// and five output ports (the four links plus ejection to the PE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    North = 0,
+    East = 1,
+    South = 2,
+    West = 3,
+    /// Ejection to / injection from the processing element.
+    Local = 4,
+}
+
+/// All five directions, in port-index order.
+pub const ALL_DIRECTIONS: [Direction; 5] = [
+    Direction::North,
+    Direction::East,
+    Direction::South,
+    Direction::West,
+    Direction::Local,
+];
+
+/// The four cardinal link directions (no local port), in port-index order.
+pub const LINK_DIRECTIONS: [Direction; 4] = [
+    Direction::North,
+    Direction::East,
+    Direction::South,
+    Direction::West,
+];
+
+/// Number of router ports (four links + local).
+pub const NUM_PORTS: usize = 5;
+
+/// Number of link ports (excluding local).
+pub const NUM_LINK_PORTS: usize = 4;
+
+impl Direction {
+    /// Port index in `0..NUM_PORTS`; the local port is always index 4.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Direction::index`]. Panics if `i >= NUM_PORTS`.
+    #[inline]
+    pub fn from_index(i: usize) -> Direction {
+        ALL_DIRECTIONS[i]
+    }
+
+    /// The direction a flit leaving through `self` arrives from at the
+    /// downstream router (e.g. leaving East arrives on the West input).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// True for the four link directions, false for `Local`.
+    #[inline]
+    pub fn is_link(self) -> bool {
+        !matches!(self, Direction::Local)
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An output-port selection produced by switch allocation.
+///
+/// Thin wrapper so code that deals in "granted output ports" cannot be
+/// confused with input directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutPort(pub Direction);
+
+impl OutPort {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+/// A set of output ports, used for adaptive routing (several productive
+/// ports) and for allocator request vectors. Backed by a 5-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PortSet(pub u8);
+
+impl PortSet {
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Set containing every port (links + local).
+    pub const ALL: PortSet = PortSet(0b1_1111);
+
+    /// Set containing the four link ports only.
+    pub const LINKS: PortSet = PortSet(0b0_1111);
+
+    #[inline]
+    pub fn single(d: Direction) -> PortSet {
+        PortSet(1 << d.index())
+    }
+
+    #[inline]
+    pub fn insert(&mut self, d: Direction) {
+        self.0 |= 1 << d.index();
+    }
+
+    #[inline]
+    pub fn remove(&mut self, d: Direction) {
+        self.0 &= !(1 << d.index());
+    }
+
+    #[inline]
+    pub fn contains(self, d: Direction) -> bool {
+        self.0 & (1 << d.index()) != 0
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the member directions in port-index order.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        ALL_DIRECTIONS
+            .into_iter()
+            .filter(move |d| self.contains(*d))
+    }
+
+    /// Intersection with another set.
+    #[inline]
+    pub fn and(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+
+    /// Union with another set.
+    #[inline]
+    pub fn or(self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+}
+
+impl FromIterator<Direction> for PortSet {
+    fn from_iter<T: IntoIterator<Item = Direction>>(iter: T) -> Self {
+        let mut s = PortSet::EMPTY;
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_index_roundtrip() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn opposite_pairs() {
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+    }
+
+    #[test]
+    fn link_directions_exclude_local() {
+        assert!(LINK_DIRECTIONS.iter().all(|d| d.is_link()));
+        assert!(!Direction::Local.is_link());
+    }
+
+    #[test]
+    fn portset_insert_remove_contains() {
+        let mut s = PortSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Direction::East);
+        s.insert(Direction::Local);
+        assert!(s.contains(Direction::East));
+        assert!(s.contains(Direction::Local));
+        assert!(!s.contains(Direction::North));
+        assert_eq!(s.len(), 2);
+        s.remove(Direction::East);
+        assert!(!s.contains(Direction::East));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn portset_iter_in_port_order() {
+        let s: PortSet = [Direction::West, Direction::North].into_iter().collect();
+        let v: Vec<Direction> = s.iter().collect();
+        assert_eq!(v, vec![Direction::North, Direction::West]);
+    }
+
+    #[test]
+    fn portset_all_and_links() {
+        assert_eq!(PortSet::ALL.len(), 5);
+        assert_eq!(PortSet::LINKS.len(), 4);
+        assert!(!PortSet::LINKS.contains(Direction::Local));
+        assert_eq!(PortSet::ALL.and(PortSet::LINKS), PortSet::LINKS);
+        assert_eq!(
+            PortSet::LINKS.or(PortSet::single(Direction::Local)),
+            PortSet::ALL
+        );
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

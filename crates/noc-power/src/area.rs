@@ -1,0 +1,176 @@
+//! Per-design area model.
+//!
+//! Table III of the paper lists per-router area for each of the six designs
+//! (the absolute values did not survive the text extraction of our source,
+//! but every *relationship* the paper states in prose did). The model below
+//! composes per-router area from constituent blocks and reproduces those
+//! relationships; see `table::table3_rows` for the rendered table.
+
+use serde::{Deserialize, Serialize};
+
+/// The six designs of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// Flit-BLESS bufferless deflection router \[6\].
+    FlitBless,
+    /// SCARAB bufferless drop + NACK router \[8\].
+    Scarab,
+    /// Generic VC router, 4 flit buffers per input (1 VC x 4).
+    Buffered4,
+    /// Generic VC router, two sets of 4 flit buffers per input (2 VC x 4).
+    Buffered8,
+    /// DXbar dual-crossbar router (primary bufferless + secondary buffered).
+    DXbar,
+    /// Unified dual-input single-crossbar router.
+    UnifiedXbar,
+}
+
+impl DesignKind {
+    pub const ALL: [DesignKind; 6] = [
+        DesignKind::FlitBless,
+        DesignKind::Scarab,
+        DesignKind::Buffered4,
+        DesignKind::Buffered8,
+        DesignKind::DXbar,
+        DesignKind::UnifiedXbar,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::FlitBless => "Flit-Bless",
+            DesignKind::Scarab => "SCARAB",
+            DesignKind::Buffered4 => "Buffered 4",
+            DesignKind::Buffered8 => "Buffered 8",
+            DesignKind::DXbar => "DXbar",
+            DesignKind::UnifiedXbar => "Unified Xbar",
+        }
+    }
+}
+
+/// Areas of constituent blocks, mm^2 at 65 nm, per router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaConstants {
+    /// Four outgoing link drivers + repeaters (dominates router area).
+    pub links: f64,
+    /// 5x5 matrix crossbar.
+    pub xbar5x5: f64,
+    /// 4x5 matrix crossbar (DXbar's primary has no injection input).
+    pub xbar4x5: f64,
+    /// Unified 5x5 crossbar including transmission gates and their drivers.
+    pub unified_xbar: f64,
+    /// One bank of four 4-flit input buffers (128-bit slots).
+    pub buffer_bank: f64,
+    /// VC state + virtual-channel allocator (per extra VC).
+    pub vc_logic: f64,
+    /// The 2x2 fault-tolerance bypass switches (DXbar only).
+    pub bypass_switches: f64,
+    /// SCARAB's circuit-switched NACK network interface.
+    pub nack_interface: f64,
+}
+
+impl Default for AreaConstants {
+    fn default() -> Self {
+        AreaConstants {
+            links: 0.0600,
+            xbar5x5: 0.0100,
+            xbar4x5: 0.0080,
+            unified_xbar: 0.0130,
+            buffer_bank: 0.0140,
+            vc_logic: 0.0020,
+            bypass_switches: 0.0010,
+            nack_interface: 0.0015,
+        }
+    }
+}
+
+/// Computes per-router area for each design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    pub constants: AreaConstants,
+}
+
+impl AreaModel {
+    pub fn new(constants: AreaConstants) -> AreaModel {
+        AreaModel { constants }
+    }
+
+    /// Router area in mm^2 for a design.
+    pub fn router_area_mm2(&self, d: DesignKind) -> f64 {
+        let c = &self.constants;
+        match d {
+            DesignKind::FlitBless => c.links + c.xbar5x5,
+            DesignKind::Scarab => c.links + c.xbar5x5 + c.nack_interface,
+            DesignKind::Buffered4 => c.links + c.xbar5x5 + c.buffer_bank + c.vc_logic,
+            DesignKind::Buffered8 => c.links + c.xbar5x5 + 2.0 * c.buffer_bank + 2.0 * c.vc_logic,
+            DesignKind::DXbar => {
+                c.links + c.xbar4x5 + c.xbar5x5 + c.buffer_bank + c.bypass_switches
+            }
+            DesignKind::UnifiedXbar => c.links + c.unified_xbar + c.buffer_bank,
+        }
+    }
+
+    /// Area overhead of `d` relative to `base` (1.0 = equal area).
+    pub fn relative_area(&self, d: DesignKind, base: DesignKind) -> f64 {
+        self.router_area_mm2(d) / self.router_area_mm2(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ordering_holds() {
+        let m = AreaModel::default();
+        let a = |d| m.router_area_mm2(d);
+        // "DXbar occupies more area than the buffered 4 design because of
+        //  the secondary crossbar."
+        assert!(a(DesignKind::DXbar) > a(DesignKind::Buffered4));
+        // "DXbar consumes less area than the buffered 8 design because the
+        //  buffers have a larger area than the crossbar."
+        assert!(a(DesignKind::DXbar) < a(DesignKind::Buffered8));
+        // "The unified crossbar design occupies less area than DXbar."
+        assert!(a(DesignKind::UnifiedXbar) < a(DesignKind::DXbar));
+        // Bufferless designs are the smallest.
+        assert!(a(DesignKind::FlitBless) < a(DesignKind::Buffered4));
+        assert!(a(DesignKind::Scarab) < a(DesignKind::Buffered4));
+    }
+
+    #[test]
+    fn buffers_larger_than_crossbar() {
+        let c = AreaConstants::default();
+        assert!(c.buffer_bank > c.xbar5x5);
+    }
+
+    #[test]
+    fn dxbar_overhead_about_33_percent() {
+        let m = AreaModel::default();
+        let rel = m.relative_area(DesignKind::DXbar, DesignKind::FlitBless);
+        assert!((rel - 1.33).abs() < 0.05, "DXbar/FlitBless = {rel}");
+    }
+
+    #[test]
+    fn unified_overhead_about_25_percent() {
+        let m = AreaModel::default();
+        let rel = m.relative_area(DesignKind::UnifiedXbar, DesignKind::FlitBless);
+        assert!((rel - 1.25).abs() < 0.10, "Unified/FlitBless = {rel}");
+        // And strictly below the dual-crossbar overhead.
+        assert!(rel < m.relative_area(DesignKind::DXbar, DesignKind::FlitBless));
+    }
+
+    #[test]
+    fn relative_area_identity() {
+        let m = AreaModel::default();
+        for d in DesignKind::ALL {
+            assert!((m.relative_area(d, d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = DesignKind::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

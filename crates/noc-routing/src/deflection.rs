@@ -1,0 +1,154 @@
+//! Port-preference ranking for bufferless routers.
+//!
+//! Flit-BLESS assigns every incoming flit *some* output port each cycle:
+//! productive ports are preferred, and when none is free the flit is
+//! deflected to any free port. [`rank_ports`] produces the full preference
+//! order over the four link directions for a flit at `current` heading to
+//! `dst`; SCARAB uses only the productive prefix (it drops instead of
+//! deflecting).
+
+use crate::productive_ports;
+use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS};
+use noc_topology::Mesh;
+
+/// Preference-ordered link directions for a flit at `current` toward `dst`.
+///
+/// Order: productive directions first (the dimension with the larger
+/// remaining offset leads, so flits prefer to reduce their longest leg —
+/// this mirrors BLESS's "most-beneficial port first" heuristic), then
+/// non-productive directions that still have a link, in port-index order.
+/// Directions without a link at this node (mesh edge) are excluded.
+pub fn rank_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> Vec<Direction> {
+    let c = mesh.coord_of(current);
+    let d = mesh.coord_of(dst);
+    let dx = d.x as i32 - c.x as i32;
+    let dy = d.y as i32 - c.y as i32;
+    let productive = productive_ports(mesh, current, dst);
+
+    let mut prod: Vec<Direction> = Vec::with_capacity(2);
+    let x_dir = if dx > 0 {
+        Direction::East
+    } else {
+        Direction::West
+    };
+    let y_dir = if dy > 0 {
+        Direction::South
+    } else {
+        Direction::North
+    };
+    if dx.abs() >= dy.abs() {
+        if dx != 0 {
+            prod.push(x_dir);
+        }
+        if dy != 0 {
+            prod.push(y_dir);
+        }
+    } else {
+        if dy != 0 {
+            prod.push(y_dir);
+        }
+        if dx != 0 {
+            prod.push(x_dir);
+        }
+    }
+    debug_assert!(prod.iter().all(|&p| productive.contains(p)));
+
+    let mut out = prod;
+    for dir in LINK_DIRECTIONS {
+        if !out.contains(&dir) && mesh.neighbor(current, dir).is_some() {
+            out.push(dir);
+        }
+    }
+    // Productive directions that ended up unreachable can't occur on a mesh
+    // (a productive dir always has a link), but edge nodes lose some
+    // deflection candidates.
+    out.retain(|&dir| mesh.neighbor(current, dir).is_some());
+    out
+}
+
+/// Number of productive entries at the head of [`rank_ports`]' result.
+pub fn productive_count(mesh: &Mesh, current: NodeId, dst: NodeId) -> usize {
+    if current == dst {
+        0
+    } else {
+        productive_ports(mesh, current, dst)
+            .and(noc_core::types::PortSet::LINKS)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Coord;
+    use proptest::prelude::*;
+
+    #[test]
+    fn longest_leg_preferred() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 0, y: 0 });
+        let far_x = m.node_at(Coord { x: 6, y: 2 });
+        let r = rank_ports(&m, a, far_x);
+        assert_eq!(r[0], Direction::East);
+        assert_eq!(r[1], Direction::South);
+        let far_y = m.node_at(Coord { x: 2, y: 6 });
+        let r = rank_ports(&m, a, far_y);
+        assert_eq!(r[0], Direction::South);
+        assert_eq!(r[1], Direction::East);
+    }
+
+    #[test]
+    fn corner_node_has_two_candidates() {
+        let m = Mesh::new(8, 8);
+        let corner = m.node_at(Coord { x: 0, y: 0 });
+        let r = rank_ports(&m, corner, m.node_at(Coord { x: 3, y: 0 }));
+        assert_eq!(r.len(), 2); // East + South exist at the NW corner
+        assert_eq!(r[0], Direction::East);
+    }
+
+    #[test]
+    fn interior_node_ranks_all_four() {
+        let m = Mesh::new(8, 8);
+        let mid = m.node_at(Coord { x: 4, y: 4 });
+        let r = rank_ports(&m, mid, m.node_at(Coord { x: 7, y: 7 }));
+        assert_eq!(r.len(), 4);
+        // Non-productive deflection candidates come last.
+        assert!(r[2..]
+            .iter()
+            .all(|d| matches!(d, Direction::North | Direction::West)));
+    }
+
+    #[test]
+    fn productive_count_matches() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 2, y: 2 });
+        assert_eq!(productive_count(&m, a, m.node_at(Coord { x: 5, y: 5 })), 2);
+        assert_eq!(productive_count(&m, a, m.node_at(Coord { x: 2, y: 5 })), 1);
+        assert_eq!(productive_count(&m, a, a), 0);
+    }
+
+    proptest! {
+        /// Ranking contains no duplicates, only existing links, and its
+        /// productive prefix is exactly the set of productive link ports.
+        #[test]
+        fn prop_ranking_well_formed(w in 2u16..10, h in 2u16..10, s in any::<u16>(), t in any::<u16>()) {
+            let m = Mesh::new(w, h);
+            let n = m.num_nodes() as u16;
+            let (a, b) = (NodeId(s % n), NodeId(t % n));
+            prop_assume!(a != b);
+            let r = rank_ports(&m, a, b);
+            let mut uniq = r.clone();
+            uniq.sort_by_key(|d| d.index());
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), r.len(), "duplicates in ranking");
+            for &d in &r {
+                prop_assert!(m.neighbor(a, d).is_some(), "ranked port without a link");
+            }
+            let k = productive_count(&m, a, b);
+            let prod = productive_ports(&m, a, b);
+            for (i, &d) in r.iter().enumerate() {
+                prop_assert_eq!(i < k, prod.contains(d), "productive prefix mismatch");
+            }
+        }
+    }
+}

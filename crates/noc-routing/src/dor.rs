@@ -1,0 +1,131 @@
+//! Dimension-ordered (XY) routing.
+//!
+//! A packet first travels fully along X (East/West) and only then along Y
+//! (North/South). On a mesh this is deadlock-free with a single buffer
+//! class because the only turns taken are from X to Y.
+
+use noc_core::types::{Direction, NodeId, PortSet};
+use noc_topology::Mesh;
+
+/// The single legal output port under XY routing (as a one-element set so
+/// the router-facing signature matches the adaptive algorithms).
+pub fn route(mesh: &Mesh, current: NodeId, dst: NodeId) -> PortSet {
+    if current == dst {
+        return PortSet::single(Direction::Local);
+    }
+    let c = mesh.coord_of(current);
+    let d = mesh.coord_of(dst);
+    let dir = if d.x > c.x {
+        Direction::East
+    } else if d.x < c.x {
+        Direction::West
+    } else if d.y > c.y {
+        Direction::South
+    } else {
+        Direction::North
+    };
+    PortSet::single(dir)
+}
+
+/// Full XY path from `src` to `dst` (excluding `src`, including `dst`).
+/// Useful for tests and for SCARAB's NACK-distance computation.
+pub fn path(mesh: &Mesh, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut cur = src;
+    while cur != dst {
+        let dir = route(mesh, cur, dst)
+            .iter()
+            .next()
+            .expect("route returns one port");
+        cur = mesh.neighbor(cur, dir).expect("XY never routes off-mesh");
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::productive_ports;
+    use noc_topology::Coord;
+    use proptest::prelude::*;
+
+    #[test]
+    fn x_before_y() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 1, y: 1 });
+        let b = m.node_at(Coord { x: 4, y: 5 });
+        assert_eq!(route(&m, a, b), PortSet::single(Direction::East));
+        let aligned_x = m.node_at(Coord { x: 4, y: 1 });
+        assert_eq!(route(&m, aligned_x, b), PortSet::single(Direction::South));
+    }
+
+    #[test]
+    fn local_at_destination() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(
+            route(&m, NodeId(9), NodeId(9)),
+            PortSet::single(Direction::Local)
+        );
+    }
+
+    #[test]
+    fn path_length_is_manhattan_distance() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 0, y: 7 });
+        let b = m.node_at(Coord { x: 7, y: 0 });
+        let p = path(&m, a, b);
+        assert_eq!(p.len() as u32, m.hop_distance(a, b));
+        assert_eq!(*p.last().unwrap(), b);
+    }
+
+    #[test]
+    fn route_is_always_productive() {
+        let m = Mesh::new(6, 5);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let r = route(&m, a, b);
+                assert_eq!(r.len(), 1);
+                let dir = r.iter().next().unwrap();
+                assert!(
+                    productive_ports(&m, a, b).contains(dir),
+                    "{a}->{b} via {dir} not productive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_y_to_x_turns_along_path() {
+        // XY legality: once the path moves in Y it never moves in X again.
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 2, y: 6 });
+        let b = m.node_at(Coord { x: 6, y: 1 });
+        let p = path(&m, a, b);
+        let mut prev = a;
+        let mut seen_y = false;
+        for n in p {
+            let pc = m.coord_of(prev);
+            let nc = m.coord_of(n);
+            let moved_x = pc.x != nc.x;
+            if moved_x {
+                assert!(!seen_y, "X move after Y move");
+            } else {
+                seen_y = true;
+            }
+            prev = n;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_path_terminates_minimally(w in 2u16..10, h in 2u16..10, s in any::<u16>(), t in any::<u16>()) {
+            let m = Mesh::new(w, h);
+            let n = m.num_nodes() as u16;
+            let a = NodeId(s % n);
+            let b = NodeId(t % n);
+            let p = path(&m, a, b);
+            prop_assert_eq!(p.len() as u32, m.hop_distance(a, b));
+        }
+    }
+}

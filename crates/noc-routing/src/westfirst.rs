@@ -1,0 +1,136 @@
+//! West-First minimal adaptive routing.
+//!
+//! The West-First turn model (Glass & Ni) forbids the two turns *into* the
+//! West direction. Consequently a packet whose destination lies to the West
+//! must take all of its West hops first; afterwards it may route fully
+//! adaptively among its remaining (East/North/South) productive directions.
+//! Restricted to minimal paths, this is the paper's "WF" algorithm.
+
+use crate::productive_ports;
+use noc_core::types::{Direction, NodeId, PortSet};
+use noc_topology::Mesh;
+
+/// Legal productive output ports under West-First minimal adaptive routing.
+pub fn route(mesh: &Mesh, current: NodeId, dst: NodeId) -> PortSet {
+    if current == dst {
+        return PortSet::single(Direction::Local);
+    }
+    let productive = productive_ports(mesh, current, dst);
+    if productive.contains(Direction::West) {
+        // Turns into West are illegal, so while any West hop remains it must
+        // be taken now; adaptivity only exists east of the destination.
+        PortSet::single(Direction::West)
+    } else {
+        productive
+    }
+}
+
+/// Whether a turn from input direction `from` (the direction of travel) to
+/// output direction `to` is permitted by the West-First turn model.
+/// `from`/`to` are directions of motion, not port names; `Local` transitions
+/// (injection / ejection) are always legal.
+pub fn turn_allowed(from: Direction, to: Direction) -> bool {
+    if from == Direction::Local || to == Direction::Local {
+        return true;
+    }
+    // Forbidden: North->West and South->West.
+    !(to == Direction::West && (from == Direction::North || from == Direction::South))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::Coord;
+    use proptest::prelude::*;
+
+    #[test]
+    fn west_destination_forces_west() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 5, y: 2 });
+        let b = m.node_at(Coord { x: 1, y: 6 });
+        assert_eq!(route(&m, a, b), PortSet::single(Direction::West));
+    }
+
+    #[test]
+    fn east_destination_is_adaptive() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 1, y: 1 });
+        let b = m.node_at(Coord { x: 5, y: 5 });
+        let r = route(&m, a, b);
+        assert!(r.contains(Direction::East));
+        assert!(r.contains(Direction::South));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn aligned_column_routes_vertically() {
+        let m = Mesh::new(8, 8);
+        let a = m.node_at(Coord { x: 3, y: 6 });
+        let b = m.node_at(Coord { x: 3, y: 0 });
+        assert_eq!(route(&m, a, b), PortSet::single(Direction::North));
+    }
+
+    #[test]
+    fn local_at_destination() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(
+            route(&m, NodeId(0), NodeId(0)),
+            PortSet::single(Direction::Local)
+        );
+    }
+
+    #[test]
+    fn forbidden_turns() {
+        assert!(!turn_allowed(Direction::North, Direction::West));
+        assert!(!turn_allowed(Direction::South, Direction::West));
+        assert!(turn_allowed(Direction::East, Direction::North));
+        assert!(turn_allowed(Direction::West, Direction::North));
+        assert!(turn_allowed(Direction::West, Direction::West));
+        assert!(turn_allowed(Direction::Local, Direction::West));
+        assert!(turn_allowed(Direction::North, Direction::Local));
+    }
+
+    #[test]
+    fn route_subset_of_productive_everywhere() {
+        let m = Mesh::new(6, 6);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let r = route(&m, a, b);
+                let p = productive_ports(&m, a, b);
+                assert!(!r.is_empty());
+                for d in r.iter() {
+                    assert!(p.contains(d), "{a}->{b}: {d} not productive");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Any greedy walk that always follows a WF-legal productive port
+        /// reaches the destination in exactly the minimal hop count and
+        /// never takes a forbidden turn.
+        #[test]
+        fn prop_wf_walk_minimal_and_legal(
+            w in 2u16..10, h in 2u16..10,
+            s in any::<u16>(), t in any::<u16>(), seed in any::<u64>()
+        ) {
+            let m = Mesh::new(w, h);
+            let n = m.num_nodes() as u16;
+            let (a, b) = (NodeId(s % n), NodeId(t % n));
+            let mut rng = noc_core::Rng::seed_from(seed);
+            let mut cur = a;
+            let mut hops = 0u32;
+            let mut travel_dir = Direction::Local; // injected
+            while cur != b {
+                let opts: Vec<Direction> = route(&m, cur, b).iter().collect();
+                let dir = opts[rng.gen_index(opts.len())];
+                prop_assert!(turn_allowed(travel_dir, dir), "illegal turn {travel_dir}->{dir}");
+                cur = m.neighbor(cur, dir).expect("on-mesh");
+                travel_dir = dir;
+                hops += 1;
+                prop_assert!(hops <= m.hop_distance(a, b), "non-minimal walk");
+            }
+            prop_assert_eq!(hops, m.hop_distance(a, b));
+        }
+    }
+}

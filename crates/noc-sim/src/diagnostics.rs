@@ -1,0 +1,177 @@
+//! Spatial diagnostics: where in the mesh is the traffic, the buffering,
+//! the congestion? Renders per-node quantities as text heatmaps — the
+//! debugging view used while matching the paper's hot-spot behaviours
+//! (NUR hot spots, SPLASH directory pressure, fault-induced buffering).
+
+use crate::network::Network;
+use noc_core::types::NodeId;
+use noc_topology::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// A per-node scalar field over the mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeField {
+    pub label: String,
+    pub width: u16,
+    pub height: u16,
+    pub values: Vec<f64>,
+}
+
+impl NodeField {
+    pub fn new(label: impl Into<String>, mesh: &Mesh) -> NodeField {
+        NodeField {
+            label: label.into(),
+            width: mesh.width(),
+            height: mesh.height(),
+            values: vec![0.0; mesh.num_nodes()],
+        }
+    }
+
+    /// Build a field by sampling `f` at every node.
+    pub fn sample(label: impl Into<String>, mesh: &Mesh, f: impl Fn(NodeId) -> f64) -> NodeField {
+        let mut field = NodeField::new(label, mesh);
+        for n in mesh.nodes() {
+            field.values[n.index()] = f(n);
+        }
+        field
+    }
+
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Mean over all nodes.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.total() / self.values.len() as f64
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean) — the imbalance measure
+    /// (0 = perfectly even field). 0.0 when the mean is 0.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Render as a text heatmap: one row per mesh row, intensity ramp
+    /// `. : - = + * # @` scaled to the field maximum.
+    pub fn render(&self) -> String {
+        const RAMP: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+        let max = self.max();
+        let mut out = format!(
+            "# {} (max {:.3}, mean {:.3}, imbalance {:.2})\n",
+            self.label,
+            max,
+            self.mean(),
+            self.imbalance()
+        );
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.values[(y * self.width + x) as usize];
+                let ch = if max <= 0.0 {
+                    RAMP[0]
+                } else {
+                    let idx = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                    RAMP[idx.min(RAMP.len() - 1)]
+                };
+                out.push(ch);
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Snapshot of the spatial state of a network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Flits currently buffered inside each router.
+    pub occupancy: NodeField,
+    /// Flits waiting in each injection queue.
+    pub source_backlog: NodeField,
+}
+
+/// Capture a spatial snapshot of `net` (cheap; no simulation state is
+/// modified).
+pub fn snapshot(net: &Network) -> Snapshot {
+    let mesh = *net.mesh();
+    Snapshot {
+        occupancy: NodeField::sample("router occupancy (flits)", &mesh, |n| {
+            net.router_occupancy(n) as f64
+        }),
+        source_backlog: NodeField::sample("injection backlog (flits)", &mesh, |n| {
+            net.source_backlog(n) as f64
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4)
+    }
+
+    #[test]
+    fn sample_fills_every_node() {
+        let f = NodeField::sample("idx", &mesh(), |n| n.index() as f64);
+        assert_eq!(f.values.len(), 16);
+        assert_eq!(f.max(), 15.0);
+        assert_eq!(f.total(), 120.0);
+        assert!((f.mean() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_zero_for_uniform_field() {
+        let f = NodeField::sample("const", &mesh(), |_| 3.0);
+        assert!(f.imbalance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_positive_for_hotspot() {
+        let f = NodeField::sample("spot", &mesh(), |n| if n.index() == 5 { 16.0 } else { 0.0 });
+        assert!(f.imbalance() > 3.0);
+    }
+
+    #[test]
+    fn render_shape_and_ramp() {
+        let f = NodeField::sample("idx", &mesh(), |n| n.index() as f64);
+        let text = f.render();
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows
+            .iter()
+            .all(|r| r.chars().filter(|c| *c != ' ').count() == 4));
+        // Node 0 has the minimum, node 15 the maximum.
+        assert!(rows[0].starts_with('.'));
+        assert!(rows[3].trim_end().ends_with('@'));
+    }
+
+    #[test]
+    fn render_handles_all_zero_field() {
+        let f = NodeField::new("zeros", &mesh());
+        let text = f.render();
+        assert!(text
+            .lines()
+            .skip(1)
+            .all(|r| r.chars().all(|c| c == '.' || c == ' ')));
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-accurate NoC simulation engine.
+//!
+//! The engine is a synchronous two-phase simulator:
+//!
+//! 1. **Router phase** — every router receives the flits delivered by its
+//!    incoming links this cycle (plus returned credits and an injection
+//!    offer) in a [`router::StepCtx`], performs its switch allocation and
+//!    traversal, and fills in the outputs.
+//! 2. **Link phase** — the engine moves granted flits onto fixed-latency
+//!    delay lines, returns credits upstream, ejects/reassembles packets,
+//!    and handles SCARAB-style drop/NACK/retransmission bookkeeping.
+//!
+//! Timing model (matches the paper's pipelines):
+//! * data links have latency 2: a flit switched (ST) in cycle `t` spends
+//!   `t+1` on the wire (LT) and is in the downstream router's SA/ST stage
+//!   at `t+2` — the bufferless 2-stage pipeline;
+//! * the 3-stage baseline adds one internal stall cycle before a buffered
+//!   flit's first switch-allocation attempt (its RC stage);
+//! * credit wires have latency 1.
+//!
+//! Router micro-architectures live in `noc-baseline` and `dxbar`; they
+//! implement [`router::RouterModel`].
+
+pub mod diagnostics;
+pub mod network;
+pub mod reassembly;
+pub mod report;
+pub mod router;
+pub mod runner;
+
+pub use network::Network;
+pub use report::RunResult;
+pub use router::{RouterFactory, RouterModel, StepCtx};
+pub use runner::{run, RunMode};
+
+/// Data-link latency in cycles (ST -> LT -> downstream SA/ST).
+pub const LINK_LATENCY: u64 = 2;
+/// Credit-return wire latency in cycles.
+pub const CREDIT_LATENCY: u64 = 1;

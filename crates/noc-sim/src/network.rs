@@ -1,0 +1,321 @@
+//! The network: routers + links + injection queues + ejection/reassembly +
+//! SCARAB drop/NACK bookkeeping.
+
+use crate::reassembly::Reassembler;
+use crate::router::{RouterModel, StepCtx};
+use crate::{CREDIT_LATENCY, LINK_LATENCY};
+use noc_core::flit::Flit;
+use noc_core::stats::NetStats;
+use noc_core::types::{Cycle, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
+use noc_core::SimConfig;
+use noc_topology::link::TimedChannel;
+use noc_topology::{DelayLine, Mesh};
+use noc_traffic::generator::{DeliveredPacket, TrafficModel};
+use std::collections::VecDeque;
+
+/// A complete simulated network of one router design.
+pub struct Network {
+    mesh: Mesh,
+    cfg: SimConfig,
+    routers: Vec<Box<dyn RouterModel>>,
+    /// `in_links[node][d]`: flits arriving at `node` on input port `d`
+    /// (fed by the neighbour in direction `d`). `None` at mesh edges.
+    in_links: Vec<[Option<DelayLine<Flit>>; NUM_LINK_PORTS]>,
+    /// `in_credits[node][d]`: credits returning to `node` for its *output*
+    /// link in direction `d`.
+    in_credits: Vec<[Option<DelayLine<u32>>; NUM_LINK_PORTS]>,
+    /// Per-node injection queues (source side of the PE).
+    source_queues: Vec<VecDeque<Flit>>,
+    reassembler: Reassembler,
+    /// SCARAB NACK/retransmission channel: dropped flits travel back to the
+    /// source (as a NACK) and are re-enqueued at the head of its queue.
+    retransmits: TimedChannel<Flit>,
+    stats: NetStats,
+    cycle: Cycle,
+    /// Flits that could not be queued because the source queue was full
+    /// (offered-load bookkeeping at deep saturation).
+    pub source_overflow: u64,
+}
+
+impl Network {
+    /// Build a network: one router per node from `factory`.
+    pub fn new(cfg: &SimConfig, factory: &dyn Fn(NodeId) -> Box<dyn RouterModel>) -> Network {
+        cfg.validate().expect("invalid SimConfig");
+        let mesh = Mesh::new(cfg.width, cfg.height);
+        let n = mesh.num_nodes();
+        let routers: Vec<Box<dyn RouterModel>> = mesh.nodes().map(factory).collect();
+        for (i, r) in routers.iter().enumerate() {
+            assert_eq!(r.node(), NodeId(i as u16), "factory returned wrong node id");
+        }
+        let mut in_links = Vec::with_capacity(n);
+        let mut in_credits = Vec::with_capacity(n);
+        for node in mesh.nodes() {
+            let mut links: [Option<DelayLine<Flit>>; NUM_LINK_PORTS] = [None, None, None, None];
+            let mut credits: [Option<DelayLine<u32>>; NUM_LINK_PORTS] = [None, None, None, None];
+            for d in LINK_DIRECTIONS {
+                if mesh.neighbor(node, d).is_some() {
+                    links[d.index()] = Some(DelayLine::new(LINK_LATENCY));
+                    credits[d.index()] = Some(DelayLine::new(CREDIT_LATENCY));
+                }
+            }
+            in_links.push(links);
+            in_credits.push(credits);
+        }
+        Network {
+            mesh,
+            cfg: cfg.clone(),
+            routers,
+            in_links,
+            in_credits,
+            source_queues: vec![VecDeque::new(); n],
+            reassembler: Reassembler::new(),
+            retransmits: TimedChannel::new(),
+            stats: NetStats::default(),
+            cycle: 0,
+            source_overflow: 0,
+        }
+    }
+
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn design_name(&self) -> &'static str {
+        self.routers[0].design_name()
+    }
+
+    fn created_in_window(&self, created: Cycle) -> bool {
+        let lo = self.cfg.warmup_cycles;
+        let hi = lo + self.cfg.measure_cycles;
+        (lo..hi).contains(&created)
+    }
+
+    fn now_in_window(&self) -> bool {
+        self.created_in_window(self.cycle)
+    }
+
+    /// Advance the network by one cycle, pulling new packets from `model`.
+    pub fn step(&mut self, model: &mut dyn TrafficModel) {
+        let t = self.cycle;
+
+        if t == self.cfg.warmup_cycles {
+            self.stats.events_at_window_start = self.stats.events;
+            self.stats.measured_cycles = self.cfg.measure_cycles;
+        }
+
+        // 1. Retransmissions due this cycle rejoin their source queue at the
+        //    head (SCARAB's source retransmit buffer has priority).
+        for flit in self.retransmits.recv_due(t) {
+            self.source_queues[flit.src.index()].push_front(flit);
+        }
+
+        // 2. New packets from the traffic model. Open-loop models tolerate
+        //    source-side loss beyond the queue cap (the surplus still counts
+        //    as offered load); lossless (closed-loop) models enqueue
+        //    unconditionally — their in-flight volume is bounded by the
+        //    workload's own windows, not by the cap.
+        //
+        //    When a drain phase is configured (open-loop methodology), the
+        //    generator is cut off at the end of the measurement window so
+        //    the drain only serves in-flight packets; closed-loop runs use
+        //    drain_cycles = 0 and poll throughout.
+        let offered_now = self.now_in_window();
+        let generating =
+            self.cfg.drain_cycles == 0 || t < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        if !generating {
+            self.cycle_routers(t, model);
+            self.cycle += 1;
+            return;
+        }
+        let lossless = model.lossless();
+        for desc in model.poll(t) {
+            let q = &mut self.source_queues[desc.src.index()];
+            for flit in desc.flits() {
+                self.stats.record_offered(offered_now);
+                if !lossless && q.len() >= self.cfg.source_queue_cap {
+                    self.source_overflow += 1;
+                } else {
+                    q.push_back(flit);
+                }
+            }
+        }
+
+        self.cycle_routers(t, model);
+        self.cycle += 1;
+    }
+
+    /// Router phase + link phase, one node at a time. Routers only read
+    /// their own delay-line endpoints, so a fixed iteration order is
+    /// deterministic and race-free.
+    fn cycle_routers(&mut self, t: Cycle, model: &mut dyn TrafficModel) {
+        for i in 0..self.routers.len() {
+            let node = NodeId(i as u16);
+            let mut ctx = StepCtx::new(t);
+
+            for d in LINK_DIRECTIONS {
+                if let Some(line) = self.in_links[i][d.index()].as_mut() {
+                    ctx.arrivals[d.index()] = line.recv(t);
+                }
+                if let Some(line) = self.in_credits[i][d.index()].as_mut() {
+                    if let Some(c) = line.recv(t) {
+                        ctx.credits_in[d.index()] = c;
+                    }
+                }
+            }
+            ctx.injection = self.source_queues[i].front().map(|f| {
+                let mut f = *f;
+                f.injected = t;
+                f
+            });
+
+            // Routers may consume (take) their arrivals, so count inputs
+            // before stepping.
+            let arrivals_offered = ctx.arrivals.iter().flatten().count();
+            let occ_before = self.routers[i].occupancy();
+            self.routers[i].step(&mut ctx);
+            let occ_after = self.routers[i].occupancy();
+            debug_assert_eq!(
+                occ_before + arrivals_offered + usize::from(ctx.injected),
+                occ_after + ctx.flits_out(),
+                "flit conservation violated at {node} cycle {t}"
+            );
+
+            // Outgoing flits onto the links.
+            for d in LINK_DIRECTIONS {
+                if let Some(mut flit) = ctx.out_links[d.index()].take() {
+                    let nbr = self
+                        .mesh
+                        .neighbor(node, d)
+                        .unwrap_or_else(|| panic!("{node} routed {flit:?} off-mesh via {d}"));
+                    flit.hops += 1;
+                    ctx.events.link_traversals += 1;
+                    self.in_links[nbr.index()][d.opposite().index()]
+                        .as_mut()
+                        .expect("reverse link exists")
+                        .send(t, flit);
+                }
+            }
+
+            // Credits upstream.
+            for d in LINK_DIRECTIONS {
+                let c = ctx.credits_out[d.index()];
+                if c > 0 {
+                    if let Some(upstream) = self.mesh.neighbor(node, d) {
+                        self.in_credits[upstream.index()][d.opposite().index()]
+                            .as_mut()
+                            .expect("reverse credit wire exists")
+                            .send(t, c);
+                    }
+                }
+            }
+
+            // Injection accepted?
+            if ctx.injected {
+                let popped = self.source_queues[i].pop_front();
+                debug_assert!(popped.is_some(), "router injected a phantom flit");
+                ctx.events.injections += 1;
+            }
+
+            // Ejections -> reassembly -> traffic-model callback.
+            let ejected_in_window = self.now_in_window();
+            for flit in ctx.ejected.drain(..) {
+                debug_assert_eq!(flit.dst, node, "flit ejected at wrong node");
+                ctx.events.ejections += 1;
+                let created_in_window = self.created_in_window(flit.created);
+                self.stats.record_flit_ejected(
+                    flit.created,
+                    flit.hops,
+                    t,
+                    ejected_in_window,
+                    created_in_window,
+                );
+                if let Some(done) = self.reassembler.accept(&flit, t) {
+                    self.stats
+                        .record_packet_done(done.src, done.created, t, created_in_window);
+                    model.on_delivered(&DeliveredPacket {
+                        id: done.id,
+                        src: done.src,
+                        dst: done.dst,
+                        kind: done.kind,
+                        created: done.created,
+                        delivered: t,
+                    });
+                }
+            }
+
+            // Drops -> NACK to source -> retransmission (SCARAB).
+            for mut flit in ctx.dropped.drain(..) {
+                ctx.events.drops += 1;
+                let nack_hops = self.mesh.hop_distance(node, flit.src).max(1) as u64;
+                ctx.events.nack_hops += nack_hops;
+                ctx.events.retransmissions += 1;
+                flit.retransmits += 1;
+                self.retransmits.send(t, nack_hops, flit);
+            }
+
+            self.stats.events.merge(&ctx.events);
+        }
+    }
+
+    /// Run `n` cycles.
+    pub fn run_cycles(&mut self, model: &mut dyn TrafficModel, n: u64) {
+        for _ in 0..n {
+            self.step(model);
+        }
+    }
+
+    /// True when nothing is in flight anywhere (drain complete).
+    pub fn is_quiescent(&self) -> bool {
+        self.routers.iter().all(|r| r.is_idle())
+            && self
+                .in_links
+                .iter()
+                .flatten()
+                .flatten()
+                .all(|l| l.is_empty())
+            && self.source_queues.iter().all(|q| q.is_empty())
+            && self.retransmits.is_empty()
+            && self.reassembler.is_empty()
+    }
+
+    /// Flits currently inside the network (diagnostics).
+    pub fn flits_in_flight(&self) -> usize {
+        let in_routers: usize = self.routers.iter().map(|r| r.occupancy()).sum();
+        let on_links: usize = self
+            .in_links
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.in_flight())
+            .sum();
+        let queued: usize = self.source_queues.iter().map(|q| q.len()).sum();
+        in_routers + on_links + queued + self.retransmits.len()
+    }
+
+    /// Duplicate flits seen at reassembly (must be 0; exposed for tests).
+    pub fn reassembly_duplicates(&self) -> u64 {
+        self.reassembler.duplicates()
+    }
+
+    /// Flits buffered inside one router (spatial diagnostics).
+    pub fn router_occupancy(&self, node: NodeId) -> usize {
+        self.routers[node.index()].occupancy()
+    }
+
+    /// Flits waiting in one node's injection queue (spatial diagnostics).
+    pub fn source_backlog(&self, node: NodeId) -> usize {
+        self.source_queues[node.index()].len()
+    }
+}

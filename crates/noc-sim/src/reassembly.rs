@@ -1,0 +1,194 @@
+//! Packet reassembly at the ejection port.
+//!
+//! The paper's designs can deliver a packet's flits out of order ("the
+//! re-assembly of the flits can be accomplished by the cache controller
+//! that contains a Miss Status Holding Register"). [`Reassembler`] models
+//! that MSHR: it counts ejected flits per packet (rejecting duplicates,
+//! which would indicate a router bug) and reports completion when the last
+//! flit lands.
+
+use noc_core::flit::{Flit, FlitKind, PacketId};
+use noc_core::types::{Cycle, NodeId};
+use std::collections::HashMap;
+
+/// An in-progress packet at some destination.
+#[derive(Debug, Clone)]
+struct Entry {
+    src: NodeId,
+    dst: NodeId,
+    kind: FlitKind,
+    created: Cycle,
+    len: u8,
+    /// Bitmask of flit indices received (packets are <= 8 flits here;
+    /// enforced at insert).
+    received: u64,
+    count: u8,
+}
+
+/// A fully reassembled packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedPacket {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub kind: FlitKind,
+    pub created: Cycle,
+    pub completed: Cycle,
+}
+
+/// Network-wide MSHR-style reassembly table.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<PacketId, Entry>,
+    duplicates: u64,
+}
+
+impl Reassembler {
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Accept one ejected flit; returns the completed packet when this was
+    /// the last missing flit.
+    ///
+    /// # Panics
+    /// Panics (debug) if a duplicate flit arrives or flit metadata is
+    /// inconsistent across a packet — both indicate router bugs. In release
+    /// builds duplicates are counted and dropped.
+    pub fn accept(&mut self, flit: &Flit, now: Cycle) -> Option<CompletedPacket> {
+        assert!(
+            flit.packet_len as usize <= 64,
+            "packet too long for bitmask"
+        );
+        let e = self.pending.entry(flit.packet).or_insert(Entry {
+            src: flit.src,
+            dst: flit.dst,
+            kind: flit.kind,
+            created: flit.created,
+            len: flit.packet_len,
+            received: 0,
+            count: 0,
+        });
+        debug_assert_eq!(e.src, flit.src, "packet {:?} src mismatch", flit.packet);
+        debug_assert_eq!(e.len, flit.packet_len);
+        let bit = 1u64 << flit.flit_index;
+        if e.received & bit != 0 {
+            debug_assert!(
+                false,
+                "duplicate flit {:?}/{}",
+                flit.packet, flit.flit_index
+            );
+            self.duplicates += 1;
+            return None;
+        }
+        e.received |= bit;
+        e.count += 1;
+        if e.count == e.len {
+            let e = self.pending.remove(&flit.packet).expect("entry exists");
+            Some(CompletedPacket {
+                id: flit.packet,
+                src: e.src,
+                dst: e.dst,
+                kind: e.kind,
+                created: e.created,
+                completed: now,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Packets still missing flits.
+    pub fn pending_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Duplicate flits observed (should stay 0).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Remove every trace of a packet (SCARAB drops whole packets at once
+    /// in our flit-level model, but a partially ejected packet that gets
+    /// dropped elsewhere must be forgotten before its retransmission).
+    pub fn forget(&mut self, id: PacketId) {
+        self.pending.remove(&id);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(idx: u8, len: u8) -> Flit {
+        Flit::new(
+            PacketId(7),
+            idx,
+            len,
+            NodeId(1),
+            NodeId(2),
+            100,
+            FlitKind::Data,
+        )
+    }
+
+    #[test]
+    fn single_flit_completes_immediately() {
+        let mut r = Reassembler::new();
+        let f = Flit::synthetic(PacketId(3), NodeId(0), NodeId(5), 10);
+        let done = r.accept(&f, 42).expect("completes");
+        assert_eq!(done.id, PacketId(3));
+        assert_eq!(done.created, 10);
+        assert_eq!(done.completed, 42);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn multi_flit_requires_all() {
+        let mut r = Reassembler::new();
+        assert!(r.accept(&flit(0, 4), 10).is_none());
+        assert!(r.accept(&flit(2, 4), 11).is_none());
+        assert_eq!(r.pending_packets(), 1);
+        assert!(r.accept(&flit(3, 4), 12).is_none());
+        let done = r.accept(&flit(1, 4), 13).expect("completes");
+        assert_eq!(done.completed, 13);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_is_fine() {
+        let mut r = Reassembler::new();
+        for i in [3u8, 0, 2, 1] {
+            let res = r.accept(&flit(i, 4), 20 + i as u64);
+            assert_eq!(res.is_some(), i == 1);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "duplicate flit"))]
+    fn duplicate_flit_detected() {
+        let mut r = Reassembler::new();
+        let _ = r.accept(&flit(0, 4), 1);
+        let _ = r.accept(&flit(0, 4), 2);
+        // Release builds count instead of panicking.
+        assert_eq!(r.duplicates(), 1);
+        assert_eq!(r.pending_packets(), 1);
+    }
+
+    #[test]
+    fn forget_clears_partial_packet() {
+        let mut r = Reassembler::new();
+        let _ = r.accept(&flit(0, 4), 1);
+        r.forget(PacketId(7));
+        assert!(r.is_empty());
+        // Retransmission can then complete normally.
+        for i in [0u8, 1, 2] {
+            assert!(r.accept(&flit(i, 4), 5).is_none());
+        }
+        assert!(r.accept(&flit(3, 4), 9).is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! The router-model interface.
+//!
+//! A [`RouterModel`] is the per-node micro-architecture: it owns its
+//! buffers, allocators and fault state, and communicates with the engine
+//! exclusively through a [`StepCtx`] each cycle. This keeps every design
+//! (DXbar, unified, Buffered-4/8, Flit-BLESS, SCARAB) pluggable into the
+//! same network and measured by the same accounting.
+
+use noc_core::flit::Flit;
+use noc_core::stats::EventCounts;
+use noc_core::types::{Cycle, NodeId, NUM_LINK_PORTS};
+
+/// Per-cycle router interface record.
+///
+/// The engine fills the input fields, calls [`RouterModel::step`], then
+/// consumes the output fields. Output arrays are indexed by
+/// [`noc_core::Direction::index`] over the four link directions.
+#[derive(Debug, Default)]
+pub struct StepCtx {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// Flit delivered on each link input this cycle (downstream end of the
+    /// LT stage). `None` = idle input.
+    pub arrivals: [Option<Flit>; NUM_LINK_PORTS],
+    /// Credits returned by the downstream router of each *output* link.
+    pub credits_in: [u32; NUM_LINK_PORTS],
+    /// Head of this node's injection queue, offered for injection.
+    pub injection: Option<Flit>,
+
+    /// Flit granted each output link this cycle (enters LT next cycle).
+    pub out_links: [Option<Flit>; NUM_LINK_PORTS],
+    /// Flits delivered to the local PE this cycle.
+    pub ejected: Vec<Flit>,
+    /// Credits to return upstream on each *input* link (slots freed this
+    /// cycle, including bypasses that never occupied a slot).
+    pub credits_out: [u32; NUM_LINK_PORTS],
+    /// Whether the offered injection flit was accepted.
+    pub injected: bool,
+    /// Flits dropped by the router this cycle (SCARAB); the engine NACKs
+    /// the source and schedules a retransmission.
+    pub dropped: Vec<Flit>,
+    /// Energy-relevant events recorded by the router this cycle.
+    pub events: EventCounts,
+}
+
+impl StepCtx {
+    /// Fresh context for one router step.
+    pub fn new(cycle: Cycle) -> StepCtx {
+        StepCtx {
+            cycle,
+            ..Default::default()
+        }
+    }
+
+    /// Total flits handed to the engine this cycle (outputs + ejections +
+    /// drops) — used by conservation checks.
+    pub fn flits_out(&self) -> usize {
+        self.out_links.iter().flatten().count() + self.ejected.len() + self.dropped.len()
+    }
+
+    /// Total flits handed to the router this cycle (arrivals + accepted
+    /// injection).
+    pub fn flits_in(&self) -> usize {
+        self.arrivals.iter().flatten().count() + usize::from(self.injected)
+    }
+}
+
+/// A router micro-architecture.
+pub trait RouterModel: Send {
+    /// The node this router instance serves.
+    fn node(&self) -> NodeId;
+
+    /// Advance one cycle. All inputs and outputs travel through `ctx`.
+    fn step(&mut self, ctx: &mut StepCtx);
+
+    /// True when no flit is latched or buffered inside the router (used for
+    /// drain detection at the end of closed-loop runs).
+    fn is_idle(&self) -> bool;
+
+    /// Number of flits currently held inside the router (diagnostics).
+    fn occupancy(&self) -> usize;
+
+    /// Design label for reports ("DXbar DOR", "Buffered 8", ...).
+    fn design_name(&self) -> &'static str;
+}
+
+/// Builds one router per node; the engine calls it for every node id.
+pub type RouterFactory<'a> = dyn Fn(NodeId) -> Box<dyn RouterModel> + 'a;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::flit::PacketId;
+
+    #[test]
+    fn flit_accounting_helpers() {
+        let mut ctx = StepCtx::new(5);
+        assert_eq!(ctx.flits_in(), 0);
+        assert_eq!(ctx.flits_out(), 0);
+        let f = Flit::synthetic(PacketId(1), NodeId(0), NodeId(1), 0);
+        ctx.arrivals[0] = Some(f);
+        ctx.arrivals[2] = Some(f);
+        ctx.injected = true;
+        assert_eq!(ctx.flits_in(), 3);
+        ctx.out_links[1] = Some(f);
+        ctx.ejected.push(f);
+        ctx.dropped.push(f);
+        assert_eq!(ctx.flits_out(), 3);
+        assert_eq!(ctx.cycle, 5);
+    }
+}

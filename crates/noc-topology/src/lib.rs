@@ -1,0 +1,12 @@
+//! Topology substrate: the 2D mesh and its links.
+//!
+//! The paper evaluates an 8x8 2D mesh. [`Mesh`] provides coordinate
+//! arithmetic, neighbour lookup and link enumeration; [`link`] provides
+//! fixed-latency delay lines used for flit, credit, look-ahead and NACK
+//! channels (all 1-cycle in the paper, but the latency is a parameter).
+
+pub mod link;
+pub mod mesh;
+
+pub use link::{DelayLine, TimedChannel};
+pub use mesh::{Coord, Mesh};

@@ -1,0 +1,278 @@
+//! Fixed-latency delay lines.
+//!
+//! A [`DelayLine`] models a pipelined channel that accepts at most one item
+//! per cycle and delivers it exactly `latency` cycles later. Flit links,
+//! credit return wires and look-ahead signal wires are all 1-cycle delay
+//! lines in the paper; SCARAB's NACK network uses longer, per-message
+//! latencies and is modelled separately with a timed heap.
+
+use noc_core::types::Cycle;
+
+/// A single-item-per-cycle channel with fixed latency.
+///
+/// `send(cycle, item)` may be called at most once per cycle value;
+/// `recv(cycle)` returns the item sent at `cycle - latency`, if any.
+/// Cycles must be presented in non-decreasing order (the engine's clock).
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: u64,
+    /// Ring of in-flight items indexed by delivery cycle modulo `latency`.
+    slots: Box<[Option<(Cycle, T)>]>,
+}
+
+impl<T> DelayLine<T> {
+    /// Create a delay line. `latency` must be at least 1 — a zero-latency
+    /// channel would be a combinational wire, which the two-phase engine
+    /// models differently.
+    pub fn new(latency: u64) -> DelayLine<T> {
+        assert!(latency >= 1, "DelayLine latency must be >= 1");
+        // latency + 1 slots: within one engine cycle an upstream router may
+        // send (delivery t + latency) before the downstream router has
+        // received this cycle's item, so latency + 1 items transiently
+        // coexist.
+        let mut slots = Vec::with_capacity(latency as usize + 1);
+        slots.resize_with(latency as usize + 1, || None);
+        DelayLine {
+            latency,
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Enqueue `item` at `cycle`; it becomes receivable at
+    /// `cycle + latency`.
+    ///
+    /// # Panics
+    /// Panics if an undelivered item already occupies the slot (i.e. the
+    /// caller sent twice in one cycle, or never received a delivered item —
+    /// both are engine bugs, not network conditions).
+    pub fn send(&mut self, cycle: Cycle, item: T) {
+        let deliver = cycle + self.latency;
+        let idx = (deliver % (self.latency + 1)) as usize;
+        let slot = &mut self.slots[idx];
+        if let Some((existing, _)) = slot {
+            panic!(
+                "DelayLine overrun: slot for cycle {deliver} still holds item from cycle {existing}"
+            );
+        }
+        *slot = Some((deliver, item));
+    }
+
+    /// Take the item that becomes available at `cycle`, if any.
+    pub fn recv(&mut self, cycle: Cycle) -> Option<T> {
+        let idx = (cycle % (self.latency + 1)) as usize;
+        match &self.slots[idx] {
+            Some((deliver, _)) if *deliver == cycle => self.slots[idx].take().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Peek at the item that becomes available at `cycle` without taking it.
+    pub fn peek(&self, cycle: Cycle) -> Option<&T> {
+        let idx = (cycle % (self.latency + 1)) as usize;
+        match &self.slots[idx] {
+            Some((deliver, t)) if *deliver == cycle => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether anything is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Number of in-flight items.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Drop everything in flight (used when a link is declared faulty).
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+    }
+}
+
+/// An unordered timed channel that can carry many items with heterogeneous
+/// delays — used for SCARAB's circuit-switched NACK network, where each NACK
+/// takes `hop_distance` cycles back to the source.
+#[derive(Debug, Clone)]
+pub struct TimedChannel<T> {
+    /// Min-heap keyed on delivery cycle. Entries with equal delivery cycles
+    /// are returned in insertion order (seq disambiguates), keeping the
+    /// simulation deterministic.
+    heap: std::collections::BinaryHeap<TimedEntry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TimedEntry<T> {
+    deliver: Cycle,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for TimedEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver == other.deliver && self.seq == other.seq
+    }
+}
+impl<T> Eq for TimedEntry<T> {}
+impl<T> PartialOrd for TimedEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for TimedEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .deliver
+            .cmp(&self.deliver)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> Default for TimedChannel<T> {
+    fn default() -> Self {
+        TimedChannel {
+            heap: Default::default(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> TimedChannel<T> {
+    pub fn new() -> TimedChannel<T> {
+        Self::default()
+    }
+
+    /// Schedule `item` for delivery at `cycle + delay`.
+    pub fn send(&mut self, cycle: Cycle, delay: u64, item: T) {
+        self.heap.push(TimedEntry {
+            deliver: cycle + delay,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop all items due at or before `cycle`, in (delivery, insertion)
+    /// order.
+    pub fn recv_due(&mut self, cycle: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.deliver > cycle {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").item);
+        }
+        out
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut l: DelayLine<u32> = DelayLine::new(1);
+        l.send(10, 7);
+        assert_eq!(l.recv(10), None);
+        assert_eq!(l.recv(11), Some(7));
+        assert_eq!(l.recv(12), None);
+    }
+
+    #[test]
+    fn longer_latency() {
+        let mut l: DelayLine<u32> = DelayLine::new(3);
+        l.send(0, 1);
+        l.send(1, 2);
+        l.send(2, 3);
+        assert_eq!(l.recv(2), None);
+        assert_eq!(l.recv(3), Some(1));
+        assert_eq!(l.recv(4), Some(2));
+        assert_eq!(l.recv(5), Some(3));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut l: DelayLine<u32> = DelayLine::new(1);
+        l.send(0, 9);
+        assert_eq!(l.peek(1), Some(&9));
+        assert_eq!(l.recv(1), Some(9));
+        assert_eq!(l.peek(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn double_send_panics() {
+        let mut l: DelayLine<u32> = DelayLine::new(1);
+        l.send(0, 1);
+        l.send(0, 2);
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut l: DelayLine<u32> = DelayLine::new(4);
+        assert!(l.is_empty());
+        l.send(0, 1);
+        l.send(1, 2);
+        assert_eq!(l.in_flight(), 2);
+        l.recv(4);
+        assert_eq!(l.in_flight(), 1);
+        l.clear();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be >= 1")]
+    fn zero_latency_rejected() {
+        let _ = DelayLine::<u32>::new(0);
+    }
+
+    #[test]
+    fn timed_channel_orders_by_delivery() {
+        let mut ch: TimedChannel<&'static str> = TimedChannel::new();
+        ch.send(0, 5, "late");
+        ch.send(0, 2, "early");
+        ch.send(0, 2, "early2");
+        assert_eq!(ch.recv_due(1), Vec::<&str>::new());
+        assert_eq!(ch.recv_due(2), vec!["early", "early2"]);
+        assert_eq!(ch.recv_due(10), vec!["late"]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn timed_channel_equal_delivery_fifo() {
+        let mut ch: TimedChannel<u32> = TimedChannel::new();
+        for i in 0..10 {
+            ch.send(0, 3, i);
+        }
+        assert_eq!(ch.recv_due(3), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn timed_channel_len() {
+        let mut ch: TimedChannel<u32> = TimedChannel::new();
+        ch.send(0, 1, 1);
+        ch.send(0, 9, 2);
+        assert_eq!(ch.len(), 2);
+        let _ = ch.recv_due(5);
+        assert_eq!(ch.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! 2D-mesh coordinate arithmetic.
+
+use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS};
+use serde::{Deserialize, Serialize};
+
+/// (x, y) position on the mesh; x grows East, y grows South, origin at the
+/// North-West corner. This matches the paper's compass convention: "x+" is
+/// East, "y+" is South.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: u16,
+    pub y: u16,
+}
+
+/// A `width x height` 2D mesh with bidirectional links between 4-neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Create a mesh; panics on degenerate dimensions (the smallest network
+    /// with routing decisions is 2x2).
+    pub fn new(width: u16, height: u16) -> Mesh {
+        assert!(width >= 2 && height >= 2, "mesh must be at least 2x2");
+        assert!(
+            (width as usize) * (height as usize) <= u16::MAX as usize,
+            "too many nodes for NodeId"
+        );
+        Mesh { width, height }
+    }
+
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Row-major node id for a coordinate.
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Coordinate of a node id.
+    #[inline]
+    pub fn coord_of(&self, n: NodeId) -> Coord {
+        debug_assert!((n.0 as usize) < self.num_nodes());
+        Coord {
+            x: n.0 % self.width,
+            y: n.0 / self.width,
+        }
+    }
+
+    /// Neighbour in a cardinal direction, or `None` at the mesh edge.
+    /// `Direction::Local` has no neighbour.
+    pub fn neighbor(&self, n: NodeId, d: Direction) -> Option<NodeId> {
+        let c = self.coord_of(n);
+        let nc = match d {
+            Direction::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            Direction::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            _ => return None,
+        };
+        Some(self.node_at(nc))
+    }
+
+    /// Minimal hop distance (Manhattan).
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u32
+    }
+
+    /// All directed links as `(from, direction, to)` triples, in node order.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, Direction, NodeId)> + '_ {
+        (0..self.num_nodes() as u16).flat_map(move |i| {
+            let n = NodeId(i);
+            LINK_DIRECTIONS
+                .into_iter()
+                .filter_map(move |d| self.neighbor(n, d).map(|to| (n, d, to)))
+        })
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u16).map(NodeId)
+    }
+
+    /// Whether the node is on the mesh boundary (relevant for the fairness
+    /// discussion: edge-injected flits age faster through the centre).
+    pub fn is_edge(&self, n: NodeId) -> bool {
+        let c = self.coord_of(n);
+        c.x == 0 || c.y == 0 || c.x + 1 == self.width || c.y + 1 == self.height
+    }
+
+    /// Directions whose link exists at this node.
+    pub fn link_dirs(&self, n: NodeId) -> impl Iterator<Item = Direction> + '_ {
+        LINK_DIRECTIONS
+            .into_iter()
+            .filter(move |&d| self.neighbor(n, d).is_some())
+    }
+
+    /// Average minimal hop count over all (src != dst) pairs — the uniform
+    /// random expected distance, useful for capacity sanity checks.
+    pub fn average_distance(&self) -> f64 {
+        let n = self.num_nodes();
+        let mut total = 0u64;
+        for a in self.nodes() {
+            for b in self.nodes() {
+                if a != b {
+                    total += self.hop_distance(a, b) as u64;
+                }
+            }
+        }
+        total as f64 / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mesh8() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn coord_node_roundtrip() {
+        let m = mesh8();
+        for n in m.nodes() {
+            assert_eq!(m.node_at(m.coord_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn corner_neighbors() {
+        let m = mesh8();
+        let nw = m.node_at(Coord { x: 0, y: 0 });
+        assert_eq!(m.neighbor(nw, Direction::North), None);
+        assert_eq!(m.neighbor(nw, Direction::West), None);
+        assert_eq!(m.neighbor(nw, Direction::East), Some(NodeId(1)));
+        assert_eq!(m.neighbor(nw, Direction::South), Some(NodeId(8)));
+        assert_eq!(m.neighbor(nw, Direction::Local), None);
+    }
+
+    #[test]
+    fn neighbor_is_symmetric() {
+        let m = mesh8();
+        for (from, d, to) in m.links() {
+            assert_eq!(m.neighbor(to, d.opposite()), Some(from));
+        }
+    }
+
+    #[test]
+    fn link_count_8x8() {
+        // 2 * (w*(h-1) + h*(w-1)) directed links = 2*(56+56) = 224.
+        assert_eq!(mesh8().links().count(), 224);
+    }
+
+    #[test]
+    fn hop_distance_matches_manhattan() {
+        let m = mesh8();
+        let a = m.node_at(Coord { x: 1, y: 2 });
+        let b = m.node_at(Coord { x: 6, y: 7 });
+        assert_eq!(m.hop_distance(a, b), 10);
+        assert_eq!(m.hop_distance(a, a), 0);
+    }
+
+    #[test]
+    fn edges_detected() {
+        let m = mesh8();
+        assert!(m.is_edge(m.node_at(Coord { x: 0, y: 3 })));
+        assert!(m.is_edge(m.node_at(Coord { x: 7, y: 7 })));
+        assert!(!m.is_edge(m.node_at(Coord { x: 3, y: 4 })));
+    }
+
+    #[test]
+    fn average_distance_8x8() {
+        // Closed form for a k-ary 2-mesh over distinct pairs:
+        // 2 * (k^2-1)/(3k) * N/(N-1) = 5.25 * 64/63 = 16/3 for k = 8.
+        let avg = mesh8().average_distance();
+        assert!((avg - 16.0 / 3.0).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn interior_node_has_four_links() {
+        let m = mesh8();
+        let mid = m.node_at(Coord { x: 4, y: 4 });
+        assert_eq!(m.link_dirs(mid).count(), 4);
+        let corner = m.node_at(Coord { x: 0, y: 0 });
+        assert_eq!(m.link_dirs(corner).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_mesh_rejected() {
+        let _ = Mesh::new(1, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_and_symmetry(w in 2u16..12, h in 2u16..12, xi in 0u16..12, yi in 0u16..12) {
+            let m = Mesh::new(w, h);
+            let c = Coord { x: xi % w, y: yi % h };
+            let n = m.node_at(c);
+            prop_assert_eq!(m.coord_of(n), c);
+            for d in noc_core::types::LINK_DIRECTIONS {
+                if let Some(nb) = m.neighbor(n, d) {
+                    prop_assert_eq!(m.neighbor(nb, d.opposite()), Some(n));
+                    prop_assert_eq!(m.hop_distance(n, nb), 1);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_triangle_inequality(w in 2u16..10, h in 2u16..10, seed in any::<u64>()) {
+            let m = Mesh::new(w, h);
+            let mut r = noc_core::Rng::seed_from(seed);
+            let n = m.num_nodes() as u64;
+            let a = NodeId(r.gen_range(n) as u16);
+            let b = NodeId(r.gen_range(n) as u16);
+            let c = NodeId(r.gen_range(n) as u16);
+            prop_assert!(m.hop_distance(a, c) <= m.hop_distance(a, b) + m.hop_distance(b, c));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Spatial view of congestion: run hot-spot traffic (NUR) on DXbar and
+//! print where the flits pile up — router buffers and injection backlogs —
+//! as text heatmaps.
+//!
+//! ```text
+//! cargo run --release --example hotspot_heatmap
+//! ```
+
+use dxbar_noc::noc_faults::FaultPlan;
+use dxbar_noc::noc_sim::diagnostics::snapshot;
+use dxbar_noc::noc_topology::Mesh;
+use dxbar_noc::noc_traffic::generator::SyntheticTraffic;
+use dxbar_noc::noc_traffic::patterns::{BoundPattern, Pattern};
+use dxbar_noc::{Design, SimConfig};
+
+fn main() {
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: u64::MAX / 4,
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+
+    // Show where NUR's hot spots landed for this seed.
+    let bound = BoundPattern::new(Pattern::NonUniformRandom, mesh, cfg.seed);
+    println!("NUR hot-spot nodes: {:?}\n", bound.hotspots());
+
+    let mut net = Design::DXbarDor.build(&cfg, &FaultPlan::none(&mesh));
+    let mut model = SyntheticTraffic::new(
+        Pattern::NonUniformRandom,
+        mesh,
+        cfg.injection_rate(0.5),
+        1,
+        cfg.seed,
+    );
+
+    for checkpoint in [500u64, 2_000, 8_000] {
+        while net.cycle() < checkpoint {
+            net.step(&mut model);
+        }
+        let snap = snapshot(&net);
+        println!("=== cycle {checkpoint} ===");
+        println!("{}", snap.occupancy.render());
+        println!("{}", snap.source_backlog.render());
+    }
+
+    let snap = snapshot(&net);
+    println!(
+        "final imbalance: occupancy {:.2}, backlog {:.2} (0 = perfectly even)",
+        snap.occupancy.imbalance(),
+        snap.source_backlog.imbalance()
+    );
+}

@@ -1,0 +1,248 @@
+//! `dxbar-sim` — command-line front end for one-off simulations.
+//!
+//! ```text
+//! dxbar-sim --design dxbar-dor --pattern UR --load 0.4
+//! dxbar-sim --design buffered8 --pattern MT --load 0.3 --mesh 4x4 --seed 7
+//! dxbar-sim --design dxbar-wf --pattern UR --load 0.35 --faults 50
+//! dxbar-sim --design dxbar-dor --splash ocean
+//! dxbar-sim --list
+//! ```
+//!
+//! Argument parsing is std-only (no extra dependencies); see `--help`.
+
+use dxbar_noc::noc_faults::FaultPlan;
+use dxbar_noc::noc_topology::Mesh;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::noc_traffic::splash::SplashApp;
+use dxbar_noc::{run_splash, run_synthetic_with_faults, Design, RunResult, SimConfig};
+
+const HELP: &str = "\
+dxbar-sim — cycle-accurate NoC simulation of the DXbar paper's designs
+
+USAGE:
+    dxbar-sim [OPTIONS]
+
+OPTIONS:
+    --design <NAME>     flit-bless | scarab | buffered4 | buffered8 |
+                        dxbar-dor | dxbar-wf | unified-dor | unified-wf
+                        (default: dxbar-dor)
+    --pattern <ABBREV>  UR NUR BR BF CP MT PS NB TOR   (default: UR)
+    --load <FRACTION>   offered load, fraction of capacity (default: 0.4)
+    --splash <APP>      closed-loop workload instead of a pattern:
+                        fft lu radiosity ocean raytrace radix water fmm barnes
+    --mesh <WxH>        mesh dimensions (default: 8x8)
+    --cycles <N>        measurement window in cycles (default: 30000)
+    --warmup <N>        warmup cycles (default: 10000)
+    --seed <N>          PRNG seed (default: paper seed)
+    --faults <PERCENT>  fraction of routers with one broken crossbar
+                        (DXbar designs only; default: 0)
+    --json              print the full RunResult as JSON
+    --list              list designs, patterns and apps, then exit
+    --help              this text
+";
+
+fn parse_design(s: &str) -> Option<Design> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "flit-bless" | "bless" => Design::FlitBless,
+        "scarab" => Design::Scarab,
+        "buffered4" | "b4" => Design::Buffered4,
+        "buffered8" | "b8" => Design::Buffered8,
+        "dxbar-dor" | "dxbar" => Design::DXbarDor,
+        "dxbar-wf" => Design::DXbarWf,
+        "unified-dor" | "unified" => Design::UnifiedDor,
+        "unified-wf" => Design::UnifiedWf,
+        _ => return None,
+    })
+}
+
+fn parse_app(s: &str) -> Option<SplashApp> {
+    SplashApp::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+struct Args {
+    design: Design,
+    pattern: Pattern,
+    splash: Option<SplashApp>,
+    load: f64,
+    cfg: SimConfig,
+    fault_pct: f64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        design: Design::DXbarDor,
+        pattern: Pattern::UniformRandom,
+        splash: None,
+        load: 0.4,
+        cfg: SimConfig::default(),
+        fault_pct: 0.0,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            "--list" => {
+                println!("designs : flit-bless scarab buffered4 buffered8 dxbar-dor dxbar-wf unified-dor unified-wf");
+                print!("patterns:");
+                for p in Pattern::ALL {
+                    print!(" {}", p.abbrev());
+                }
+                print!("\napps    :");
+                for a in SplashApp::ALL {
+                    print!(" {}", a.name().to_ascii_lowercase());
+                }
+                println!();
+                std::process::exit(0);
+            }
+            "--design" => {
+                let v = value("--design");
+                args.design =
+                    parse_design(&v).unwrap_or_else(|| fail(&format!("unknown design '{v}'")));
+            }
+            "--pattern" => {
+                let v = value("--pattern");
+                args.pattern = Pattern::from_abbrev(&v.to_ascii_uppercase())
+                    .unwrap_or_else(|| fail(&format!("unknown pattern '{v}'")));
+            }
+            "--splash" => {
+                let v = value("--splash");
+                args.splash =
+                    Some(parse_app(&v).unwrap_or_else(|| fail(&format!("unknown app '{v}'"))));
+            }
+            "--load" => {
+                let v = value("--load");
+                args.load = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad load '{v}'")));
+                if !(0.0..=1.0).contains(&args.load) {
+                    fail("load must be in [0, 1]");
+                }
+            }
+            "--mesh" => {
+                let v = value("--mesh");
+                let (w, h) = v
+                    .split_once('x')
+                    .unwrap_or_else(|| fail(&format!("mesh must look like 8x8, got '{v}'")));
+                args.cfg.width = w.parse().unwrap_or_else(|_| fail("bad mesh width"));
+                args.cfg.height = h.parse().unwrap_or_else(|_| fail("bad mesh height"));
+            }
+            "--cycles" => {
+                args.cfg.measure_cycles = value("--cycles")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --cycles"));
+            }
+            "--warmup" => {
+                args.cfg.warmup_cycles = value("--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --warmup"));
+            }
+            "--seed" => {
+                args.cfg.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"));
+            }
+            "--faults" => {
+                let v: f64 = value("--faults")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --faults"));
+                if !(0.0..=100.0).contains(&v) {
+                    fail("faults must be a percentage in [0, 100]");
+                }
+                args.fault_pct = v / 100.0;
+            }
+            "--json" => args.json = true,
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    if let Err(e) = args.cfg.validate() {
+        fail(&e);
+    }
+    if args.fault_pct > 0.0 && !args.design.supports_faults() {
+        fail("--faults is only meaningful for dxbar-dor / dxbar-wf (as in the paper)");
+    }
+    args
+}
+
+fn print_human(r: &RunResult) {
+    println!("design            {}", r.design);
+    println!("traffic           {}", r.traffic);
+    if let Some(l) = r.offered_load {
+        println!("offered load      {l:.3} of capacity");
+    }
+    println!(
+        "accepted load     {:.3} of capacity ({:.4} flits/node/cycle)",
+        r.accepted_fraction, r.accepted_rate
+    );
+    println!("packets delivered {}", r.accepted_packets);
+    println!("avg pkt latency   {:.1} cycles", r.avg_packet_latency);
+    println!("avg flit latency  {:.1} cycles", r.avg_flit_latency);
+    println!("energy per packet {:.3} nJ", r.avg_packet_energy_nj);
+    println!(
+        "energy breakdown  xbar {:.1} uJ | link {:.1} uJ | buffer {:.1} uJ | nack {:.1} uJ",
+        r.energy.crossbar_pj / 1e6,
+        r.energy.link_pj / 1e6,
+        r.energy.buffer_pj / 1e6,
+        r.energy.nack_pj / 1e6
+    );
+    if r.deflections_per_packet > 0.0 {
+        println!("deflections/pkt   {:.2}", r.deflections_per_packet);
+    }
+    if r.drops_per_packet > 0.0 {
+        println!("drops/pkt         {:.2}", r.drops_per_packet);
+    }
+    if r.buffered_fraction > 0.0 {
+        println!("buffered fraction {:.3}", r.buffered_fraction);
+    }
+    if let Some(fin) = r.finish_cycle {
+        println!(
+            "execution time    {fin} cycles (completed: {})",
+            r.completed
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let result = if let Some(app) = args.splash {
+        run_splash(args.design, &args.cfg, app, 10_000_000)
+    } else {
+        let mesh = Mesh::new(args.cfg.width, args.cfg.height);
+        let plan = if args.fault_pct > 0.0 {
+            FaultPlan::generate(
+                &mesh,
+                args.fault_pct,
+                args.cfg.warmup_cycles / 2,
+                args.cfg.warmup_cycles.max(1),
+                args.cfg.seed,
+            )
+        } else {
+            FaultPlan::none(&mesh)
+        };
+        run_synthetic_with_faults(args.design, &args.cfg, args.pattern, args.load, &plan)
+    };
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialize result")
+        );
+    } else {
+        print_human(&result);
+    }
+}

@@ -1,0 +1,274 @@
+//! Network builders for the evaluated configurations: the paper's six
+//! micro-architectures (DXbar and the unified crossbar each under DOR and
+//! West-First routing) plus the AFC extension.
+
+use dxbar::{DXbarRouter, UnifiedRouter};
+use noc_baseline::{AfcRouter, BlessRouter, BufferedRouter, BufferedVariant, ScarabRouter};
+use noc_core::types::NodeId;
+use noc_core::SimConfig;
+use noc_faults::FaultPlan;
+use noc_power::area::DesignKind;
+use noc_power::energy::EnergyModel;
+use noc_routing::Algorithm;
+use noc_sim::router::RouterModel;
+use noc_sim::runner::{run, RunMode};
+use noc_sim::{Network, RunResult};
+use noc_topology::Mesh;
+use noc_traffic::generator::SyntheticTraffic;
+use noc_traffic::patterns::Pattern;
+use noc_traffic::splash::{SplashApp, SplashTraffic};
+
+/// One evaluated configuration: a router micro-architecture plus its
+/// routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    FlitBless,
+    Scarab,
+    Buffered4,
+    Buffered8,
+    DXbarDor,
+    DXbarWf,
+    UnifiedDor,
+    UnifiedWf,
+    /// Extension: simplified Adaptive Flow Control (the paper's ref. \[9\]).
+    Afc,
+}
+
+impl Design {
+    /// The six designs of the paper's main comparison (Figs. 5-10).
+    pub const PAPER_SET: [Design; 6] = [
+        Design::FlitBless,
+        Design::Scarab,
+        Design::Buffered4,
+        Design::Buffered8,
+        Design::DXbarDor,
+        Design::DXbarWf,
+    ];
+
+    /// Every configuration this crate can build.
+    pub const ALL: [Design; 9] = [
+        Design::FlitBless,
+        Design::Scarab,
+        Design::Buffered4,
+        Design::Buffered8,
+        Design::DXbarDor,
+        Design::DXbarWf,
+        Design::UnifiedDor,
+        Design::UnifiedWf,
+        Design::Afc,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::FlitBless => "Flit-Bless",
+            Design::Scarab => "SCARAB",
+            Design::Buffered4 => "Buffered 4",
+            Design::Buffered8 => "Buffered 8",
+            Design::DXbarDor => "DXbar DOR",
+            Design::DXbarWf => "DXbar WF",
+            Design::UnifiedDor => "Unified Xbar DOR",
+            Design::UnifiedWf => "Unified Xbar WF",
+            Design::Afc => "AFC",
+        }
+    }
+
+    /// Area-model category of the design.
+    pub fn area_kind(self) -> DesignKind {
+        match self {
+            Design::FlitBless => DesignKind::FlitBless,
+            Design::Scarab => DesignKind::Scarab,
+            Design::Buffered4 => DesignKind::Buffered4,
+            Design::Buffered8 => DesignKind::Buffered8,
+            Design::DXbarDor | Design::DXbarWf => DesignKind::DXbar,
+            Design::UnifiedDor | Design::UnifiedWf => DesignKind::UnifiedXbar,
+            // AFC carries Buffered-4-class storage plus mode logic.
+            Design::Afc => DesignKind::Buffered4,
+        }
+    }
+
+    /// Whether the design honours an injected [`FaultPlan`] (the paper's
+    /// fault study covers the dual-crossbar design only).
+    pub fn supports_faults(self) -> bool {
+        matches!(self, Design::DXbarDor | Design::DXbarWf)
+    }
+
+    /// Build a network of this design. `faults` is honoured by the DXbar
+    /// variants and ignored by the others (which the paper's fault study
+    /// does not cover).
+    pub fn build(self, cfg: &SimConfig, faults: &FaultPlan) -> Network {
+        let mesh = Mesh::new(cfg.width, cfg.height);
+        let depth = cfg.buffer_depth;
+        let thresh = cfg.fairness_threshold;
+        let delay = cfg.fault_detection_delay;
+        let faults = faults.clone();
+        let factory: Box<dyn Fn(NodeId) -> Box<dyn RouterModel>> = match self {
+            Design::FlitBless => Box::new(move |n| Box::new(BlessRouter::new(n, mesh))),
+            Design::Scarab => Box::new(move |n| Box::new(ScarabRouter::new(n, mesh))),
+            Design::Buffered4 => Box::new(move |n| {
+                Box::new(BufferedRouter::new(
+                    n,
+                    mesh,
+                    BufferedVariant::Buffered4,
+                    Algorithm::Dor,
+                    depth,
+                ))
+            }),
+            Design::Buffered8 => Box::new(move |n| {
+                Box::new(BufferedRouter::new(
+                    n,
+                    mesh,
+                    BufferedVariant::Buffered8,
+                    Algorithm::Dor,
+                    depth,
+                ))
+            }),
+            Design::DXbarDor | Design::DXbarWf => {
+                let alg = if self == Design::DXbarDor {
+                    Algorithm::Dor
+                } else {
+                    Algorithm::WestFirst
+                };
+                Box::new(move |n| {
+                    Box::new(DXbarRouter::new(
+                        n,
+                        mesh,
+                        alg,
+                        depth,
+                        thresh,
+                        faults.fault_at(n),
+                        delay,
+                    ))
+                })
+            }
+            Design::UnifiedDor | Design::UnifiedWf => {
+                let alg = if self == Design::UnifiedDor {
+                    Algorithm::Dor
+                } else {
+                    Algorithm::WestFirst
+                };
+                Box::new(move |n| Box::new(UnifiedRouter::new(n, mesh, alg, depth, thresh)))
+            }
+            Design::Afc => Box::new(move |n| Box::new(AfcRouter::new(n, mesh, depth))),
+        };
+        Network::new(cfg, factory.as_ref())
+    }
+}
+
+/// Run one open-loop synthetic experiment: `pattern` at `offered_load`
+/// (fraction of network capacity).
+pub fn run_synthetic(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+) -> RunResult {
+    run_synthetic_with_faults(
+        design,
+        cfg,
+        pattern,
+        offered_load,
+        &FaultPlan::none(&Mesh::new(cfg.width, cfg.height)),
+    )
+}
+
+/// Like [`run_synthetic`] with a fault plan (Figs. 11/12).
+pub fn run_synthetic_with_faults(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    faults: &FaultPlan,
+) -> RunResult {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mut net = design.build(cfg, faults);
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let mut result = run(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    );
+    result.offered_load = Some(offered_load);
+    result
+}
+
+/// Run one closed-loop SPLASH-2 workload to completion (Figs. 9/10).
+/// `max_cycles` caps runaway runs (a design that cannot finish reports
+/// `completed = false`).
+pub fn run_splash(design: Design, cfg: &SimConfig, app: SplashApp, max_cycles: u64) -> RunResult {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: max_cycles.max(1),
+        drain_cycles: 0,
+        ..cfg.clone()
+    };
+    let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
+    let mut model = SplashTraffic::new(app, mesh, cfg.seed);
+    run(
+        &mut net,
+        &mut model,
+        RunMode::ClosedLoop { max_cycles },
+        &EnergyModel::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_nonempty() {
+        let mut names: Vec<&str> = Design::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Design::ALL.len());
+    }
+
+    #[test]
+    fn paper_set_is_the_six_compared_designs() {
+        assert_eq!(Design::PAPER_SET.len(), 6);
+        assert!(!Design::PAPER_SET.contains(&Design::UnifiedDor));
+    }
+
+    #[test]
+    fn fault_support_is_dxbar_only() {
+        for d in Design::ALL {
+            assert_eq!(
+                d.supports_faults(),
+                matches!(d, Design::DXbarDor | Design::DXbarWf)
+            );
+        }
+    }
+
+    #[test]
+    fn every_design_builds_and_steps() {
+        let cfg = SimConfig {
+            width: 4,
+            height: 4,
+            warmup_cycles: 10,
+            measure_cycles: 50,
+            drain_cycles: 20,
+            ..SimConfig::default()
+        };
+        for d in Design::ALL {
+            let mesh = Mesh::new(4, 4);
+            let mut net = d.build(&cfg, &FaultPlan::none(&mesh));
+            assert_eq!(net.design_name(), d.name());
+            let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.02, 1, 1);
+            net.run_cycles(&mut model, 80);
+            assert!(
+                net.stats().events.ejections > 0,
+                "{} delivered nothing",
+                d.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # dxbar-noc
+//!
+//! A full reproduction of *"Energy-Efficient and Fault-Tolerant Unified
+//! Buffer and Bufferless Crossbar Architecture for NoCs"* (Zhang, Morris,
+//! DiTomaso, Kodi — IPDPS Workshops 2012): a cycle-accurate NoC simulator,
+//! the DXbar dual-crossbar and unified dual-input crossbar routers, the
+//! paper's four comparison designs, its energy/area models, its traffic
+//! patterns and SPLASH-2 workload model, and its fault-injection framework.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dxbar_noc::{Design, SimConfig, run_synthetic};
+//! use dxbar_noc::noc_traffic::patterns::Pattern;
+//!
+//! let cfg = SimConfig {
+//!     warmup_cycles: 500,
+//!     measure_cycles: 1_000,
+//!     drain_cycles: 500,
+//!     ..SimConfig::default()
+//! };
+//! // Offered load = 0.3 of network capacity, uniform random traffic.
+//! let result = run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, 0.3);
+//! assert!(result.accepted_fraction > 0.2);
+//! ```
+//!
+//! See `examples/` for larger scenarios and `crates/bench` for the
+//! regenerators of every table and figure in the paper.
+
+pub mod designs;
+
+pub use designs::{run_splash, run_synthetic, run_synthetic_with_faults, Design};
+pub use noc_core::SimConfig;
+pub use noc_sim::{Network, RunResult};
+
+// Re-export the component crates under stable names.
+pub use dxbar;
+pub use noc_baseline;
+pub use noc_core;
+pub use noc_faults;
+pub use noc_power;
+pub use noc_routing;
+pub use noc_sim;
+pub use noc_topology;
+pub use noc_traffic;

@@ -1,0 +1,81 @@
+//! End-to-end tests of the `dxbar-sim` command-line interface.
+
+use std::process::Command;
+
+fn dxbar_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dxbar-sim"))
+}
+
+#[test]
+fn synthetic_run_prints_summary() {
+    let out = dxbar_sim()
+        .args([
+            "--design",
+            "dxbar-dor",
+            "--pattern",
+            "UR",
+            "--load",
+            "0.2",
+            "--mesh",
+            "4x4",
+            "--warmup",
+            "200",
+            "--cycles",
+            "800",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DXbar DOR"));
+    assert!(text.contains("accepted load"));
+    assert!(text.contains("energy per packet"));
+}
+
+#[test]
+fn json_output_is_parseable() {
+    let out = dxbar_sim()
+        .args([
+            "--design", "bless", "--load", "0.1", "--mesh", "4x4", "--warmup", "100", "--cycles",
+            "400", "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout must be valid JSON");
+    assert_eq!(v["design"], "Flit-Bless");
+    assert!(v["accepted_fraction"].as_f64().unwrap() > 0.05);
+}
+
+#[test]
+fn faults_on_unsupported_design_is_an_error() {
+    let out = dxbar_sim()
+        .args(["--design", "bless", "--faults", "50"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("only meaningful for dxbar"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_flag_fails_with_help() {
+    let out = dxbar_sim().args(["--bogus"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn list_enumerates_everything() {
+    let out = dxbar_sim().args(["--list"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["dxbar-dor", "unified-wf", "UR", "TOR", "ocean", "barnes"] {
+        assert!(text.contains(needle), "missing {needle} in --list");
+    }
+}

@@ -1,0 +1,190 @@
+//! Fault-tolerance integration: DXbar must keep delivering every packet
+//! even when every router has a broken crossbar, and the degradation shape
+//! must match Section III-E (DOR graceful, WF worse, power up).
+
+use dxbar_noc::noc_faults::{CrossbarId, FaultPlan};
+use dxbar_noc::noc_power::energy::EnergyModel;
+use dxbar_noc::noc_sim::runner::{run, RunMode};
+use dxbar_noc::noc_topology::Mesh;
+use dxbar_noc::noc_traffic::generator::SyntheticTraffic;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::noc_traffic::trace::{Trace, TraceReplay};
+use dxbar_noc::{run_synthetic_with_faults, Design, SimConfig};
+
+#[test]
+fn full_fault_coverage_still_delivers_everything() {
+    // 100 % faults = one crossbar broken in every router; faults manifest
+    // at cycle 50, mid-traffic, so the undetected window is exercised too.
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 0,
+        measure_cycles: u64::MAX / 4,
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    for design in [Design::DXbarDor, Design::DXbarWf] {
+        let plan = FaultPlan::generate(&mesh, 1.0, 50, 60, 123);
+        assert_eq!(plan.count(), 16);
+        let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.1, 1, 9);
+        let trace = Trace::capture(&mut model, 400);
+        let packets = trace.len() as u64;
+        let mut net = design.build(&cfg, &plan);
+        let mut replay = TraceReplay::new(trace);
+        let res = run(
+            &mut net,
+            &mut replay,
+            RunMode::ClosedLoop {
+                max_cycles: 200_000,
+            },
+            &EnergyModel::default(),
+        );
+        assert!(res.completed, "{}: drained with 100% faults", design.name());
+        assert_eq!(
+            res.accepted_packets,
+            packets,
+            "{}: packet loss",
+            design.name()
+        );
+    }
+}
+
+#[test]
+fn primary_only_and_secondary_only_fault_plans_deliver() {
+    // Force every fault onto one specific crossbar type by regenerating
+    // until the plan matches (seeded search keeps this deterministic).
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 0,
+        measure_cycles: u64::MAX / 4,
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    for target in [CrossbarId::Primary, CrossbarId::Secondary] {
+        // Hand-made plan: the same crossbar broken in every router.
+        let plan = FaultPlan::from_faults(
+            &mesh,
+            mesh.nodes()
+                .map(|router| dxbar_noc::noc_faults::RouterFault {
+                    router,
+                    target,
+                    onset: 10,
+                }),
+        );
+        let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.05, 1, 4);
+        let trace = Trace::capture(&mut model, 200);
+        let packets = trace.len() as u64;
+        let mut net = Design::DXbarDor.build(&cfg, &plan);
+        let mut replay = TraceReplay::new(trace);
+        let res = run(
+            &mut net,
+            &mut replay,
+            RunMode::ClosedLoop {
+                max_cycles: 200_000,
+            },
+            &EnergyModel::default(),
+        );
+        assert!(res.completed, "{target:?} faults: drained");
+        assert_eq!(res.accepted_packets, packets, "{target:?} faults: loss");
+    }
+}
+
+#[test]
+fn dor_degrades_gracefully_wf_suffers_more() {
+    let cfg = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 4_000,
+        drain_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let load = 0.35;
+    let healthy = FaultPlan::none(&mesh);
+    let faulty = FaultPlan::generate(
+        &mesh,
+        1.0,
+        cfg.warmup_cycles / 2,
+        cfg.warmup_cycles,
+        cfg.seed,
+    );
+
+    let dor_ok = run_synthetic_with_faults(
+        Design::DXbarDor,
+        &cfg,
+        Pattern::UniformRandom,
+        load,
+        &healthy,
+    );
+    let dor_bad = run_synthetic_with_faults(
+        Design::DXbarDor,
+        &cfg,
+        Pattern::UniformRandom,
+        load,
+        &faulty,
+    );
+    let wf_ok = run_synthetic_with_faults(
+        Design::DXbarWf,
+        &cfg,
+        Pattern::UniformRandom,
+        load,
+        &healthy,
+    );
+    let wf_bad =
+        run_synthetic_with_faults(Design::DXbarWf, &cfg, Pattern::UniformRandom, load, &faulty);
+
+    let dor_drop = 1.0 - dor_bad.accepted_fraction / dor_ok.accepted_fraction;
+    let wf_drop = 1.0 - wf_bad.accepted_fraction / wf_ok.accepted_fraction;
+    // Paper Fig. 11: DOR degradation < 10 %, WF up to ~33 %.
+    assert!(dor_drop < 0.10, "DOR dropped {dor_drop:.2}");
+    assert!(
+        wf_drop > dor_drop,
+        "WF ({wf_drop:.2}) should suffer more than DOR ({dor_drop:.2})"
+    );
+
+    // Paper Fig. 12: power rises with faults (more buffered traversals).
+    assert!(
+        dor_bad.avg_packet_energy_nj > dor_ok.avg_packet_energy_nj,
+        "faulty energy {} <= healthy {}",
+        dor_bad.avg_packet_energy_nj,
+        dor_ok.avg_packet_energy_nj
+    );
+    assert!(
+        dor_bad.buffered_fraction > dor_ok.buffered_fraction,
+        "faults must push more flits through the buffers"
+    );
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 200,
+        measure_cycles: 600,
+        drain_cycles: 300,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let a = run_synthetic_with_faults(
+        Design::DXbarDor,
+        &cfg,
+        Pattern::UniformRandom,
+        0.2,
+        &FaultPlan::none(&mesh),
+    );
+    let b = run_synthetic_with_faults(
+        Design::DXbarDor,
+        &cfg,
+        Pattern::UniformRandom,
+        0.2,
+        &FaultPlan::generate(&mesh, 0.0, 0, 1, 99),
+    );
+    assert_eq!(a.accepted_packets, b.accepted_packets);
+    assert_eq!(
+        a.stats.events.link_traversals,
+        b.stats.events.link_traversals
+    );
+}
