@@ -191,6 +191,46 @@ fn bench_network_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tracing-cost check: identical network-cycle workloads with the default
+/// `NullSink` (emission sites reduce to one predictable branch) and with a
+/// full `RecordingSink` attached. The null-sink number must stay within
+/// noise of `network_cycle/dxbar_dor` — that is the "tracing is free when
+/// off" guarantee.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use dxbar_noc::noc_sim::noc_trace::RecordingSink;
+
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: u64::MAX / 4,
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    g.bench_function("null_sink", |b| {
+        let mesh = Mesh::new(8, 8);
+        let mut net = Design::DXbarDor.build(&cfg, &FaultPlan::none(&mesh));
+        let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.25, 1, 1);
+        b.iter(|| {
+            net.step(&mut model);
+            black_box(net.cycle())
+        });
+    });
+    g.bench_function("recording_sink", |b| {
+        let mesh = Mesh::new(8, 8);
+        let mut net = Design::DXbarDor.build(&cfg, &FaultPlan::none(&mesh));
+        // Bounded ring so an arbitrarily long benchmark run cannot grow
+        // without limit; lifetimes still see every event.
+        net.set_trace_sink(Box::new(RecordingSink::new(1 << 16, 16)));
+        let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.25, 1, 1);
+        b.iter(|| {
+            net.step(&mut model);
+            black_box(net.cycle())
+        });
+    });
+    g.finish();
+}
+
 fn bench_full_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_run");
     g.sample_size(10);
@@ -218,6 +258,7 @@ criterion_group!(
     bench_router_step,
     bench_allocator,
     bench_network_cycle,
+    bench_trace_overhead,
     bench_full_run
 );
 criterion_main!(benches);

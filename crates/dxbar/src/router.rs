@@ -39,6 +39,8 @@ use noc_faults::{CrossbarId, FaultClock, RouterFault};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
+use noc_trace::TraceEvent;
+use std::collections::VecDeque;
 
 /// Hops remaining along the dimension of `dir` from `current` to `dst` —
 /// the adaptive tie-breaker (reduce the longer leg first, as BLESS's port
@@ -72,9 +74,14 @@ pub struct DXbarRouter {
     depth: usize,
     /// One FIFO per link input, in front of the secondary crossbar.
     buffers: Vec<FixedQueue<Flit>>,
+    /// Entry cycle of each buffered flit, parallel to `buffers` (strict
+    /// FIFO keeps them aligned) — gives exact residency for trace events.
+    entered: Vec<VecDeque<u64>>,
     /// Credits toward each downstream neighbour's FIFO.
     credits: [u32; 4],
     fairness: FairnessCounter,
+    /// Lifetime count of fairness flips (trace epoch).
+    fairness_flips: u64,
     primary: Crossbar,
     secondary: Crossbar,
     fault: Option<FaultClock>,
@@ -111,8 +118,10 @@ impl DXbarRouter {
             algorithm,
             depth,
             buffers: (0..4).map(|_| FixedQueue::new(depth)).collect(),
+            entered: (0..4).map(|_| VecDeque::new()).collect(),
             credits,
             fairness: FairnessCounter::new(fairness_threshold),
+            fairness_flips: 0,
             primary,
             secondary,
             fault: fault.map(|f| FaultClock::new(f, detection_delay)),
@@ -204,6 +213,15 @@ impl RouterModel for DXbarRouter {
                     self.buffers[d.index()].push(f).unwrap_or_else(|_| {
                         panic!("credit violation at {} (fault mode)", self.node)
                     });
+                    self.entered[d.index()].push_back(t);
+                    let occupancy = self.buffers[d.index()].len() as u32;
+                    ctx.trace.emit(|| TraceEvent::BufferEnter {
+                        cycle: t,
+                        node: self.node,
+                        packet: f.packet,
+                        flit_index: f.flit_index as u16,
+                        occupancy,
+                    });
                 } else {
                     incoming.push((Who::Incoming(d.index()), f));
                 }
@@ -222,6 +240,15 @@ impl RouterModel for DXbarRouter {
         let incoming = Self::age_sorted(incoming);
         let waiting = Self::age_sorted(waiting);
         let flipped = self.fairness.flipped();
+        if flipped {
+            self.fairness_flips += 1;
+            let epoch = self.fairness_flips;
+            ctx.trace.emit(|| TraceEvent::FairnessFlip {
+                cycle: t,
+                node: self.node,
+                epoch,
+            });
+        }
         let order: Vec<(Who, Flit)> = if flipped {
             waiting.into_iter().chain(incoming).collect()
         } else {
@@ -339,6 +366,22 @@ impl RouterModel for DXbarRouter {
                             ctx.events.buffer_reads += 1;
                             ctx.credits_out[i] += 1;
                             granted_buffers.push(i);
+                            let entered_at = self.entered[i].pop_front().unwrap_or(t);
+                            ctx.trace.emit(|| TraceEvent::BufferExit {
+                                cycle: t,
+                                node: self.node,
+                                packet: flit.packet,
+                                flit_index: flit.flit_index as u16,
+                                waited: t.saturating_sub(entered_at),
+                            });
+                            if !secondary_detected {
+                                ctx.trace.emit(|| TraceEvent::DivertSecondary {
+                                    cycle: t,
+                                    node: self.node,
+                                    packet: flit.packet,
+                                    flit_index: flit.flit_index as u16,
+                                });
+                            }
                         }
                         Who::Injection => {
                             waiter_won = true;
@@ -388,6 +431,15 @@ impl RouterModel for DXbarRouter {
             self.buffers[i]
                 .push(f)
                 .unwrap_or_else(|_| panic!("credit violation at {}: FIFO {i} full", self.node));
+            self.entered[i].push_back(t);
+            let occupancy = self.buffers[i].len() as u32;
+            ctx.trace.emit(|| TraceEvent::BufferEnter {
+                cycle: t,
+                node: self.node,
+                packet: f.packet,
+                flit_index: f.flit_index as u16,
+                occupancy,
+            });
         }
         // Sanity: every arrival was either granted or buffered.
         debug_assert!(

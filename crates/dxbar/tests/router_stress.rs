@@ -192,6 +192,22 @@ proptest! {
     }
 }
 
+/// Replays the one historical `.proptest-regressions` entry for this file
+/// (`seed = 0, node_idx = 0, wf = false, arrival_prob = 0.1`) as a plain
+/// deterministic test. The offline proptest stand-in does not read
+/// regression files, so the case is pinned here instead; the corner node
+/// (2 links) at minimum load is the sparsest arbitration schedule the
+/// router sees.
+#[test]
+fn regression_corner_node_low_load() {
+    let mesh = Mesh::new(4, 4);
+    let node = NodeId(0);
+    let mut r = DXbarRouter::healthy(node, mesh, Algorithm::Dor, DEPTH, 4);
+    drive_router(&mut r, &mesh, node, 0, 400, 0.1);
+    let mut u = UnifiedRouter::new(node, mesh, Algorithm::Dor, DEPTH, 4);
+    drive_router(&mut u, &mesh, node, 0, 400, 0.1);
+}
+
 #[test]
 fn long_stress_run_dxbar() {
     // One long deterministic soak per algorithm.

@@ -25,6 +25,7 @@ use noc_core::types::NodeId;
 use noc_routing::deflection::{productive_count, rank_ports};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
+use noc_trace::TraceEvent;
 
 /// Operating mode of the AFC router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +117,16 @@ impl AfcRouter {
             if rank >= productive {
                 f.deflections += 1;
                 ctx.events.deflections += 1;
+                let cycle = ctx.cycle;
+                let wanted = ranking[0];
+                ctx.trace.emit(|| TraceEvent::Deflect {
+                    cycle,
+                    node: self.node,
+                    packet: f.packet,
+                    flit_index: f.flit_index as u16,
+                    wanted,
+                    got: dir,
+                });
             }
             ctx.events.xbar_traversals += 1;
             ctx.out_links[dir.index()] = Some(f);
@@ -177,7 +188,18 @@ impl RouterModel for AfcRouter {
                         flit,
                         ready: ctx.cycle + 1,
                     }) {
-                        Ok(()) => ctx.events.buffer_writes += 1,
+                        Ok(()) => {
+                            ctx.events.buffer_writes += 1;
+                            let cycle = ctx.cycle;
+                            let occupancy = q.len() as u32;
+                            ctx.trace.emit(|| TraceEvent::BufferEnter {
+                                cycle,
+                                node: self.node,
+                                packet: flit.packet,
+                                flit_index: flit.flit_index as u16,
+                                occupancy,
+                            });
+                        }
                         Err(p) => overflow.push(p.flit),
                     }
                 }
@@ -208,6 +230,15 @@ impl RouterModel for AfcRouter {
                             let popped = self.buffers[i].pop().expect("head exists");
                             ctx.events.buffer_reads += 1;
                             ctx.events.xbar_traversals += 1;
+                            let cycle = ctx.cycle;
+                            let waited = cycle.saturating_sub(popped.ready.saturating_sub(1));
+                            ctx.trace.emit(|| TraceEvent::BufferExit {
+                                cycle,
+                                node: self.node,
+                                packet: popped.flit.packet,
+                                flit_index: popped.flit.flit_index as u16,
+                                waited,
+                            });
                             ctx.ejected.push(popped.flit);
                             ejected = true;
                         }
@@ -224,6 +255,15 @@ impl RouterModel for AfcRouter {
                         let popped = self.buffers[i].pop().expect("head exists");
                         ctx.events.buffer_reads += 1;
                         ctx.events.xbar_traversals += 1;
+                        let cycle = ctx.cycle;
+                        let waited = cycle.saturating_sub(popped.ready.saturating_sub(1));
+                        ctx.trace.emit(|| TraceEvent::BufferExit {
+                            cycle,
+                            node: self.node,
+                            packet: popped.flit.packet,
+                            flit_index: popped.flit.flit_index as u16,
+                            waited,
+                        });
                         ctx.out_links[dir.index()] = Some(popped.flit);
                     }
                 }

@@ -18,6 +18,7 @@ use noc_core::types::{Direction, NodeId};
 use noc_routing::deflection::{productive_count, rank_ports};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
+use noc_trace::TraceEvent;
 
 /// The Flit-BLESS router. Stateless between cycles (truly bufferless).
 pub struct BlessRouter {
@@ -92,6 +93,16 @@ impl RouterModel for BlessRouter {
             if rank >= productive {
                 f.deflections += 1;
                 ctx.events.deflections += 1;
+                let cycle = ctx.cycle;
+                let wanted = ranking[0];
+                ctx.trace.emit(|| TraceEvent::Deflect {
+                    cycle,
+                    node: self.node,
+                    packet: f.packet,
+                    flit_index: f.flit_index as u16,
+                    wanted,
+                    got: dir,
+                });
             }
             ctx.events.xbar_traversals += 1;
             debug_assert!(dir != Direction::Local);

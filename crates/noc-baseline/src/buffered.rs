@@ -20,6 +20,7 @@ use noc_core::types::{Cycle, Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS,
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
+use noc_trace::TraceEvent;
 
 /// Which buffered baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +162,14 @@ impl RouterModel for BufferedRouter {
                             self.node, w.flit.packet
                         )
                     });
+                let occupancy = self.vcs[d.index()][vc].len() as u32;
+                ctx.trace.emit(|| TraceEvent::BufferEnter {
+                    cycle: t,
+                    node: self.node,
+                    packet: flit.packet,
+                    flit_index: flit.flit_index as u16,
+                    occupancy,
+                });
             }
         }
 
@@ -172,6 +181,14 @@ impl RouterModel for BufferedRouter {
                 inj.push(Waiting { flit, ready: t + 1 })
                     .unwrap_or_else(|_| unreachable!("checked not full"));
                 ctx.injected = true;
+                let occupancy = self.vcs[4][0].len() as u32;
+                ctx.trace.emit(|| TraceEvent::BufferEnter {
+                    cycle: t,
+                    node: self.node,
+                    packet: flit.packet,
+                    flit_index: flit.flit_index as u16,
+                    occupancy,
+                });
             }
         }
 
@@ -268,6 +285,15 @@ impl RouterModel for BufferedRouter {
             let mut flit = w.flit;
             ctx.events.buffer_reads += 1;
             ctx.events.xbar_traversals += 1;
+            // `ready` is arrival + 1, so the buffer-entry cycle is ready - 1.
+            let waited = t.saturating_sub(w.ready.saturating_sub(1));
+            ctx.trace.emit(|| TraceEvent::BufferExit {
+                cycle: t,
+                node: self.node,
+                packet: flit.packet,
+                flit_index: flit.flit_index as u16,
+                waited,
+            });
             if input < 4 {
                 // Return the freed slot's credit upstream, tagged with the VC.
                 debug_assert_eq!(ctx.credits_out[input], 0, "one grant per input");

@@ -55,17 +55,25 @@ impl EventCounts {
     }
 }
 
-/// Streaming latency statistics with a coarse histogram.
+/// Streaming latency statistics with an HDR-style log-linear histogram.
 ///
-/// Bucket `i` counts samples in `[2^i, 2^(i+1))` cycles (bucket 0 holds
-/// latencies 0 and 1), which is plenty for latency-vs-load curves.
+/// Values below [`LatencyStats::LINEAR_CUTOFF`] get one exact bucket each;
+/// above it every power-of-two octave is split into
+/// 2^[`LatencyStats::SUBBUCKET_BITS`] equal-width sub-buckets. A sub-bucket
+/// in octave `[2^o, 2^(o+1))` is `2^(o-3)` wide, so
+/// [`LatencyStats::approx_percentile`] (which reports the sub-bucket's
+/// upper bound) overestimates the exact percentile by at most 12.5 % —
+/// `(width - 1) / lower_bound <= 1/8` — and is exact below the cutoff.
+///
+/// The bucket vector grows on demand, so a run whose worst latency is a few
+/// thousand cycles serializes a few dozen counters, not a fixed table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyStats {
     pub count: u64,
     pub sum: u64,
     pub min: u64,
     pub max: u64,
-    pub buckets: [u64; 24],
+    pub buckets: Vec<u64>,
 }
 
 impl Default for LatencyStats {
@@ -75,18 +83,57 @@ impl Default for LatencyStats {
             sum: 0,
             min: u64::MAX,
             max: 0,
-            buckets: [0; 24],
+            buckets: Vec::new(),
         }
     }
 }
 
 impl LatencyStats {
+    /// Values below this are counted exactly, one bucket per value.
+    pub const LINEAR_CUTOFF: u64 = 16;
+    /// log2 of the sub-buckets per octave above the cutoff.
+    pub const SUBBUCKET_BITS: u32 = 3;
+
+    /// Histogram bucket index for a latency value.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < Self::LINEAR_CUTOFF {
+            v as usize
+        } else {
+            let octave = 63 - v.leading_zeros() as u64;
+            let sub =
+                (v >> (octave - Self::SUBBUCKET_BITS as u64)) & ((1 << Self::SUBBUCKET_BITS) - 1);
+            let base_octave = Self::LINEAR_CUTOFF.trailing_zeros() as u64;
+            let per_octave = 1usize << Self::SUBBUCKET_BITS;
+            Self::LINEAR_CUTOFF as usize
+                + (octave - base_octave) as usize * per_octave
+                + sub as usize
+        }
+    }
+
+    /// Inclusive `[low, high]` value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if (i as u64) < Self::LINEAR_CUTOFF {
+            (i as u64, i as u64)
+        } else {
+            let r = i as u64 - Self::LINEAR_CUTOFF;
+            let per_octave = 1u64 << Self::SUBBUCKET_BITS;
+            let octave = Self::LINEAR_CUTOFF.trailing_zeros() as u64 + r / per_octave;
+            let sub = r % per_octave;
+            let width = 1u64 << (octave - Self::SUBBUCKET_BITS as u64);
+            let low = (1u64 << octave) + sub * width;
+            (low, low + width - 1)
+        }
+    }
+
     pub fn record(&mut self, latency: u64) {
         self.count += 1;
         self.sum += latency;
         self.min = self.min.min(latency);
         self.max = self.max.max(latency);
-        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        let bucket = Self::bucket_index(latency);
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
         self.buckets[bucket] += 1;
     }
 
@@ -99,8 +146,10 @@ impl LatencyStats {
         }
     }
 
-    /// Approximate percentile from the histogram (upper bound of the bucket
-    /// containing the q-quantile). `q` in `[0, 1]`.
+    /// Approximate percentile from the histogram: the upper bound of the
+    /// sub-bucket containing the q-quantile (clamped to the observed max),
+    /// so it is exact below [`Self::LINEAR_CUTOFF`] and otherwise within
+    /// 12.5 % above the exact nearest-rank percentile. `q` in `[0, 1]`.
     pub fn approx_percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -109,8 +158,8 @@ impl LatencyStats {
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
-            if seen >= target.max(1) {
-                return (2u64 << i).saturating_sub(1).min(self.max);
+            if b > 0 && seen >= target.max(1) {
+                return Self::bucket_bounds(i).1.min(self.max);
             }
         }
         self.max
@@ -121,6 +170,9 @@ impl LatencyStats {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -290,15 +342,84 @@ mod tests {
 
     #[test]
     fn latency_histogram_buckets() {
+        // Below the linear cutoff every value has its own exact bucket.
         let mut l = LatencyStats::default();
-        l.record(0); // bucket 0
-        l.record(1); // bucket 0
-        l.record(2); // bucket 1
-        l.record(3); // bucket 1
-        l.record(4); // bucket 2
-        assert_eq!(l.buckets[0], 2);
+        l.record(0);
+        l.record(1);
+        l.record(1);
+        l.record(2);
+        l.record(15);
+        assert_eq!(l.buckets[0], 1);
         assert_eq!(l.buckets[1], 2);
         assert_eq!(l.buckets[2], 1);
+        assert_eq!(l.buckets[15], 1);
+        // Exact percentiles in the linear range.
+        assert_eq!(l.approx_percentile(0.5), 1);
+        assert_eq!(l.approx_percentile(1.0), 15);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        // Every value lands in a bucket whose bounds contain it, indices
+        // are monotone, and sub-bucket width obeys the 12.5% error bound.
+        let mut prev_idx = 0;
+        for v in 0..100_000u64 {
+            let idx = LatencyStats::bucket_index(v);
+            let (lo, hi) = LatencyStats::bucket_bounds(idx);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {idx} [{lo}, {hi}]"
+            );
+            assert!(idx >= prev_idx, "bucket index not monotone at {v}");
+            prev_idx = idx;
+            if v >= LatencyStats::LINEAR_CUTOFF {
+                assert!(
+                    (hi - lo) as f64 / lo as f64 <= 0.125,
+                    "bucket {idx} [{lo}, {hi}] wider than 12.5%"
+                );
+            } else {
+                assert_eq!((lo, hi), (v, v));
+            }
+        }
+    }
+
+    #[test]
+    fn approx_percentile_within_sub_bucket_of_exact() {
+        // Compare against exact nearest-rank percentiles on a skewed
+        // population (quadratic tail, like a latency distribution).
+        let mut l = LatencyStats::default();
+        let mut values: Vec<u64> = (0..5_000u64).map(|i| 3 + (i * i) % 4_096).collect();
+        for &v in &values {
+            l.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = l.approx_percentile(q);
+            assert!(
+                approx >= exact,
+                "q={q}: approx {approx} below exact {exact}"
+            );
+            let (_, hi) = LatencyStats::bucket_bounds(LatencyStats::bucket_index(exact));
+            assert!(
+                approx <= hi.min(l.max),
+                "q={q}: approx {approx} beyond exact's sub-bucket upper bound {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_grows_bucket_vector() {
+        let mut a = LatencyStats::default();
+        a.record(3);
+        let mut b = LatencyStats::default();
+        b.record(10_000);
+        let idx = LatencyStats::bucket_index(10_000);
+        a.merge(&b);
+        assert_eq!(a.buckets[3], 1);
+        assert_eq!(a.buckets[idx], 1);
+        assert_eq!(a.count, 2);
     }
 
     #[test]

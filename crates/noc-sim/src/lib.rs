@@ -31,7 +31,11 @@ pub mod runner;
 pub use network::Network;
 pub use report::RunResult;
 pub use router::{RouterFactory, RouterModel, StepCtx};
-pub use runner::{run, RunMode};
+pub use runner::{run, run_traced, RunMode};
+
+// Downstream crates (router models, binaries) reach trace types through
+// the engine so they agree on the version the engine was built with.
+pub use noc_trace;
 
 /// Data-link latency in cycles (ST -> LT -> downstream SA/ST).
 pub const LINK_LATENCY: u64 = 2;

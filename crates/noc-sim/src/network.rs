@@ -10,6 +10,7 @@ use noc_core::types::{Cycle, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
 use noc_core::SimConfig;
 use noc_topology::link::TimedChannel;
 use noc_topology::{DelayLine, Mesh};
+use noc_trace::{CycleSample, NullSink, TraceEvent, TraceSink};
 use noc_traffic::generator::{DeliveredPacket, TrafficModel};
 use std::collections::VecDeque;
 
@@ -35,6 +36,10 @@ pub struct Network {
     /// Flits that could not be queued because the source queue was full
     /// (offered-load bookkeeping at deep saturation).
     pub source_overflow: u64,
+    /// Destination for lifecycle events and per-cycle samples. The default
+    /// [`NullSink`] reports not-recording, which keeps every router's
+    /// `TraceBuf` disabled and the hot path at one branch per site.
+    sink: Box<dyn TraceSink>,
 }
 
 impl Network {
@@ -73,7 +78,24 @@ impl Network {
             stats: NetStats::default(),
             cycle: 0,
             source_overflow: 0,
+            sink: Box::new(NullSink),
         }
+    }
+
+    /// Attach a trace sink; subsequent cycles record into it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Detach the current trace sink (replacing it with [`NullSink`]), so
+    /// callers can recover recorded data after a run.
+    pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
+        std::mem::replace(&mut self.sink, Box::new(NullSink))
+    }
+
+    /// The attached trace sink (read-only view).
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        self.sink.as_ref()
     }
 
     pub fn mesh(&self) -> &Mesh {
@@ -160,9 +182,12 @@ impl Network {
     /// their own delay-line endpoints, so a fixed iteration order is
     /// deterministic and race-free.
     fn cycle_routers(&mut self, t: Cycle, model: &mut dyn TrafficModel) {
+        let tracing = self.sink.is_recording();
+        let traversals_before = self.stats.events.link_traversals;
         for i in 0..self.routers.len() {
             let node = NodeId(i as u16);
             let mut ctx = StepCtx::new(t);
+            ctx.trace.set_enabled(tracing);
 
             for d in LINK_DIRECTIONS {
                 if let Some(line) = self.in_links[i][d.index()].as_mut() {
@@ -201,6 +226,13 @@ impl Network {
                         .unwrap_or_else(|| panic!("{node} routed {flit:?} off-mesh via {d}"));
                     flit.hops += 1;
                     ctx.events.link_traversals += 1;
+                    ctx.trace.emit(|| TraceEvent::Hop {
+                        cycle: t,
+                        node,
+                        packet: flit.packet,
+                        flit_index: flit.flit_index as u16,
+                        dir: d,
+                    });
                     self.in_links[nbr.index()][d.opposite().index()]
                         .as_mut()
                         .expect("reverse link exists")
@@ -226,6 +258,14 @@ impl Network {
                 let popped = self.source_queues[i].pop_front();
                 debug_assert!(popped.is_some(), "router injected a phantom flit");
                 ctx.events.injections += 1;
+                if let Some(flit) = popped {
+                    ctx.trace.emit(|| TraceEvent::Inject {
+                        cycle: t,
+                        node,
+                        packet: flit.packet,
+                        flit_index: flit.flit_index as u16,
+                    });
+                }
             }
 
             // Ejections -> reassembly -> traffic-model callback.
@@ -233,6 +273,13 @@ impl Network {
             for flit in ctx.ejected.drain(..) {
                 debug_assert_eq!(flit.dst, node, "flit ejected at wrong node");
                 ctx.events.ejections += 1;
+                ctx.trace.emit(|| TraceEvent::Eject {
+                    cycle: t,
+                    node,
+                    packet: flit.packet,
+                    flit_index: flit.flit_index as u16,
+                    latency: t.saturating_sub(flit.created),
+                });
                 let created_in_window = self.created_in_window(flit.created);
                 self.stats.record_flit_ejected(
                     flit.created,
@@ -258,6 +305,12 @@ impl Network {
             // Drops -> NACK to source -> retransmission (SCARAB).
             for mut flit in ctx.dropped.drain(..) {
                 ctx.events.drops += 1;
+                ctx.trace.emit(|| TraceEvent::Drop {
+                    cycle: t,
+                    node,
+                    packet: flit.packet,
+                    flit_index: flit.flit_index as u16,
+                });
                 let nack_hops = self.mesh.hop_distance(node, flit.src).max(1) as u64;
                 ctx.events.nack_hops += nack_hops;
                 ctx.events.retransmissions += 1;
@@ -266,6 +319,21 @@ impl Network {
             }
 
             self.stats.events.merge(&ctx.events);
+            ctx.trace.drain_into(self.sink.as_mut());
+        }
+
+        if tracing {
+            let occupancy: Vec<usize> = self.routers.iter().map(|r| r.occupancy()).collect();
+            let backlog: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+            let in_flight = self.flits_in_flight() as u64;
+            let link_traversals = self.stats.events.link_traversals - traversals_before;
+            self.sink.sample_cycle(&CycleSample {
+                cycle: t,
+                in_flight,
+                backlog,
+                link_traversals,
+                per_router_occupancy: &occupancy,
+            });
         }
     }
 

@@ -9,6 +9,7 @@
 use noc_core::flit::Flit;
 use noc_core::stats::EventCounts;
 use noc_core::types::{Cycle, NodeId, NUM_LINK_PORTS};
+use noc_trace::TraceBuf;
 
 /// Per-cycle router interface record.
 ///
@@ -41,6 +42,10 @@ pub struct StepCtx {
     pub dropped: Vec<Flit>,
     /// Energy-relevant events recorded by the router this cycle.
     pub events: EventCounts,
+    /// Lifecycle-event staging buffer. Disabled (and free) unless the
+    /// network has a recording trace sink attached; routers emit through
+    /// [`TraceBuf::emit`] so event construction is skipped when off.
+    pub trace: TraceBuf,
 }
 
 impl StepCtx {

@@ -1,0 +1,101 @@
+//! Bounded event storage: a ring buffer that keeps the newest events.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// Ring-buffered event store. Once `capacity` events are held, each new
+/// event evicts the oldest one, so multi-million-cycle runs record the
+/// *tail* of the simulation in bounded memory. `total_seen` still counts
+/// every event ever pushed.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    total_seen: u64,
+}
+
+impl RingRecorder {
+    /// `capacity` of zero means unbounded (keep everything).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity,
+            buf: VecDeque::new(),
+            total_seen: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.total_seen += 1;
+        if self.capacity > 0 && self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events pushed over the recorder's lifetime, including evicted ones.
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// True if events have been evicted to respect the capacity bound.
+    pub fn overflowed(&self) -> bool {
+        self.total_seen > self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Drain the retained events, oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::{NodeId, PacketId};
+
+    fn inject(cycle: u64) -> TraceEvent {
+        TraceEvent::Inject {
+            cycle,
+            node: NodeId(0),
+            packet: PacketId(cycle),
+            flit_index: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = RingRecorder::new(3);
+        for c in 0..10 {
+            r.push(inject(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_seen(), 10);
+        assert!(r.overflowed());
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut r = RingRecorder::new(0);
+        for c in 0..100 {
+            r.push(inject(c));
+        }
+        assert_eq!(r.len(), 100);
+        assert!(!r.overflowed());
+        assert_eq!(r.into_events().len(), 100);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple calibrate-then-sample wall-clock harness instead of
+//! criterion's statistical machinery. Results print as median ns/iter with
+//! a min..max spread across samples.
+//!
+//! Knobs: `DXBAR_QUICK=1` shrinks per-sample time ~10x (CI smoke runs);
+//! `CRITERION_SAMPLE_MS` overrides the per-sample measurement window.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Runs one benchmark routine repeatedly; see [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn sample_window() -> Duration {
+    if let Ok(ms) = std::env::var("CRITERION_SAMPLE_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            return Duration::from_millis(ms.max(1));
+        }
+    }
+    if std::env::var("DXBAR_QUICK").is_ok() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(20)
+    }
+}
+
+fn run_one(label: &str, samples: usize, mut routine: impl FnMut(&mut Bencher)) {
+    let window = sample_window();
+
+    // Calibrate: grow the iteration count until one sample fills the window.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= window || iters >= 1 << 24 {
+            break;
+        }
+        // Aim straight at the window with 2x headroom, growth capped at 16x.
+        let target = window.as_nanos().max(1) as f64;
+        let got = b.elapsed.as_nanos().max(1) as f64;
+        let factor = (2.0 * target / got).clamp(2.0, 16.0);
+        iters = ((iters as f64 * factor) as u64).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<44} time: [{lo:>10.1} ns {median:>10.1} ns {hi:>10.1} ns]  ({iters} iters/sample)"
+    );
+}
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark. `name` is anything string-like, as in
+    /// real criterion (which takes `id: impl Into<String>`).
+    pub fn bench_function<S: AsRef<str>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        routine: R,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        routine: R,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name.as_ref()),
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).bench_function("counts", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! `proptest::option::of` — wrap a strategy in `Option`, `None` one case
+//! in four (matching this shim's `Arbitrary for Option<T>`).
+
+use crate::runtime::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// Strategy for `Option<S::Value>` that is `Some` three cases in four.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::rng_for;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = rng_for("option::produces_both_variants", 0);
+        let s = of(0u8..8);
+        let vals: Vec<Option<u8>> = (0..64).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().flatten().all(|&v| v < 8));
+    }
+}

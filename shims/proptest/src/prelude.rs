@@ -1,0 +1,9 @@
+//! One-stop imports mirroring `proptest::prelude::*`.
+
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Real proptest re-exports itself as `prop` so strategies can be written
+/// as `prop::collection::vec(...)` / `prop::sample::select(...)`.
+pub use crate as prop;

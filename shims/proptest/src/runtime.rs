@@ -1,0 +1,147 @@
+//! Deterministic case generation machinery: a small xoshiro256** PRNG
+//! (independent copy — the shim must not depend on workspace crates),
+//! per-test seeding, and the panic-time input reporter.
+
+/// SplitMix64, used to expand seeds into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator backing all strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift rejection.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)` from the top 53 bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// FNV-1a over the test path, mixed with `PROPTEST_SEED` when set, so each
+/// test gets an independent but reproducible case stream.
+pub fn rng_for(test_path: &str, case_idx: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    TestRng::seed_from(h ^ base.rotate_left(17) ^ ((case_idx as u64) << 32 | case_idx as u64))
+}
+
+/// Resolve the case count: `PROPTEST_CASES` env var beats the config.
+pub fn case_count(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+/// Prints the sampled inputs if the case body panics (there is no
+/// shrinking, so the raw inputs are the reproduction recipe).
+pub struct CaseGuard<'a> {
+    test_path: &'a str,
+    case_idx: u32,
+    desc: &'a str,
+    armed: bool,
+}
+
+impl<'a> CaseGuard<'a> {
+    pub fn new(test_path: &'a str, case_idx: u32, desc: &'a str) -> Self {
+        CaseGuard {
+            test_path,
+            case_idx,
+            desc,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest case {} of {} panicked with inputs:\n{}",
+                self.case_idx, self.test_path, self.desc
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let a: Vec<u64> = (0..4).map(|_| rng_for("t::x", 3).next_u64()).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(rng_for("t::x", 3).next_u64(), rng_for("t::x", 4).next_u64());
+        assert_ne!(rng_for("t::x", 3).next_u64(), rng_for("t::y", 3).next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = TestRng::seed_from(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `sample::select` — draw uniformly from an explicit candidate list.
+
+use crate::runtime::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy yielding clones of one of the provided candidates.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + std::fmt::Debug>(Vec<T>);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(self.0.len() as u64) as usize].clone()
+    }
+}
+
+/// `sample::select(vec![...])` — uniform choice among the candidates.
+pub fn select<T: Clone + std::fmt::Debug>(candidates: Vec<T>) -> Select<T> {
+    assert!(
+        !candidates.is_empty(),
+        "select needs at least one candidate"
+    );
+    Select(candidates)
+}

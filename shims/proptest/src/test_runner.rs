@@ -1,0 +1,52 @@
+//! Config and per-case error types for the vendored proptest stand-in.
+
+/// Mirror of proptest's config struct, reduced to the knobs this workspace
+/// sets. Construct with struct-update syntax:
+/// `ProptestConfig { cases: 24, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each `proptest!` test runs (`PROPTEST_CASES` wins).
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejects never abort a run here.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single proptest case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` filtered this case out; it is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}

@@ -10,8 +10,9 @@ use noc_faults::FaultPlan;
 use noc_power::area::DesignKind;
 use noc_power::energy::EnergyModel;
 use noc_routing::Algorithm;
+use noc_sim::noc_trace::RecordingSink;
 use noc_sim::router::RouterModel;
-use noc_sim::runner::{run, RunMode};
+use noc_sim::runner::{run, run_traced, RunMode};
 use noc_sim::{Network, RunResult};
 use noc_topology::Mesh;
 use noc_traffic::generator::SyntheticTraffic;
@@ -197,6 +198,36 @@ pub fn run_synthetic_with_faults(
     );
     result.offered_load = Some(offered_load);
     result
+}
+
+/// Like [`run_synthetic`] with a recording trace sink attached: returns
+/// the run result together with the recording (flit lifetimes, ring-
+/// buffered events, per-cycle series).
+pub fn run_synthetic_traced(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    sink: RecordingSink,
+) -> (RunResult, RecordingSink) {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mut net = design.build(cfg, &FaultPlan::none(&mesh));
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let (mut result, sink) = run_traced(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+        sink,
+    );
+    result.offered_load = Some(offered_load);
+    (result, sink)
 }
 
 /// Run one closed-loop SPLASH-2 workload to completion (Figs. 9/10).

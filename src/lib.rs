@@ -29,7 +29,9 @@
 
 pub mod designs;
 
-pub use designs::{run_splash, run_synthetic, run_synthetic_with_faults, Design};
+pub use designs::{
+    run_splash, run_synthetic, run_synthetic_traced, run_synthetic_with_faults, Design,
+};
 pub use noc_core::SimConfig;
 pub use noc_sim::{Network, RunResult};
 
