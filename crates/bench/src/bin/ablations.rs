@@ -17,167 +17,137 @@
 //! cargo run --release -p bench --bin ablations
 //! ```
 
-use bench::{emit, paper_config, par_grid};
-use dxbar_noc::noc_faults::FaultPlan;
-use dxbar_noc::noc_sim::report::render_series;
-use dxbar_noc::noc_topology::Mesh;
-use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::{run_synthetic, run_synthetic_with_faults, Design, RunResult, SimConfig};
+use bench::{emit, exit_on_failures, multi_seed, run_figure_campaign};
+use dxbar_noc::noc_sim::report::{render_series, render_series_ci};
+use dxbar_noc::{Design, RunResult};
+use noc_campaign::Aggregate;
 
 fn main() {
+    let spec = bench::specs::ablations();
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
+
+    // Each ablation group holds a single knob setting; look curves up by
+    // the group label the spec builder assigned.
+    let find = |label: String, design: Design| -> &Aggregate {
+        aggs.iter()
+            .find(|a| a.group == label && a.design == design.name())
+            .expect("ablation point exists")
+    };
+    let ci_mode = multi_seed();
+    let series = |knobs: &[f64],
+                  label_of: &dyn Fn(f64) -> String,
+                  design: Design,
+                  metric: &dyn Fn(&RunResult) -> f64| {
+        let mean: Vec<(f64, f64)> = knobs
+            .iter()
+            .map(|&k| (k, find(label_of(k), design).mean(metric)))
+            .collect();
+        let ci: Vec<(f64, f64, f64)> = knobs
+            .iter()
+            .map(|&k| {
+                let s = find(label_of(k), design).summary(metric);
+                (k, s.mean, s.ci95)
+            })
+            .collect();
+        (mean, ci)
+    };
+    let push = |text: &mut String,
+                title: &str,
+                xlabel: &str,
+                ylabel: &str,
+                mean: &[(f64, f64)],
+                ci: &[(f64, f64, f64)]| {
+        if ci_mode {
+            text.push_str(&render_series_ci(title, xlabel, ylabel, ci));
+        } else {
+            text.push_str(&render_series(title, xlabel, ylabel, mean));
+        }
+    };
+
     let mut text = String::new();
-    let mut all_results: Vec<RunResult> = Vec::new();
 
     // 1. Fairness threshold sweep at a post-saturation load: latency of the
     //    injection-starved centre nodes is what the mechanism protects.
     {
-        let thresholds = [1u32, 2, 4, 8, 16, 64];
-        let results = par_grid(&thresholds, |&t| {
-            let cfg = SimConfig {
-                fairness_threshold: t,
-                ..paper_config()
-            };
-            let mut r = run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, 0.45);
-            r.traffic = format!("UR thresh={t}");
-            r
-        });
-        let tp: Vec<(f64, f64)> = thresholds
-            .iter()
-            .zip(&results)
-            .map(|(&t, r)| (t as f64, r.accepted_fraction))
-            .collect();
-        let lat: Vec<(f64, f64)> = thresholds
-            .iter()
-            .zip(&results)
-            .map(|(&t, r)| (t as f64, r.avg_packet_latency))
-            .collect();
-        text.push_str(&render_series(
+        let knobs: Vec<f64> = [1u32, 2, 4, 8, 16, 64].map(f64::from).to_vec();
+        let label = |k: f64| format!("ablation1_thresh={k}");
+        let (tp, tp_ci) = series(&knobs, &label, Design::DXbarDor, &|r| r.accepted_fraction);
+        let (lat, lat_ci) = series(&knobs, &label, Design::DXbarDor, &|r| r.avg_packet_latency);
+        push(
+            &mut text,
             "ABLATION 1a — fairness threshold vs accepted load (UR @ 0.45)",
             "threshold",
             "accepted load",
             &tp,
-        ));
-        text.push_str(&render_series(
+            &tp_ci,
+        );
+        push(
+            &mut text,
             "ABLATION 1b — fairness threshold vs avg packet latency",
             "threshold",
             "latency (cycles)",
             &lat,
-        ));
+            &lat_ci,
+        );
         text.push('\n');
-        all_results.extend(results);
     }
 
     // 2. Buffer depth sweep.
     {
-        let depths = [1usize, 2, 4, 8, 16];
-        let results = par_grid(&depths, |&d| {
-            let cfg = SimConfig {
-                buffer_depth: d,
-                ..paper_config()
-            };
-            let mut r = run_synthetic(Design::DXbarDor, &cfg, Pattern::UniformRandom, 0.6);
-            r.traffic = format!("UR depth={d}");
-            r
+        let knobs: Vec<f64> = [1.0, 2.0, 4.0, 8.0, 16.0].to_vec();
+        let label = |k: f64| format!("ablation2_depth={k}");
+        let (tp, tp_ci) = series(&knobs, &label, Design::DXbarDor, &|r| r.accepted_fraction);
+        let (en, en_ci) = series(&knobs, &label, Design::DXbarDor, &|r| {
+            r.avg_packet_energy_nj
         });
-        let tp: Vec<(f64, f64)> = depths
-            .iter()
-            .zip(&results)
-            .map(|(&d, r)| (d as f64, r.accepted_fraction))
-            .collect();
-        let en: Vec<(f64, f64)> = depths
-            .iter()
-            .zip(&results)
-            .map(|(&d, r)| (d as f64, r.avg_packet_energy_nj))
-            .collect();
-        text.push_str(&render_series(
+        push(
+            &mut text,
             "ABLATION 2a — secondary buffer depth vs saturation throughput (UR @ 0.6)",
             "depth (flits)",
             "accepted load",
             &tp,
-        ));
-        text.push_str(&render_series(
+            &tp_ci,
+        );
+        push(
+            &mut text,
             "ABLATION 2b — secondary buffer depth vs energy per packet",
             "depth (flits)",
             "energy (nJ/packet)",
             &en,
-        ));
+            &en_ci,
+        );
         text.push('\n');
-        all_results.extend(results);
     }
 
     // 3. Detection-delay sweep under 100 % faults, WF routing (the paper's
     //    explanation for WF's fault sensitivity).
     {
-        let delays = [0u64, 2, 5, 10, 20, 50];
-        let results = par_grid(&delays, |&delay| {
-            let cfg = SimConfig {
-                fault_detection_delay: delay,
-                ..paper_config()
-            };
-            let mesh = Mesh::new(cfg.width, cfg.height);
-            let plan = FaultPlan::generate(
-                &mesh,
-                1.0,
-                cfg.warmup_cycles / 2,
-                cfg.warmup_cycles.max(1),
-                cfg.seed,
-            );
-            let mut r = run_synthetic_with_faults(
-                Design::DXbarWf,
-                &cfg,
-                Pattern::UniformRandom,
-                0.35,
-                &plan,
-            );
-            r.traffic = format!("UR 100% faults delay={delay}");
-            r
-        });
-        let tp: Vec<(f64, f64)> = delays
-            .iter()
-            .zip(&results)
-            .map(|(&d, r)| (d as f64, r.accepted_fraction))
-            .collect();
-        text.push_str(&render_series(
+        let knobs: Vec<f64> = [0.0, 2.0, 5.0, 10.0, 20.0, 50.0].to_vec();
+        let label = |k: f64| format!("ablation3_delay={k}");
+        let (tp, tp_ci) = series(&knobs, &label, Design::DXbarWf, &|r| r.accepted_fraction);
+        push(
+            &mut text,
             "ABLATION 3 — BIST detection delay vs WF throughput (100% faults, UR @ 0.35)",
             "detection delay (cycles)",
             "accepted load",
             &tp,
-        ));
+            &tp_ci,
+        );
         text.push('\n');
-        all_results.extend(results);
     }
 
     // 4. Mesh-size scaling: does the DXbar-vs-baselines ordering persist?
     {
         let sizes = [4u16, 8, 12];
-        let designs = [Design::FlitBless, Design::Buffered8, Design::DXbarDor];
-        let points: Vec<(u16, Design)> = sizes
-            .iter()
-            .flat_map(|&s| designs.iter().map(move |&d| (s, d)))
-            .collect();
-        let results = par_grid(&points, |&(s, d)| {
-            let cfg = SimConfig {
-                width: s,
-                height: s,
-                ..paper_config()
-            };
-            let mut r = run_synthetic(d, &cfg, Pattern::UniformRandom, 0.6);
-            r.traffic = format!("UR {s}x{s}");
-            r
-        });
         text.push_str("# ABLATION 4 — saturation throughput across mesh sizes (UR @ 0.6)\n");
         text.push_str(&format!(
             "# {:<8} {:>12} {:>12} {:>12}\n",
             "mesh", "Flit-Bless", "Buffered 8", "DXbar DOR"
         ));
-        for &s in &sizes {
-            let get = |d: Design| {
-                results
-                    .iter()
-                    .find(|r| r.design == d.name() && r.traffic == format!("UR {s}x{s}"))
-                    .map(|r| r.accepted_fraction)
-                    .unwrap_or(f64::NAN)
-            };
+        for s in sizes {
+            let get =
+                |d: Design| find(format!("ablation4_mesh={s}"), d).mean(|r| r.accepted_fraction);
             text.push_str(&format!(
                 "{:<10} {:>12.3} {:>12.3} {:>12.3}\n",
                 format!("{s}x{s}"),
@@ -186,8 +156,8 @@ fn main() {
                 get(Design::DXbarDor)
             ));
         }
-        all_results.extend(results);
     }
 
-    emit("ablations", &text, &all_results);
+    emit("ablations", &text, &report.results());
+    exit_on_failures(&report);
 }

@@ -1,0 +1,181 @@
+//! Generic campaign driver: run any experiment campaign from a JSON spec
+//! file or a built-in preset, with caching, replication and provenance.
+//!
+//! ```text
+//! campaign_run [SPEC.json] [options]
+//!
+//!   SPEC.json             campaign spec file (see EXPERIMENTS.md)
+//!   --preset NAME         use a built-in spec instead of a file
+//!                         (fig05, fig06, fig07_08, fig09_10, fig11_12,
+//!                          ablations, smoke, repro_all)
+//!   --seeds N             replace every group's seeds with N derived
+//!                         replicate seeds (mean ± 95% CI aggregation)
+//!   --cache DIR           result-cache directory (default: $DXBAR_CACHE)
+//!   --jobs N              worker threads (default: $DXBAR_JOBS, then all
+//!                         cores)
+//!   --manifest PATH       write the provenance manifest JSON here
+//!   --emit-spec PATH      write the resolved spec JSON and exit
+//!
+//! Exits 0 when every point completed, 1 when any point failed, 2 on
+//! usage errors.
+//! ```
+
+use bench::{campaign_options, derive_seeds};
+use noc_campaign::{run_campaign, CampaignSpec};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    spec_file: Option<PathBuf>,
+    preset: Option<String>,
+    seeds: Option<usize>,
+    cache: Option<PathBuf>,
+    jobs: Option<usize>,
+    manifest: Option<PathBuf>,
+    emit_spec: Option<PathBuf>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: campaign_run [SPEC.json] [--preset NAME] [--seeds N] [--cache DIR] \
+         [--jobs N] [--manifest PATH] [--emit-spec PATH]"
+    );
+    eprintln!("presets: {}", bench::specs::PRESETS.join(", "));
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec_file: None,
+        preset: None,
+        seeds: None,
+        cache: None,
+        jobs: None,
+        manifest: None,
+        emit_spec: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--preset" => args.preset = Some(value("--preset")),
+            "--seeds" => {
+                args.seeds = Some(
+                    value("--seeds")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seeds needs a positive integer")),
+                )
+            }
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
+            "--jobs" => {
+                args.jobs = Some(
+                    value("--jobs")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--jobs needs a positive integer")),
+                )
+            }
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest"))),
+            "--emit-spec" => args.emit_spec = Some(PathBuf::from(value("--emit-spec"))),
+            "--help" | "-h" => usage("help requested"),
+            flag if flag.starts_with("--") => usage(&format!("unknown option {flag}")),
+            file => {
+                if args.spec_file.replace(PathBuf::from(file)).is_some() {
+                    usage("more than one spec file given");
+                }
+            }
+        }
+    }
+    args
+}
+
+fn load_spec(args: &Args) -> CampaignSpec {
+    match (&args.spec_file, &args.preset) {
+        (Some(_), Some(_)) => usage("give either a spec file or --preset, not both"),
+        (None, None) => usage("need a spec file or --preset"),
+        (Some(file), None) => {
+            let text = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", file.display())));
+            CampaignSpec::from_json(&text)
+                .unwrap_or_else(|e| usage(&format!("bad spec {}: {e}", file.display())))
+        }
+        (None, Some(name)) => {
+            bench::specs::preset(name).unwrap_or_else(|| usage(&format!("unknown preset {name:?}")))
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = load_spec(&args);
+    if let Some(n) = args.seeds {
+        if n == 0 {
+            usage("--seeds must be >= 1");
+        }
+        let seeds = derive_seeds(n);
+        for g in &mut spec.groups {
+            g.seeds = seeds.clone();
+        }
+    }
+    if let Some(path) = &args.emit_spec {
+        std::fs::write(path, spec.to_json())
+            .unwrap_or_else(|e| usage(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("wrote resolved spec to {}", path.display());
+        return;
+    }
+
+    let mut opts = campaign_options();
+    if let Some(dir) = &args.cache {
+        opts.cache_dir = Some(dir.clone());
+    }
+    if let Some(jobs) = args.jobs {
+        opts.jobs = Some(jobs);
+    }
+    let report = match run_campaign(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => usage(&format!("invalid campaign: {e}")),
+    };
+
+    if let Some(path) = &args.manifest {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("create {}: {e}", parent.display()));
+        }
+        std::fs::write(path, report.manifest().to_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote manifest to {}", path.display());
+    }
+
+    // Aggregated one-line summary per point group (mean ± CI when n > 1).
+    for a in report.aggregates() {
+        let acc = a.summary(|r| r.accepted_fraction);
+        let lat = a.summary(|r| r.avg_packet_latency);
+        let mut line = format!(
+            "{:<24} {:<14} {:<6} x={:<5.2} acc={:.3}",
+            a.group, a.design, a.workload, a.x, acc.mean
+        );
+        if acc.n > 1 {
+            line.push_str(&format!("±{:.3}", acc.ci95));
+        }
+        line.push_str(&format!(" lat={:.1}", lat.mean));
+        if lat.n > 1 {
+            line.push_str(&format!("±{:.1}", lat.ci95));
+        }
+        if a.failed > 0 {
+            line.push_str(&format!(" [{} replicate(s) FAILED]", a.failed));
+        }
+        println!("{line}");
+    }
+
+    if report.failed_count() > 0 {
+        eprintln!(
+            "{}/{} points failed",
+            report.failed_count(),
+            report.outcomes.len()
+        );
+        exit(1);
+    }
+}

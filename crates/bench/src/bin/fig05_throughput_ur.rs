@@ -11,49 +11,56 @@
 //! ```
 
 use bench::svg::{line_chart, Series};
-use bench::{all_designs, emit, emit_svg, paper_config, par_grid, PAPER_LOADS};
-use dxbar_noc::noc_sim::report::render_series;
-use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::run_synthetic;
+use bench::{all_designs, emit, emit_svg, exit_on_failures, multi_seed, run_figure_campaign};
+use dxbar_noc::noc_sim::report::{render_series, render_series_ci};
 
 fn main() {
-    let cfg = paper_config();
-    let designs = all_designs();
-    let points: Vec<(usize, f64)> = designs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| PAPER_LOADS.iter().map(move |&l| (i, l)))
-        .collect();
-    let results = par_grid(&points, |&(i, load)| {
-        run_synthetic(designs[i], &cfg, Pattern::UniformRandom, load)
-    });
+    let spec = bench::specs::fig05();
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
 
     let mut text = String::from("FIGURE 5 — Throughput of Uniform Random traffic\n");
-    for (i, design) in designs.iter().enumerate() {
-        let series: Vec<(f64, f64)> = results
+    let ci_mode = multi_seed();
+    for design in all_designs() {
+        let rows: Vec<_> = aggs.iter().filter(|a| a.design == design.name()).collect();
+        let series: Vec<(f64, f64)> = rows
             .iter()
-            .filter(|r| r.design == design.name())
-            .map(|r| (r.offered_load.unwrap(), r.accepted_fraction))
+            .map(|a| (a.x, a.mean(|r| r.accepted_fraction)))
             .collect();
-        let _ = i;
-        text.push_str(&render_series(
-            design.name(),
-            "offered load",
-            "accepted load (fraction of capacity)",
-            &series,
-        ));
+        if ci_mode {
+            let triples: Vec<(f64, f64, f64)> = rows
+                .iter()
+                .map(|a| {
+                    let s = a.summary(|r| r.accepted_fraction);
+                    (a.x, s.mean, s.ci95)
+                })
+                .collect();
+            text.push_str(&render_series_ci(
+                design.name(),
+                "offered load",
+                "accepted load (fraction of capacity)",
+                &triples,
+            ));
+        } else {
+            text.push_str(&render_series(
+                design.name(),
+                "offered load",
+                "accepted load (fraction of capacity)",
+                &series,
+            ));
+        }
         let sat = series.iter().map(|&(_, y)| y).fold(0.0f64, f64::max);
         text.push_str(&format!("# saturation throughput: {sat:.3}\n\n"));
     }
 
-    let chart: Vec<Series> = designs
+    let chart: Vec<Series> = all_designs()
         .iter()
         .map(|d| Series {
             name: d.name().to_string(),
-            points: results
+            points: aggs
                 .iter()
-                .filter(|r| r.design == d.name())
-                .map(|r| (r.offered_load.unwrap(), r.accepted_fraction))
+                .filter(|a| a.design == d.name())
+                .map(|a| (a.x, a.mean(|r| r.accepted_fraction)))
                 .collect(),
         })
         .collect();
@@ -67,5 +74,6 @@ fn main() {
         ),
     );
 
-    emit("fig05_throughput_ur", &text, &results);
+    emit("fig05_throughput_ur", &text, &report.results());
+    exit_on_failures(&report);
 }

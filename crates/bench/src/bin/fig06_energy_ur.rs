@@ -6,41 +6,52 @@
 //! buffered baselines are flat and high (they buffer every flit); DXbar is
 //! cheapest and nearly flat (only a small fraction of flits ever buffer).
 //!
+//! The campaign grid is identical to Figure 5's, so with a shared
+//! `DXBAR_CACHE` the sweep is only ever simulated once.
+//!
 //! ```text
 //! cargo run --release -p bench --bin fig06_energy_ur
 //! ```
 
 use bench::svg::{line_chart, Series};
-use bench::{all_designs, emit, emit_svg, paper_config, par_grid, PAPER_LOADS};
-use dxbar_noc::noc_sim::report::render_series;
-use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::run_synthetic;
+use bench::{all_designs, emit, emit_svg, exit_on_failures, multi_seed, run_figure_campaign};
+use dxbar_noc::noc_sim::report::{render_series, render_series_ci};
 
 fn main() {
-    let cfg = paper_config();
-    let designs = all_designs();
-    let points: Vec<(usize, f64)> = designs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| PAPER_LOADS.iter().map(move |&l| (i, l)))
-        .collect();
-    let results = par_grid(&points, |&(i, load)| {
-        run_synthetic(designs[i], &cfg, Pattern::UniformRandom, load)
-    });
+    let spec = bench::specs::fig06();
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
 
     let mut text = String::from("FIGURE 6 — Energy of Uniform Random traffic\n");
-    for design in &designs {
-        let series: Vec<(f64, f64)> = results
+    let ci_mode = multi_seed();
+    for design in all_designs() {
+        let rows: Vec<_> = aggs.iter().filter(|a| a.design == design.name()).collect();
+        let series: Vec<(f64, f64)> = rows
             .iter()
-            .filter(|r| r.design == design.name())
-            .map(|r| (r.offered_load.unwrap(), r.avg_packet_energy_nj))
+            .map(|a| (a.x, a.mean(|r| r.avg_packet_energy_nj)))
             .collect();
-        text.push_str(&render_series(
-            design.name(),
-            "offered load",
-            "average energy (nJ/packet)",
-            &series,
-        ));
+        if ci_mode {
+            let triples: Vec<(f64, f64, f64)> = rows
+                .iter()
+                .map(|a| {
+                    let s = a.summary(|r| r.avg_packet_energy_nj);
+                    (a.x, s.mean, s.ci95)
+                })
+                .collect();
+            text.push_str(&render_series_ci(
+                design.name(),
+                "offered load",
+                "average energy (nJ/packet)",
+                &triples,
+            ));
+        } else {
+            text.push_str(&render_series(
+                design.name(),
+                "offered load",
+                "average energy (nJ/packet)",
+                &series,
+            ));
+        }
         let low = series.first().map(|&(_, y)| y).unwrap_or(0.0);
         let high = series.last().map(|&(_, y)| y).unwrap_or(0.0);
         text.push_str(&format!(
@@ -49,14 +60,14 @@ fn main() {
         ));
     }
 
-    let chart: Vec<Series> = designs
+    let chart: Vec<Series> = all_designs()
         .iter()
         .map(|d| Series {
             name: d.name().to_string(),
-            points: results
+            points: aggs
                 .iter()
-                .filter(|r| r.design == d.name())
-                .map(|r| (r.offered_load.unwrap(), r.avg_packet_energy_nj))
+                .filter(|a| a.design == d.name())
+                .map(|a| (a.x, a.mean(|r| r.avg_packet_energy_nj)))
                 .collect(),
         })
         .collect();
@@ -70,5 +81,6 @@ fn main() {
         ),
     );
 
-    emit("fig06_energy_ur", &text, &results);
+    emit("fig06_energy_ur", &text, &report.results());
+    exit_on_failures(&report);
 }

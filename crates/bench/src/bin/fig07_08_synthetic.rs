@@ -11,42 +11,34 @@
 //! ```
 
 use bench::svg::bar_chart;
-use bench::{all_designs, emit, emit_svg, paper_config, par_grid};
+use bench::{all_designs, emit, emit_svg, exit_on_failures, multi_seed, run_figure_campaign};
 use dxbar_noc::noc_sim::report::render_bars;
 use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::run_synthetic;
+use dxbar_noc::RunResult;
+use noc_campaign::Aggregate;
 
 fn main() {
-    let cfg = paper_config();
+    let spec = bench::specs::fig07_08();
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
     let designs = all_designs();
-    let load = 0.5;
-
-    let points: Vec<(usize, Pattern)> = designs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| Pattern::ALL.into_iter().map(move |p| (i, p)))
-        .collect();
-    let results = par_grid(&points, |&(i, pattern)| {
-        run_synthetic(designs[i], &cfg, pattern, load)
-    });
-
     let names: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let row = |metric: &dyn Fn(&dxbar_noc::RunResult) -> f64| -> Vec<(String, Vec<f64>)> {
+
+    type Metric = dyn Fn(&RunResult) -> f64;
+    type Stat = dyn Fn(&Aggregate, &Metric) -> f64;
+    let find = |p: Pattern, dname: &str| -> Option<&Aggregate> {
+        aggs.iter()
+            .find(|a| a.design == dname && a.workload == p.abbrev())
+    };
+    let row = |metric: &Metric, stat: &Stat| -> Vec<(String, Vec<f64>)> {
         Pattern::ALL
             .into_iter()
             .map(|p| {
                 let vals: Vec<f64> = designs
                     .iter()
                     .map(|d| {
-                        results
-                            .iter()
-                            .find(|r| {
-                                r.design == d.name()
-                                    && r.traffic.starts_with(p.abbrev())
-                                    && r.traffic.contains('@')
-                                    && r.traffic.split('@').next() == Some(p.abbrev())
-                            })
-                            .map(metric)
+                        find(p, d.name())
+                            .map(|a| stat(a, metric))
                             .unwrap_or(f64::NAN)
                     })
                     .collect();
@@ -54,27 +46,43 @@ fn main() {
             })
             .collect()
     };
+    let mean = |a: &Aggregate, m: &Metric| a.summary(m).mean;
+    let ci = |a: &Aggregate, m: &Metric| a.summary(m).ci95;
 
     let mut text = String::new();
     text.push_str(&render_bars(
         "FIGURE 7 — Throughput at offered load = 0.5, all synthetic traces",
         &names,
-        &row(&|r| r.accepted_fraction),
+        &row(&|r| r.accepted_fraction, &mean),
     ));
     text.push('\n');
     text.push_str(&render_bars(
         "FIGURE 8 — Energy (nJ/packet) at offered load = 0.5, all synthetic traces",
         &names,
-        &row(&|r| r.avg_packet_energy_nj),
+        &row(&|r| r.avg_packet_energy_nj, &mean),
     ));
+    if multi_seed() {
+        text.push('\n');
+        text.push_str(&render_bars(
+            "FIGURE 7 — Throughput (95% CI half-width)",
+            &names,
+            &row(&|r| r.accepted_fraction, &ci),
+        ));
+        text.push('\n');
+        text.push_str(&render_bars(
+            "FIGURE 8 — Energy (95% CI half-width)",
+            &names,
+            &row(&|r| r.avg_packet_energy_nj, &ci),
+        ));
+    }
 
     let cats: Vec<String> = Pattern::ALL
         .iter()
         .map(|p| p.abbrev().to_string())
         .collect();
     let snames: Vec<String> = designs.iter().map(|d| d.name().to_string()).collect();
-    let tp_rows = row(&|r| r.accepted_fraction);
-    let en_rows = row(&|r| r.avg_packet_energy_nj);
+    let tp_rows = row(&|r| r.accepted_fraction, &mean);
+    let en_rows = row(&|r| r.avg_packet_energy_nj, &mean);
     emit_svg(
         "fig07_throughput_synthetic",
         &bar_chart(
@@ -96,5 +104,6 @@ fn main() {
         ),
     );
 
-    emit("fig07_08_synthetic", &text, &results);
+    emit("fig07_08_synthetic", &text, &report.results());
+    exit_on_failures(&report);
 }

@@ -12,52 +12,38 @@
 //! ```
 
 use bench::svg::bar_chart;
-use bench::{emit, emit_svg, par_grid, splash_cap};
+use bench::{emit, emit_svg, exit_on_failures, multi_seed, run_figure_campaign};
 use dxbar_noc::noc_sim::report::render_bars;
 use dxbar_noc::noc_traffic::splash::SplashApp;
-use dxbar_noc::{run_splash, Design, SimConfig};
+use dxbar_noc::{Design, RunResult};
+use noc_campaign::{Aggregate, WorkloadAxis};
 
 fn main() {
-    let cfg = SimConfig::default();
-    let designs = Design::PAPER_SET;
-    let cap = splash_cap();
-    let apps: Vec<SplashApp> = if bench::quick_mode() {
-        vec![SplashApp::Fft, SplashApp::Ocean, SplashApp::Water]
-    } else {
-        SplashApp::ALL.to_vec()
+    let spec = bench::specs::fig09_10();
+    let WorkloadAxis::Splash { apps, .. } = spec.groups[0].workload.clone() else {
+        unreachable!("fig09_10 is a SPLASH campaign");
     };
-
-    let points: Vec<(usize, SplashApp)> = designs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| apps.iter().map(move |&a| (i, a)))
-        .collect();
-    let results = par_grid(&points, |&(i, app)| run_splash(designs[i], &cfg, app, cap));
-
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
+    let designs = Design::PAPER_SET;
     let names: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let find = |app: SplashApp, d: Design| {
-        results
-            .iter()
-            .find(|r| r.design == d.name() && r.traffic.ends_with(app.name()))
+
+    let find = |app: SplashApp, d: Design| -> &Aggregate {
+        aggs.iter()
+            .find(|a| a.design == d.name() && a.workload == app.name())
             .expect("run exists")
     };
+    let finish = |r: &RunResult| r.finish_cycle.map(|c| c as f64).unwrap_or(f64::NAN);
+    let energy_uj = |r: &RunResult| r.energy.total_pj() / 1e6;
 
     // Fig. 9: execution time normalized to the Buffered 4 baseline.
     let time_rows: Vec<(String, Vec<f64>)> = apps
         .iter()
         .map(|&app| {
-            let base = find(app, Design::Buffered4)
-                .finish_cycle
-                .map(|c| c as f64)
-                .unwrap_or(f64::NAN);
+            let base = find(app, Design::Buffered4).mean(finish);
             let vals = designs
                 .iter()
-                .map(|&d| {
-                    find(app, d)
-                        .finish_cycle
-                        .map(|c| c as f64 / base)
-                        .unwrap_or(f64::NAN)
-                })
+                .map(|&d| find(app, d).mean(finish) / base)
                 .collect();
             (app.name().to_string(), vals)
         })
@@ -69,7 +55,7 @@ fn main() {
         .map(|&app| {
             let vals = designs
                 .iter()
-                .map(|&d| find(app, d).energy.total_pj() / 1e6)
+                .map(|&d| find(app, d).mean(energy_uj))
                 .collect();
             (app.name().to_string(), vals)
         })
@@ -87,14 +73,51 @@ fn main() {
         &names,
         &energy_rows,
     ));
+    if multi_seed() {
+        let time_ci: Vec<(String, Vec<f64>)> = apps
+            .iter()
+            .map(|&app| {
+                let base = find(app, Design::Buffered4).mean(finish);
+                let vals = designs
+                    .iter()
+                    .map(|&d| find(app, d).summary(finish).ci95 / base)
+                    .collect();
+                (app.name().to_string(), vals)
+            })
+            .collect();
+        let energy_ci: Vec<(String, Vec<f64>)> = apps
+            .iter()
+            .map(|&app| {
+                let vals = designs
+                    .iter()
+                    .map(|&d| find(app, d).summary(energy_uj).ci95)
+                    .collect();
+                (app.name().to_string(), vals)
+            })
+            .collect();
+        text.push('\n');
+        text.push_str(&render_bars(
+            "FIGURE 9 — Normalized execution time (95% CI half-width)",
+            &names,
+            &time_ci,
+        ));
+        text.push('\n');
+        text.push_str(&render_bars(
+            "FIGURE 10 — Energy (95% CI half-width, uJ)",
+            &names,
+            &energy_ci,
+        ));
+    }
 
     // Headline ratios the paper quotes.
     let mut bless_ratio: f64 = 0.0;
     let mut scarab_ratio: f64 = 0.0;
     for &app in &apps {
-        let dx = find(app, Design::DXbarDor).energy.total_pj();
-        bless_ratio = bless_ratio.max(find(app, Design::FlitBless).energy.total_pj() / dx);
-        scarab_ratio = scarab_ratio.max(find(app, Design::Scarab).energy.total_pj() / dx);
+        let dx = find(app, Design::DXbarDor).mean(|r| r.energy.total_pj());
+        bless_ratio =
+            bless_ratio.max(find(app, Design::FlitBless).mean(|r| r.energy.total_pj()) / dx);
+        scarab_ratio =
+            scarab_ratio.max(find(app, Design::Scarab).mean(|r| r.energy.total_pj()) / dx);
     }
     text.push_str(&format!(
         "\n# max energy ratio vs DXbar DOR: Flit-Bless {bless_ratio:.1}x (paper: >=16x), SCARAB {scarab_ratio:.1}x (paper: >=2x)\n"
@@ -126,5 +149,6 @@ fn main() {
         ),
     );
 
-    emit("fig09_10_splash", &text, &results);
+    emit("fig09_10_splash", &text, &report.results());
+    exit_on_failures(&report);
 }

@@ -13,87 +13,70 @@
 //! cargo run --release -p bench --bin fig11_12_faults
 //! ```
 
+use bench::specs::FAULT_PERCENTS;
 use bench::svg::{line_chart, Series};
-use bench::{emit, emit_svg, paper_config, par_grid, PAPER_LOADS};
-use dxbar_noc::noc_faults::FaultPlan;
-use dxbar_noc::noc_sim::report::render_series;
-use dxbar_noc::noc_topology::Mesh;
-use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::{run_synthetic_with_faults, Design, RunResult};
-
-const FAULT_PERCENTS: [u32; 5] = [0, 25, 50, 75, 100];
+use bench::{emit, emit_svg, exit_on_failures, multi_seed, run_figure_campaign};
+use dxbar_noc::noc_sim::report::{render_series, render_series_ci};
+use dxbar_noc::{Design, RunResult};
+use noc_campaign::Aggregate;
 
 fn main() {
-    let cfg = paper_config();
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let spec = bench::specs::fig11_12();
+    let report = run_figure_campaign(&spec);
+    let aggs = report.aggregates();
     let designs = [Design::DXbarDor, Design::DXbarWf];
 
-    let points: Vec<(usize, u32, f64)> = designs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| {
-            FAULT_PERCENTS
-                .into_iter()
-                .flat_map(move |p| PAPER_LOADS.iter().map(move |&l| (i, p, l)))
-        })
-        .collect();
-
-    let results: Vec<RunResult> = par_grid(&points, |&(i, percent, load)| {
-        // "The faults are randomly generated ... with the same random seed
-        // but varying percentages of faults": the seed is fixed across the
-        // sweep; faults manifest during warmup.
-        let plan = FaultPlan::generate(
-            &mesh,
-            percent as f64 / 100.0,
-            cfg.warmup_cycles / 2,
-            cfg.warmup_cycles.max(1),
-            cfg.seed,
-        );
-        let mut r =
-            run_synthetic_with_faults(designs[i], &cfg, Pattern::UniformRandom, load, &plan);
-        r.traffic = format!("UR faults={percent}%");
-        r
-    });
+    let curve = |design: Design, percent: u32| -> Vec<&Aggregate> {
+        aggs.iter()
+            .filter(|a| a.group == format!("fig11_12_f{percent}") && a.design == design.name())
+            .collect()
+    };
+    let ci_mode = multi_seed();
+    let render = |text: &mut String,
+                  title: &str,
+                  ylabel: &str,
+                  rows: &[&Aggregate],
+                  metric: &dyn Fn(&RunResult) -> f64| {
+        if ci_mode {
+            let pts: Vec<(f64, f64, f64)> = rows
+                .iter()
+                .map(|a| {
+                    let s = a.summary(metric);
+                    (a.x, s.mean, s.ci95)
+                })
+                .collect();
+            text.push_str(&render_series_ci(title, "offered load", ylabel, &pts));
+        } else {
+            let pts: Vec<(f64, f64)> = rows.iter().map(|a| (a.x, a.mean(metric))).collect();
+            text.push_str(&render_series(title, "offered load", ylabel, &pts));
+        }
+    };
 
     let mut text = String::new();
-    for (i, design) in designs.iter().enumerate() {
-        let _ = i;
+    for design in designs {
         for percent in FAULT_PERCENTS {
-            let tag = format!("UR faults={percent}%");
-            let runs: Vec<&RunResult> = results
-                .iter()
-                .filter(|r| r.design == design.name() && r.traffic == tag)
-                .collect();
-            let tp: Vec<(f64, f64)> = runs
-                .iter()
-                .map(|r| (r.offered_load.unwrap(), r.accepted_fraction))
-                .collect();
-            text.push_str(&render_series(
+            let rows = curve(design, percent);
+            render(
+                &mut text,
                 &format!("FIG 11 throughput — {} @ {percent}% faults", design.name()),
-                "offered load",
                 "accepted load",
-                &tp,
-            ));
-            let lat: Vec<(f64, f64)> = runs
-                .iter()
-                .map(|r| (r.offered_load.unwrap(), r.avg_packet_latency))
-                .collect();
-            text.push_str(&render_series(
+                &rows,
+                &|r| r.accepted_fraction,
+            );
+            render(
+                &mut text,
                 &format!("FIG 11/12 latency — {} @ {percent}% faults", design.name()),
-                "offered load",
                 "avg packet latency (cycles)",
-                &lat,
-            ));
-            let energy: Vec<(f64, f64)> = runs
-                .iter()
-                .map(|r| (r.offered_load.unwrap(), r.avg_packet_energy_nj))
-                .collect();
-            text.push_str(&render_series(
+                &rows,
+                &|r| r.avg_packet_latency,
+            );
+            render(
+                &mut text,
                 &format!("FIG 12 power — {} @ {percent}% faults", design.name()),
-                "offered load",
                 "avg energy (nJ/packet)",
-                &energy,
-            ));
+                &rows,
+                &|r| r.avg_packet_energy_nj,
+            );
             text.push('\n');
         }
     }
@@ -101,11 +84,9 @@ fn main() {
     // Degradation summary (the numbers the paper quotes in the text).
     for design in designs {
         let sat = |percent: u32| -> f64 {
-            let tag = format!("UR faults={percent}%");
-            results
+            curve(design, percent)
                 .iter()
-                .filter(|r| r.design == design.name() && r.traffic == tag)
-                .map(|r| r.accepted_fraction)
+                .map(|a| a.mean(|r| r.accepted_fraction))
                 .fold(0.0f64, f64::max)
         };
         let healthy = sat(0);
@@ -123,21 +104,19 @@ fn main() {
         (2, "fig12_power_faults", "avg energy (nJ/packet)"),
     ] {
         let mut chart: Vec<Series> = Vec::new();
-        for design in &designs {
+        for design in designs {
             for percent in FAULT_PERCENTS {
-                let tag = format!("UR faults={percent}%");
                 chart.push(Series {
                     name: format!("{} {percent}%", design.name()),
-                    points: results
+                    points: curve(design, percent)
                         .iter()
-                        .filter(|r| r.design == design.name() && r.traffic == tag)
-                        .map(|r| {
-                            let y = match metric {
+                        .map(|a| {
+                            let y = a.mean(|r| match metric {
                                 0 => r.accepted_fraction,
                                 1 => r.avg_packet_latency,
                                 _ => r.avg_packet_energy_nj,
-                            };
-                            (r.offered_load.unwrap(), y)
+                            });
+                            (a.x, y)
                         })
                         .collect(),
                 });
@@ -154,5 +133,6 @@ fn main() {
         );
     }
 
-    emit("fig11_12_faults", &text, &results);
+    emit("fig11_12_faults", &text, &report.results());
+    exit_on_failures(&report);
 }

@@ -1,12 +1,23 @@
-//! Runs every table/figure regenerator in sequence — the one-command
-//! reproduction of the paper's evaluation section.
+//! One-command reproduction of the paper's evaluation section.
+//!
+//! First runs the **unified campaign** — the union grid of every figure
+//! and ablation, deduplicated and simulated in parallel into a shared
+//! result cache — then invokes each figure bin, which finds all of its
+//! points already cached and only renders. A bin failure (or a failed
+//! campaign point) is reported and the remaining bins still run; the
+//! process exits nonzero if anything failed.
 //!
 //! ```text
 //! DXBAR_OUT=results cargo run --release -p bench --bin repro_all
 //! ```
 //!
-//! Set `DXBAR_QUICK=1` for a fast smoke run.
+//! Set `DXBAR_QUICK=1` for a fast smoke run, `DXBAR_SEEDS=n` for
+//! multi-seed figures with confidence intervals, `DXBAR_CACHE=dir` to
+//! choose the cache location (defaults to `<DXBAR_OUT>/campaign-cache`,
+//! falling back to `target/campaign-cache`).
 
+use bench::{campaign_options, run_figure_campaign};
+use std::path::PathBuf;
 use std::process::Command;
 
 const BINS: [&str; 7] = [
@@ -19,16 +30,58 @@ const BINS: [&str; 7] = [
     "ablations",
 ];
 
+fn cache_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("DXBAR_CACHE") {
+        return PathBuf::from(dir);
+    }
+    match std::env::var_os("DXBAR_OUT") {
+        Some(out) => PathBuf::from(out).join("campaign-cache"),
+        None => PathBuf::from("target").join("campaign-cache"),
+    }
+}
+
 fn main() {
+    let cache = cache_dir();
+    // The figure bins read the cache location from the environment; the
+    // unified campaign below fills it so they only render.
+    std::env::set_var("DXBAR_CACHE", &cache);
+    eprintln!("=== unified campaign (cache: {}) ===", cache.display());
+    assert!(
+        campaign_options().cache_dir.is_some(),
+        "cache must be active for repro_all"
+    );
+    let spec = bench::specs::repro_all();
+    let report = run_figure_campaign(&spec);
+
+    let mut failures: Vec<String> = report
+        .failed()
+        .map(|o| format!("campaign point {}", o.point.describe()))
+        .collect();
+
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     for bin in BINS {
         eprintln!("=== running {bin} ===");
         let path = dir.join(bin);
         let status = Command::new(&path)
+            .env("DXBAR_CACHE", &cache)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        assert!(status.success(), "{bin} failed with {status}");
+        if !status.success() {
+            eprintln!("=== {bin} FAILED with {status} ===");
+            failures.push(format!("{bin} exited with {status}"));
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!(
+            "=== reproduction INCOMPLETE: {} failure(s) ===",
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
     }
     eprintln!("=== all figures regenerated ===");
 }

@@ -1,22 +1,33 @@
 //! Shared harness for the figure/table regenerators.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper's evaluation section (see DESIGN.md's experiment index). They all
-//! honour two environment variables:
+//! paper's evaluation section (see DESIGN.md's experiment index). Since
+//! the campaign engine landed, each figure bin is a thin spec-builder
+//! ([`specs`]) plus a renderer over the campaign's aggregates. They all
+//! honour these environment variables:
 //!
 //! * `DXBAR_QUICK=1` — shrink the simulated windows (smoke-test mode used
 //!   in CI; the shapes survive, the absolute numbers get noisier);
 //! * `DXBAR_OUT=<dir>` — additionally write each figure's data as text and
-//!   JSON into `<dir>`.
+//!   JSON into `<dir>`, plus a per-campaign provenance manifest;
+//! * `DXBAR_CACHE=<dir>` — content-addressed result cache; re-invocations
+//!   re-run only missing/invalidated points (see `crates/noc-campaign`);
+//! * `DXBAR_SEEDS=<n>` — seed replicates per point; figures gain mean ±
+//!   95 % CI columns when n > 1;
+//! * `DXBAR_JOBS=<n>` — cap on worker threads (campaign executor and the
+//!   rayon shim).
 
+pub mod specs;
 pub mod svg;
 
 use dxbar_noc::{Design, RunResult, SimConfig};
+use noc_campaign::{run_campaign, CampaignReport, CampaignSpec, ExecOptions};
 use rayon::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
 
 pub use dxbar_noc;
+pub use noc_campaign;
 
 /// The offered-load sweep of the paper ("network load varies from 0.1 to
 /// 0.9 of the network capacity").
@@ -50,6 +61,78 @@ pub fn splash_cap() -> u64 {
         1_000_000
     } else {
         5_000_000
+    }
+}
+
+/// Seed replicates per experiment point: `DXBAR_SEEDS=<n>` (default 1).
+/// The first seed is always the paper's default seed, so single-seed runs
+/// reproduce the historical figures exactly.
+pub fn replicate_seeds() -> Vec<u64> {
+    let n = std::env::var("DXBAR_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    derive_seeds(n)
+}
+
+/// `n` deterministic replicate seeds derived from the paper's base seed by
+/// a golden-ratio stride (stream-quality spacing, stable across runs).
+pub fn derive_seeds(n: usize) -> Vec<u64> {
+    let base = SimConfig::default().seed;
+    (0..n as u64)
+        .map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+/// Whether the current invocation aggregates more than one seed replicate
+/// (figures switch to mean ± CI rendering).
+pub fn multi_seed() -> bool {
+    replicate_seeds().len() > 1
+}
+
+/// Executor options wired from the environment: `DXBAR_CACHE` for the
+/// result cache, `DXBAR_JOBS` picked up by the executor itself.
+pub fn campaign_options() -> ExecOptions {
+    ExecOptions {
+        cache_dir: std::env::var_os("DXBAR_CACHE").map(PathBuf::from),
+        progress: true,
+        ..ExecOptions::default()
+    }
+}
+
+/// Run one figure's campaign with the environment-derived options, write
+/// its provenance manifest into `DXBAR_OUT` (when set), and report
+/// failures on stderr. Failed points do not abort the figure — the
+/// renderer plots what completed; call [`exit_on_failures`] after emitting
+/// to propagate the error to CI.
+pub fn run_figure_campaign(spec: &CampaignSpec) -> CampaignReport {
+    let report = run_campaign(spec, &campaign_options())
+        .unwrap_or_else(|e| panic!("invalid campaign spec {}: {e}", spec.name));
+    if let Some(dir) = out_dir() {
+        std::fs::create_dir_all(&dir).expect("create DXBAR_OUT dir");
+        let path = dir.join(format!("{}.manifest.json", spec.name));
+        std::fs::write(&path, report.manifest().to_json())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("[{}] wrote {}", spec.name, path.display());
+    }
+    for f in report.failed() {
+        eprintln!("[{}] point FAILED: {}", spec.name, f.point.describe());
+    }
+    report
+}
+
+/// Exit nonzero when a campaign lost points — called at the end of every
+/// figure bin so CI gates on complete regeneration.
+pub fn exit_on_failures(report: &CampaignReport) {
+    let failed = report.failed_count();
+    if failed > 0 {
+        eprintln!(
+            "[{}] {failed}/{} points failed; figure is incomplete",
+            report.name,
+            report.outcomes.len()
+        );
+        std::process::exit(1);
     }
 }
 

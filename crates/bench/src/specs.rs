@@ -1,0 +1,319 @@
+//! Campaign specs for every figure and ablation of the evaluation.
+//!
+//! Each builder returns the declarative [`CampaignSpec`] that one figure
+//! bin renders; [`repro_all`] is the union of all of them, and
+//! [`preset`] resolves names for the `campaign_run` CLI. The specs honour
+//! `DXBAR_QUICK` (shrunk windows) and `DXBAR_SEEDS` (replicates) exactly
+//! like the bins always did, so a spec written to JSON captures the mode
+//! it was built under.
+//!
+//! Two groups declaring the same experiment (fig05 and fig06 sweep the
+//! identical UR grid) still cost one simulation each: the campaign engine
+//! deduplicates by content identity, and cached results are shared.
+
+use crate::{paper_config, quick_mode, replicate_seeds, splash_cap, PAPER_LOADS};
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::noc_traffic::splash::SplashApp;
+use dxbar_noc::{Design, SimConfig};
+use noc_campaign::{CampaignSpec, PointGroup, WorkloadAxis};
+
+/// The fault percentages of the paper's Figs. 11/12.
+pub const FAULT_PERCENTS: [u32; 5] = [0, 25, 50, 75, 100];
+
+fn ur_loads() -> WorkloadAxis {
+    WorkloadAxis::Synthetic {
+        patterns: vec![Pattern::UniformRandom],
+        loads: PAPER_LOADS.to_vec(),
+    }
+}
+
+fn ur_at(load: f64) -> WorkloadAxis {
+    WorkloadAxis::Synthetic {
+        patterns: vec![Pattern::UniformRandom],
+        loads: vec![load],
+    }
+}
+
+/// Fig. 5 — UR throughput sweep, all designs.
+pub fn fig05() -> CampaignSpec {
+    CampaignSpec::new("fig05_throughput_ur").with_group(PointGroup {
+        label: "fig05_throughput_ur".into(),
+        config: paper_config(),
+        designs: Design::ALL.to_vec(),
+        workload: ur_loads(),
+        fault_fractions: vec![],
+        seeds: replicate_seeds(),
+        tag: None,
+    })
+}
+
+/// Fig. 6 — UR energy sweep. Declares the same grid as [`fig05`]; the
+/// engine shares the simulations between the two.
+pub fn fig06() -> CampaignSpec {
+    CampaignSpec::new("fig06_energy_ur").with_group(PointGroup {
+        label: "fig06_energy_ur".into(),
+        config: paper_config(),
+        designs: Design::ALL.to_vec(),
+        workload: ur_loads(),
+        fault_fractions: vec![],
+        seeds: replicate_seeds(),
+        tag: None,
+    })
+}
+
+/// Figs. 7/8 — all nine synthetic patterns at offered load 0.5.
+pub fn fig07_08() -> CampaignSpec {
+    CampaignSpec::new("fig07_08_synthetic").with_group(PointGroup {
+        label: "fig07_08_synthetic".into(),
+        config: paper_config(),
+        designs: Design::ALL.to_vec(),
+        workload: WorkloadAxis::Synthetic {
+            patterns: Pattern::ALL.to_vec(),
+            loads: vec![0.5],
+        },
+        fault_fractions: vec![],
+        seeds: replicate_seeds(),
+        tag: None,
+    })
+}
+
+/// Figs. 9/10 — closed-loop SPLASH-2 workloads, paper design set. Quick
+/// mode trims the application list instead of the (already capped) windows.
+pub fn fig09_10() -> CampaignSpec {
+    let apps: Vec<SplashApp> = if quick_mode() {
+        vec![SplashApp::Fft, SplashApp::Ocean, SplashApp::Water]
+    } else {
+        SplashApp::ALL.to_vec()
+    };
+    CampaignSpec::new("fig09_10_splash").with_group(PointGroup {
+        label: "fig09_10_splash".into(),
+        config: SimConfig::default(),
+        designs: Design::PAPER_SET.to_vec(),
+        workload: WorkloadAxis::Splash {
+            apps,
+            max_cycles: splash_cap(),
+        },
+        fault_fractions: vec![],
+        seeds: replicate_seeds(),
+        tag: None,
+    })
+}
+
+/// Figs. 11/12 — DXbar under crossbar faults, one group per fault
+/// percentage so the renderer can address each curve by label.
+pub fn fig11_12() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("fig11_12_faults");
+    for percent in FAULT_PERCENTS {
+        spec = spec.with_group(PointGroup {
+            label: format!("fig11_12_f{percent}"),
+            config: paper_config(),
+            designs: vec![Design::DXbarDor, Design::DXbarWf],
+            workload: ur_loads(),
+            fault_fractions: vec![percent as f64 / 100.0],
+            seeds: replicate_seeds(),
+            tag: Some(format!("UR faults={percent}%")),
+        });
+    }
+    spec
+}
+
+/// The four ablation sweeps of DESIGN.md, one group per knob setting.
+pub fn ablations() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablations");
+    // 1. Fairness threshold at a post-saturation load.
+    for t in [1u32, 2, 4, 8, 16, 64] {
+        spec = spec.with_group(PointGroup {
+            label: format!("ablation1_thresh={t}"),
+            config: SimConfig {
+                fairness_threshold: t,
+                ..paper_config()
+            },
+            designs: vec![Design::DXbarDor],
+            workload: ur_at(0.45),
+            fault_fractions: vec![],
+            seeds: replicate_seeds(),
+            tag: Some(format!("UR thresh={t}")),
+        });
+    }
+    // 2. Secondary buffer depth.
+    for d in [1usize, 2, 4, 8, 16] {
+        spec = spec.with_group(PointGroup {
+            label: format!("ablation2_depth={d}"),
+            config: SimConfig {
+                buffer_depth: d,
+                ..paper_config()
+            },
+            designs: vec![Design::DXbarDor],
+            workload: ur_at(0.6),
+            fault_fractions: vec![],
+            seeds: replicate_seeds(),
+            tag: Some(format!("UR depth={d}")),
+        });
+    }
+    // 3. BIST detection delay under 100 % faults, WF routing.
+    for delay in [0u64, 2, 5, 10, 20, 50] {
+        spec = spec.with_group(PointGroup {
+            label: format!("ablation3_delay={delay}"),
+            config: SimConfig {
+                fault_detection_delay: delay,
+                ..paper_config()
+            },
+            designs: vec![Design::DXbarWf],
+            workload: ur_at(0.35),
+            fault_fractions: vec![1.0],
+            seeds: replicate_seeds(),
+            tag: Some(format!("UR 100% faults delay={delay}")),
+        });
+    }
+    // 4. Mesh-size scaling.
+    for s in [4u16, 8, 12] {
+        spec = spec.with_group(PointGroup {
+            label: format!("ablation4_mesh={s}"),
+            config: SimConfig {
+                width: s,
+                height: s,
+                ..paper_config()
+            },
+            designs: vec![Design::FlitBless, Design::Buffered8, Design::DXbarDor],
+            workload: ur_at(0.6),
+            fault_fractions: vec![],
+            seeds: replicate_seeds(),
+            tag: Some(format!("UR {s}x{s}")),
+        });
+    }
+    spec
+}
+
+/// A deliberately tiny campaign for CI smoke tests and the EXPERIMENTS.md
+/// walkthrough: a 4x4 mesh, short windows, two designs, three groups
+/// (two load points, plus one faulty point). Seeds are left empty so
+/// `campaign_run --seeds N` fully controls replication.
+pub fn smoke() -> CampaignSpec {
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 200,
+        measure_cycles: 800,
+        drain_cycles: 400,
+        ..SimConfig::default()
+    };
+    CampaignSpec::new("smoke")
+        .with_group(PointGroup {
+            label: "smoke_ur".into(),
+            config: cfg.clone(),
+            designs: vec![Design::DXbarDor, Design::FlitBless],
+            workload: WorkloadAxis::Synthetic {
+                patterns: vec![Pattern::UniformRandom],
+                loads: vec![0.2, 0.4],
+            },
+            fault_fractions: vec![],
+            seeds: vec![],
+            tag: None,
+        })
+        .with_group(PointGroup {
+            label: "smoke_faults".into(),
+            config: cfg,
+            designs: vec![Design::DXbarDor],
+            workload: ur_at(0.3),
+            fault_fractions: vec![0.5],
+            seeds: vec![],
+            tag: Some("UR faults=50%".into()),
+        })
+}
+
+/// The unified evaluation grid: every figure and ablation in one campaign.
+/// Overlapping groups (fig05/fig06) are deduplicated by the engine.
+pub fn repro_all() -> CampaignSpec {
+    CampaignSpec::merged(
+        "repro_all",
+        [
+            fig05(),
+            fig06(),
+            fig07_08(),
+            fig09_10(),
+            fig11_12(),
+            ablations(),
+        ],
+    )
+}
+
+/// Resolve a preset name for the `campaign_run` CLI.
+pub fn preset(name: &str) -> Option<CampaignSpec> {
+    match name {
+        "fig05" | "fig05_throughput_ur" => Some(fig05()),
+        "fig06" | "fig06_energy_ur" => Some(fig06()),
+        "fig07_08" | "fig07_08_synthetic" => Some(fig07_08()),
+        "fig09_10" | "fig09_10_splash" => Some(fig09_10()),
+        "fig11_12" | "fig11_12_faults" => Some(fig11_12()),
+        "ablations" => Some(ablations()),
+        "smoke" => Some(smoke()),
+        "repro_all" | "all" => Some(repro_all()),
+        _ => None,
+    }
+}
+
+/// Preset names accepted by [`preset`] (canonical spellings).
+pub const PRESETS: [&str; 8] = [
+    "fig05",
+    "fig06",
+    "fig07_08",
+    "fig09_10",
+    "fig11_12",
+    "ablations",
+    "smoke",
+    "repro_all",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_resolves_and_validates() {
+        for name in PRESETS {
+            let spec = preset(name).expect("preset exists");
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!spec.points().is_empty(), "{name} expands to no points");
+        }
+        assert!(preset("no-such-figure").is_none());
+    }
+
+    #[test]
+    fn fig05_and_fig06_share_their_grid() {
+        // The union campaign simulates the shared UR sweep only once.
+        let union = CampaignSpec::merged("u", [fig05(), fig06()]);
+        let pts = union.points();
+        let unique: std::collections::HashSet<String> = pts
+            .iter()
+            .map(|p| p.cache_key(noc_campaign::CODE_VERSION))
+            .collect();
+        assert_eq!(unique.len(), pts.len() / 2);
+    }
+
+    #[test]
+    fn repro_all_covers_every_figure_group() {
+        let spec = repro_all();
+        let labels: Vec<&str> = spec.groups.iter().map(|g| g.label.as_str()).collect();
+        for needle in [
+            "fig05_throughput_ur",
+            "fig06_energy_ur",
+            "fig07_08_synthetic",
+            "fig09_10_splash",
+            "fig11_12_f100",
+            "ablation1_thresh=4",
+            "ablation4_mesh=12",
+        ] {
+            assert!(labels.contains(&needle), "missing group {needle}");
+        }
+    }
+
+    #[test]
+    fn fault_groups_carry_their_fraction_and_tag() {
+        let spec = fig11_12();
+        assert_eq!(spec.groups.len(), FAULT_PERCENTS.len());
+        for (g, percent) in spec.groups.iter().zip(FAULT_PERCENTS) {
+            assert_eq!(g.fault_fractions, vec![percent as f64 / 100.0]);
+            assert_eq!(g.tag.as_deref(), Some(&*format!("UR faults={percent}%")));
+        }
+    }
+}

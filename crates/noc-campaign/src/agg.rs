@@ -1,0 +1,192 @@
+//! Multi-seed aggregation: fold replicates into mean + 95 % confidence
+//! intervals for any metric of [`RunResult`].
+
+use crate::exec::PointOutcome;
+use dxbar_noc::RunResult;
+
+/// Replicates of one experiment point (same group, design, workload,
+/// x-coordinate and fault fraction; differing only by seed).
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    pub group: String,
+    /// Design display name ("DXbar DOR", ...).
+    pub design: String,
+    /// Workload short label ("UR", "FFT", ...).
+    pub workload: String,
+    /// Offered load for synthetic sweeps; 0 for closed-loop points.
+    pub x: f64,
+    pub fault_fraction: f64,
+    /// Completed replicate results, in seed order.
+    pub runs: Vec<RunResult>,
+    /// Replicates that failed (excluded from the statistics).
+    pub failed: usize,
+}
+
+impl Aggregate {
+    /// Group outcomes by everything except the seed, preserving first-seen
+    /// order. Deterministic for a fixed outcome order, which the executor
+    /// guarantees regardless of worker count.
+    pub fn collect(outcomes: &[PointOutcome]) -> Vec<Aggregate> {
+        let mut out: Vec<Aggregate> = Vec::new();
+        for o in outcomes {
+            let design = o.point.design.name();
+            let workload = o.point.workload.short();
+            let x = o.point.workload.x();
+            let ff = o.point.fault_fraction;
+            let slot = out.iter_mut().find(|a| {
+                a.group == o.point.group
+                    && a.design == design
+                    && a.workload == workload
+                    && a.x.to_bits() == x.to_bits()
+                    && a.fault_fraction.to_bits() == ff.to_bits()
+            });
+            let agg = match slot {
+                Some(a) => a,
+                None => {
+                    out.push(Aggregate {
+                        group: o.point.group.clone(),
+                        design: design.to_string(),
+                        workload: workload.to_string(),
+                        x,
+                        fault_fraction: ff,
+                        runs: Vec::new(),
+                        failed: 0,
+                    });
+                    out.last_mut().unwrap()
+                }
+            };
+            match o.result() {
+                Some(r) => agg.runs.push(r.clone()),
+                None => agg.failed += 1,
+            }
+        }
+        out
+    }
+
+    /// Completed replicate count.
+    pub fn n(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Mean of a metric over the completed replicates.
+    pub fn mean(&self, metric: impl Fn(&RunResult) -> f64) -> f64 {
+        self.summary(metric).mean
+    }
+
+    /// Full summary statistics of a metric over the completed replicates.
+    pub fn summary(&self, metric: impl Fn(&RunResult) -> f64) -> MetricSummary {
+        summarize(&self.runs.iter().map(metric).collect::<Vec<f64>>())
+    }
+}
+
+/// Mean, spread and 95 % confidence half-width of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    pub sd: f64,
+    /// Half-width of the 95 % confidence interval of the mean,
+    /// `t_{0.975, n-1} * sd / sqrt(n)`; 0 for n < 2.
+    pub ci95: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Summary statistics of a sample. Empty samples yield NaN mean/min/max so
+/// missing data is visible instead of silently zero.
+pub fn summarize(xs: &[f64]) -> MetricSummary {
+    let n = xs.len();
+    if n == 0 {
+        return MetricSummary {
+            n: 0,
+            mean: f64::NAN,
+            sd: 0.0,
+            ci95: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if n < 2 {
+        return MetricSummary {
+            n,
+            mean,
+            sd: 0.0,
+            ci95: 0.0,
+            min,
+            max,
+        };
+    }
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let sd = var.sqrt();
+    let ci95 = t975(n - 1) * sd / (n as f64).sqrt();
+    MetricSummary {
+        n,
+        mean,
+        sd,
+        ci95,
+        min,
+        max,
+    }
+}
+
+/// Two-sided 97.5 % Student-t critical value for `df` degrees of freedom
+/// (df 1..=30 tabulated, the normal limit 1.96 beyond).
+fn t975(df: usize) -> f64 {
+    const T: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        return f64::NAN;
+    }
+    T.get(df - 1).copied().unwrap_or(1.96)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        // xs = [1, 2, 3, 4]: mean 2.5, sd sqrt(5/3), ci = t(3)*sd/2.
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        let sd = (5.0f64 / 3.0).sqrt();
+        assert!((s.sd - sd).abs() < 1e-12);
+        assert!((s.ci95 - 3.182 * sd / 2.0).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_ci() {
+        let s = summarize(&[7.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_nan_not_zero() {
+        let s = summarize(&[]);
+        assert!(s.mean.is_nan());
+        assert!(s.min.is_nan());
+    }
+
+    #[test]
+    fn t_table_endpoints() {
+        assert!((t975(1) - 12.706).abs() < 1e-9);
+        assert!((t975(30) - 2.042).abs() < 1e-9);
+        assert!((t975(1000) - 1.96).abs() < 1e-9);
+        assert!(t975(0).is_nan());
+    }
+}

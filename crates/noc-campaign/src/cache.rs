@@ -1,0 +1,117 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Layout: one JSON file per point under the cache directory,
+//! `<dir>/<key>.json`, where `<key>` is [`PointSpec::cache_key`] — the
+//! salted stable hash of the point's full configuration. Each entry stores
+//! the salt, the canonical point identity and the serialized
+//! [`RunResult`]:
+//!
+//! ```json
+//! { "salt": "dxbar-sim-v2", "point": { ... }, "result": { ... } }
+//! ```
+//!
+//! Invalidation rules:
+//! * any change to the point's identity (design, workload, load, fault
+//!   fraction, seed, tag, any `SimConfig` field) changes the key → miss;
+//! * a [`crate::CODE_VERSION`] bump changes every key → full re-run;
+//! * a corrupted, truncated or otherwise unreadable entry is treated as a
+//!   miss (and re-run overwrites it), never as an error;
+//! * on load the stored identity is compared against the requested one, so
+//!   even a hash collision degrades to a miss instead of a wrong result.
+//!
+//! Writes go through a temp file + atomic rename, so a campaign killed
+//! mid-write never leaves a half-entry that poisons the next run.
+
+use crate::spec::PointSpec;
+use dxbar_noc::RunResult;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// Handle to one cache directory with a fixed code salt.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+    salt: String,
+}
+
+impl ResultCache {
+    /// Open (and create if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>, salt: impl Into<String>) -> std::io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            salt: salt.into(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Look up a point. Any kind of unreadable or mismatching entry is a
+    /// miss, never a panic or error.
+    pub fn load(&self, point: &PointSpec) -> Option<RunResult> {
+        let key = point.cache_key(&self.salt);
+        let text = std::fs::read_to_string(self.entry_path(&key)).ok()?;
+        let v: Value = serde_json::parse(&text).ok()?;
+        if v.field("salt").as_str() != Some(self.salt.as_str()) {
+            return None;
+        }
+        // Collision / tamper guard: the stored identity must match bit-for-
+        // bit what we are asking for.
+        if *v.field("point") != point.cache_identity() {
+            return None;
+        }
+        RunResult::from_value(v.field("result")).ok()
+    }
+
+    /// Store a completed point. I/O errors are reported but non-fatal to
+    /// the caller (a full disk should not kill a campaign's in-memory
+    /// results).
+    pub fn store(&self, point: &PointSpec, result: &RunResult) {
+        let key = point.cache_key(&self.salt);
+        let entry = Value::Object(vec![
+            ("salt".into(), Value::Str(self.salt.clone())),
+            ("point".into(), point.cache_identity()),
+            ("result".into(), result.to_value()),
+        ]);
+        let final_path = self.entry_path(&key);
+        // Unique temp name per thread so parallel writers of the same key
+        // (possible when two campaigns share a cache) never interleave.
+        let tmp_path = self.dir.join(format!(
+            "{key}.tmp.{}.{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let write = std::fs::write(&tmp_path, entry.to_json_pretty())
+            .and_then(|()| std::fs::rename(&tmp_path, &final_path));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp_path);
+            eprintln!(
+                "[campaign] warning: failed to cache {}: {e}",
+                final_path.display()
+            );
+        }
+    }
+
+    /// Number of well-formed-looking entries currently on disk (tests and
+    /// progress reporting).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

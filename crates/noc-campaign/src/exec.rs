@@ -1,0 +1,484 @@
+//! Campaign executor: parallel, panic-isolated, cached, resumable.
+
+use crate::agg::Aggregate;
+use crate::cache::ResultCache;
+use crate::manifest::{CampaignManifest, PointRecord};
+use crate::spec::{CampaignSpec, PointSpec, Workload};
+use crate::CODE_VERSION;
+use dxbar_noc::noc_faults::FaultPlan;
+use dxbar_noc::noc_topology::Mesh;
+use dxbar_noc::{run_splash, run_synthetic, run_synthetic_with_faults, RunResult};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Executor knobs. Everything not in the spec itself: where the cache
+/// lives, how wide to fan out, and how chatty to be.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Result-cache directory; `None` disables on-disk caching (in-run
+    /// deduplication of identical points still happens).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads. `None` falls back to the `DXBAR_JOBS` environment
+    /// variable, then to the number of available cores.
+    pub jobs: Option<usize>,
+    /// Code-version salt for cache keys (tests override to simulate a
+    /// simulator change; everything else uses [`CODE_VERSION`]).
+    pub code_salt: String,
+    /// Emit progress/ETA lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            cache_dir: None,
+            jobs: None,
+            code_salt: CODE_VERSION.to_string(),
+            progress: false,
+        }
+    }
+}
+
+/// Terminal state of one point.
+// `Done` dwarfs `Failed`, but it is also the overwhelmingly common
+// variant — boxing it would cost an allocation per point for nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum PointStatus {
+    /// Simulation completed (fresh, cached, or shared with an identical
+    /// sibling point).
+    Done(RunResult),
+    /// Every attempt panicked; the campaign continued without this point.
+    Failed { reason: String },
+}
+
+/// One point's outcome plus provenance.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    pub point: PointSpec,
+    /// Content-addressed cache key of the point.
+    pub key: String,
+    pub status: PointStatus,
+    /// Result came from the on-disk cache.
+    pub cache_hit: bool,
+    /// Result was computed once and shared with identical points of the
+    /// same run (in-run deduplication).
+    pub deduped: bool,
+    pub wall_ms: u64,
+    /// Runner invocations (0 for cache hits and deduplicated points).
+    pub attempts: u32,
+}
+
+impl PointOutcome {
+    pub fn result(&self) -> Option<&RunResult> {
+        match &self.status {
+            PointStatus::Done(r) => Some(r),
+            PointStatus::Failed { .. } => None,
+        }
+    }
+
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status, PointStatus::Failed { .. })
+    }
+}
+
+/// Everything a finished campaign produced, in spec expansion order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub name: String,
+    /// Content hash of the spec that produced this report.
+    pub spec_hash: String,
+    pub code_salt: String,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    pub wall_ms: u64,
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl CampaignReport {
+    /// Completed results in point order (failed points are skipped).
+    pub fn results(&self) -> Vec<RunResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result().cloned())
+            .collect()
+    }
+
+    pub fn failed(&self) -> impl Iterator<Item = &PointOutcome> {
+        self.outcomes.iter().filter(|o| o.is_failed())
+    }
+
+    pub fn failed_count(&self) -> usize {
+        self.failed().count()
+    }
+
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cache_hit).count()
+    }
+
+    /// Points that actually invoked the runner (not cached, not deduped).
+    pub fn cache_misses(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.cache_hit && !o.deduped)
+            .count()
+    }
+
+    /// Fold seed replicates: one [`Aggregate`] per (group, design,
+    /// workload, x, fault fraction), in first-seen point order.
+    pub fn aggregates(&self) -> Vec<Aggregate> {
+        Aggregate::collect(&self.outcomes)
+    }
+
+    /// Serializable per-point provenance record of the whole campaign.
+    pub fn manifest(&self) -> CampaignManifest {
+        CampaignManifest {
+            campaign: self.name.clone(),
+            spec_hash: self.spec_hash.clone(),
+            code_version: self.code_salt.clone(),
+            jobs: self.jobs,
+            total_points: self.outcomes.len(),
+            completed: self.outcomes.len() - self.failed_count(),
+            failed: self.failed_count(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            wall_ms: self.wall_ms,
+            points: self
+                .outcomes
+                .iter()
+                .map(|o| PointRecord {
+                    key: o.key.clone(),
+                    group: o.point.group.clone(),
+                    design: o.point.design.name().to_string(),
+                    workload: o.point.workload.describe(),
+                    fault_fraction: o.point.fault_fraction,
+                    seed: o.point.seed,
+                    status: if o.is_failed() { "failed" } else { "ok" }.to_string(),
+                    reason: match &o.status {
+                        PointStatus::Failed { reason } => reason.clone(),
+                        PointStatus::Done(_) => String::new(),
+                    },
+                    cache_hit: o.cache_hit,
+                    deduped: o.deduped,
+                    wall_ms: o.wall_ms,
+                    attempts: o.attempts,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Run one point with the production simulator: dispatches on the
+/// workload, generates the seeded fault plan for faulty points, and applies
+/// the group's traffic tag.
+pub fn run_point(p: &PointSpec) -> RunResult {
+    let mut r = match &p.workload {
+        Workload::Synthetic { pattern, load } => {
+            if p.fault_fraction > 0.0 {
+                // Matches the paper's fault methodology: plan seeded by the
+                // run seed, faults manifest during warmup.
+                let mesh = Mesh::new(p.config.width, p.config.height);
+                let plan = FaultPlan::generate(
+                    &mesh,
+                    p.fault_fraction,
+                    p.config.warmup_cycles / 2,
+                    p.config.warmup_cycles.max(1),
+                    p.config.seed,
+                );
+                run_synthetic_with_faults(p.design, &p.config, *pattern, *load, &plan)
+            } else {
+                run_synthetic(p.design, &p.config, *pattern, *load)
+            }
+        }
+        Workload::Splash { app, max_cycles } => run_splash(p.design, &p.config, *app, *max_cycles),
+    };
+    if let Some(tag) = &p.tag {
+        r.traffic = tag.clone();
+    }
+    r
+}
+
+/// Run a campaign with the production runner ([`run_point`]).
+pub fn run_campaign(spec: &CampaignSpec, opts: &ExecOptions) -> Result<CampaignReport, String> {
+    run_campaign_with(spec, opts, &run_point)
+}
+
+/// Run a campaign with a custom runner (tests inject panicking or counting
+/// runners; everything else goes through [`run_campaign`]).
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    opts: &ExecOptions,
+    runner: &(dyn Fn(&PointSpec) -> RunResult + Sync),
+) -> Result<CampaignReport, String> {
+    spec.validate()?;
+    let start = Instant::now();
+    let points = spec.points();
+    let n = points.len();
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(
+            ResultCache::open(dir, opts.code_salt.clone())
+                .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+
+    // In-run deduplication: identical points (same cache identity) are
+    // executed once and the outcome shared. The unified `repro_all` grid
+    // deliberately declares e.g. the fig05 and fig06 sweeps over the same
+    // points; only one of the pair costs simulation time.
+    let keys: Vec<String> = points
+        .iter()
+        .map(|p| p.cache_key(&opts.code_salt))
+        .collect();
+    let mut first_of: HashMap<&str, usize> = HashMap::new();
+    let mut work: Vec<usize> = Vec::new(); // indices of unique points
+    let mut share_from: Vec<Option<usize>> = vec![None; n]; // dup -> original
+    for (i, key) in keys.iter().enumerate() {
+        match first_of.get(key.as_str()) {
+            Some(&orig) => share_from[i] = Some(orig),
+            None => {
+                first_of.insert(key, i);
+                work.push(i);
+            }
+        }
+    }
+
+    let jobs = resolve_jobs(opts.jobs, work.len());
+    if opts.progress {
+        eprintln!(
+            "[campaign {}] {} points ({} unique), {} worker{}, retries={} cache={}",
+            spec.name,
+            n,
+            work.len(),
+            jobs,
+            if jobs == 1 { "" } else { "s" },
+            spec.retry.max_retries,
+            cache
+                .as_ref()
+                .map(|c| c.dir().display().to_string())
+                .unwrap_or_else(|| "off".into()),
+        );
+    }
+
+    let progress = Progress {
+        enabled: opts.progress,
+        name: &spec.name,
+        total: work.len(),
+        done: AtomicUsize::new(0),
+        failed: AtomicUsize::new(0),
+        hits: AtomicUsize::new(0),
+        start,
+    };
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, PointOutcome)>> = Mutex::new(Vec::with_capacity(work.len()));
+    let execute_worker = || {
+        let mut local: Vec<(usize, PointOutcome)> = Vec::new();
+        loop {
+            let w = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&idx) = work.get(w) else { break };
+            let outcome = run_one(
+                &points[idx],
+                keys[idx].clone(),
+                cache.as_ref(),
+                spec.retry.max_retries,
+                runner,
+            );
+            progress.tick(&outcome);
+            local.push((idx, outcome));
+        }
+        collected.lock().unwrap().extend(local);
+    };
+    if jobs <= 1 {
+        execute_worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(execute_worker);
+            }
+        });
+    }
+
+    let mut unique: Vec<(usize, PointOutcome)> = collected.into_inner().unwrap();
+    unique.sort_unstable_by_key(|(i, _)| *i);
+    let mut slots: Vec<Option<PointOutcome>> = vec![None; n];
+    for (i, o) in unique {
+        slots[i] = Some(o);
+    }
+    // Fill deduplicated points from their originals.
+    for i in 0..n {
+        if let Some(orig) = share_from[i] {
+            let source = slots[orig].clone().expect("original executed");
+            slots[i] = Some(PointOutcome {
+                point: points[i].clone(),
+                key: keys[i].clone(),
+                status: source.status,
+                cache_hit: source.cache_hit,
+                deduped: true,
+                wall_ms: 0,
+                attempts: 0,
+            });
+        }
+    }
+    let outcomes: Vec<PointOutcome> = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+
+    let report = CampaignReport {
+        name: spec.name.clone(),
+        spec_hash: spec.content_hash(),
+        code_salt: opts.code_salt.clone(),
+        jobs,
+        wall_ms: start.elapsed().as_millis() as u64,
+        outcomes,
+    };
+    if opts.progress {
+        eprintln!(
+            "[campaign {}] done: {} ok, {} failed, {} cache hits, {} simulated, {:.1}s",
+            report.name,
+            report.outcomes.len() - report.failed_count(),
+            report.failed_count(),
+            report.cache_hits(),
+            report.cache_misses(),
+            report.wall_ms as f64 / 1000.0,
+        );
+    }
+    Ok(report)
+}
+
+/// Worker-thread count: explicit option, then `DXBAR_JOBS`, then all
+/// available cores; always within `[1, work]`.
+fn resolve_jobs(explicit: Option<usize>, work: usize) -> usize {
+    let cap = explicit.or_else(jobs_from_env).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    cap.clamp(1, work.max(1))
+}
+
+fn jobs_from_env() -> Option<usize> {
+    std::env::var("DXBAR_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn run_one(
+    point: &PointSpec,
+    key: String,
+    cache: Option<&ResultCache>,
+    max_retries: u32,
+    runner: &(dyn Fn(&PointSpec) -> RunResult + Sync),
+) -> PointOutcome {
+    let t0 = Instant::now();
+    if let Some(c) = cache {
+        if let Some(result) = c.load(point) {
+            return PointOutcome {
+                point: point.clone(),
+                key,
+                status: PointStatus::Done(result),
+                cache_hit: true,
+                deduped: false,
+                wall_ms: t0.elapsed().as_millis() as u64,
+                attempts: 0,
+            };
+        }
+    }
+    let mut attempts = 0u32;
+    let status = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| runner(point))) {
+            Ok(result) => {
+                if let Some(c) = cache {
+                    c.store(point, &result);
+                }
+                break PointStatus::Done(result);
+            }
+            Err(payload) => {
+                let reason = panic_message(payload.as_ref());
+                if attempts > max_retries {
+                    break PointStatus::Failed {
+                        reason: format!("panicked after {attempts} attempt(s): {reason}"),
+                    };
+                }
+            }
+        }
+    };
+    PointOutcome {
+        point: point.clone(),
+        key,
+        status,
+        cache_hit: false,
+        deduped: false,
+        wall_ms: t0.elapsed().as_millis() as u64,
+        attempts,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Throttled stderr progress: at most ~40 lines per campaign plus the
+/// final one, with a naive elapsed-rate ETA.
+struct Progress<'a> {
+    enabled: bool,
+    name: &'a str,
+    total: usize,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    hits: AtomicUsize,
+    start: Instant,
+}
+
+impl Progress<'_> {
+    fn tick(&self, outcome: &PointOutcome) {
+        if outcome.is_failed() {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            if self.enabled {
+                eprintln!(
+                    "[campaign {}] FAILED {}: {}",
+                    self.name,
+                    outcome.point.describe(),
+                    match &outcome.status {
+                        PointStatus::Failed { reason } => reason.as_str(),
+                        PointStatus::Done(_) => unreachable!(),
+                    }
+                );
+            }
+        }
+        if outcome.cache_hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let stride = (self.total / 40).max(1);
+        if !done.is_multiple_of(stride) && done != self.total {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done > 0 {
+            elapsed / done as f64 * (self.total - done) as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[campaign {}] {done}/{} ({} failed, {} cached) elapsed {elapsed:.1}s eta {eta:.0}s",
+            self.name,
+            self.total,
+            self.failed.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Serializable campaign manifest: per-point provenance of one run.
+
+use serde::{Deserialize, Serialize};
+
+/// Top-level manifest written next to a campaign's outputs. Records what
+/// was asked (spec hash, code version), what happened (per-point status,
+/// cache hit/miss, wall time) and the headline totals CI gates on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    pub campaign: String,
+    /// Content hash of the expanded spec.
+    pub spec_hash: String,
+    /// Cache salt in effect (normally [`crate::CODE_VERSION`]).
+    pub code_version: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    pub total_points: usize,
+    pub completed: usize,
+    pub failed: usize,
+    pub cache_hits: usize,
+    /// Points that actually invoked the simulator.
+    pub cache_misses: usize,
+    pub wall_ms: u64,
+    pub points: Vec<PointRecord>,
+}
+
+impl CampaignManifest {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize manifest")
+    }
+
+    pub fn from_json(s: &str) -> Result<CampaignManifest, String> {
+        serde_json::from_str::<CampaignManifest>(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Provenance of one point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointRecord {
+    /// Content-addressed cache key.
+    pub key: String,
+    pub group: String,
+    pub design: String,
+    /// Workload descriptor ("UR@0.30", "SPLASH FFT").
+    pub workload: String,
+    pub fault_fraction: f64,
+    pub seed: u64,
+    /// "ok" or "failed".
+    pub status: String,
+    /// Panic message for failed points; empty otherwise.
+    pub reason: String,
+    pub cache_hit: bool,
+    /// Shared an identical sibling point's result within the same run.
+    pub deduped: bool,
+    pub wall_ms: u64,
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = CampaignManifest {
+            campaign: "fig05".into(),
+            spec_hash: "abcd".into(),
+            code_version: "v1".into(),
+            jobs: 4,
+            total_points: 2,
+            completed: 1,
+            failed: 1,
+            cache_hits: 0,
+            cache_misses: 2,
+            wall_ms: 1234,
+            points: vec![PointRecord {
+                key: "00ff".into(),
+                group: "fig05".into(),
+                design: "DXbar DOR".into(),
+                workload: "UR@0.30".into(),
+                fault_fraction: 0.0,
+                seed: 7,
+                status: "failed".into(),
+                reason: "panicked: boom".into(),
+                cache_hit: false,
+                deduped: false,
+                wall_ms: 17,
+                attempts: 2,
+            }],
+        };
+        let back = CampaignManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.campaign, "fig05");
+        assert_eq!(back.points.len(), 1);
+        assert_eq!(back.points[0].reason, "panicked: boom");
+        assert_eq!(back.points[0].attempts, 2);
+    }
+}

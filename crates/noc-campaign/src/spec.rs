@@ -1,0 +1,523 @@
+//! Campaign specifications: the declarative grid and its expansion into
+//! fully-resolved experiment points.
+
+use crate::fnv1a64;
+use dxbar_noc::Design;
+use noc_core::SimConfig;
+use noc_traffic::patterns::Pattern;
+use noc_traffic::splash::SplashApp;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One axis of workloads for a [`PointGroup`]: either an open-loop
+/// synthetic sweep (pattern × offered load) or a closed-loop SPLASH sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadAxis {
+    Synthetic {
+        patterns: Vec<Pattern>,
+        loads: Vec<f64>,
+    },
+    Splash {
+        apps: Vec<SplashApp>,
+        max_cycles: u64,
+    },
+}
+
+// The vendored serde derive covers unit enums only; payload-carrying enums
+// are serialized by hand as tagged objects.
+impl Serialize for WorkloadAxis {
+    fn to_value(&self) -> Value {
+        match self {
+            WorkloadAxis::Synthetic { patterns, loads } => Value::Object(vec![
+                ("kind".into(), Value::Str("synthetic".into())),
+                ("patterns".into(), patterns.to_value()),
+                ("loads".into(), loads.to_value()),
+            ]),
+            WorkloadAxis::Splash { apps, max_cycles } => Value::Object(vec![
+                ("kind".into(), Value::Str("splash".into())),
+                ("apps".into(), apps.to_value()),
+                ("max_cycles".into(), max_cycles.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WorkloadAxis {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.field("kind").as_str() {
+            Some("synthetic") => Ok(WorkloadAxis::Synthetic {
+                patterns: Vec::from_value(v.field("patterns"))?,
+                loads: Vec::from_value(v.field("loads"))?,
+            }),
+            Some("splash") => Ok(WorkloadAxis::Splash {
+                apps: Vec::from_value(v.field("apps"))?,
+                max_cycles: u64::from_value(v.field("max_cycles"))?,
+            }),
+            other => Err(Error::msg(format!(
+                "WorkloadAxis.kind must be \"synthetic\" or \"splash\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One resolved workload of a single experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    Synthetic { pattern: Pattern, load: f64 },
+    Splash { app: SplashApp, max_cycles: u64 },
+}
+
+impl Workload {
+    /// Short label used for grouping/reporting ("UR", "FFT", ...).
+    pub fn short(&self) -> &'static str {
+        match self {
+            Workload::Synthetic { pattern, .. } => pattern.abbrev(),
+            Workload::Splash { app, .. } => app.name(),
+        }
+    }
+
+    /// The point's x-coordinate in load sweeps (offered load; 0 for
+    /// closed-loop workloads, which have no load axis).
+    pub fn x(&self) -> f64 {
+        match self {
+            Workload::Synthetic { load, .. } => *load,
+            Workload::Splash { .. } => 0.0,
+        }
+    }
+
+    /// Human-readable descriptor ("UR@0.30", "SPLASH FFT").
+    pub fn describe(&self) -> String {
+        match self {
+            Workload::Synthetic { pattern, load } => format!("{}@{load:.2}", pattern.abbrev()),
+            Workload::Splash { app, .. } => format!("SPLASH {}", app.name()),
+        }
+    }
+}
+
+impl Serialize for Workload {
+    fn to_value(&self) -> Value {
+        match self {
+            Workload::Synthetic { pattern, load } => Value::Object(vec![
+                ("kind".into(), Value::Str("synthetic".into())),
+                ("pattern".into(), pattern.to_value()),
+                ("load".into(), load.to_value()),
+            ]),
+            Workload::Splash { app, max_cycles } => Value::Object(vec![
+                ("kind".into(), Value::Str("splash".into())),
+                ("app".into(), app.to_value()),
+                ("max_cycles".into(), max_cycles.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Workload {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.field("kind").as_str() {
+            Some("synthetic") => Ok(Workload::Synthetic {
+                pattern: Pattern::from_value(v.field("pattern"))?,
+                load: f64::from_value(v.field("load"))?,
+            }),
+            Some("splash") => Ok(Workload::Splash {
+                app: SplashApp::from_value(v.field("app"))?,
+                max_cycles: u64::from_value(v.field("max_cycles"))?,
+            }),
+            other => Err(Error::msg(format!(
+                "Workload.kind must be \"synthetic\" or \"splash\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One sub-grid of a campaign: a base configuration crossed with designs,
+/// a workload axis, fault fractions and seed replicates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointGroup {
+    /// Group label ("fig05", "ablation1_thresh=4", ...). Labels scope
+    /// aggregation and reporting, not cache identity: two groups declaring
+    /// identical points share cache entries and in-run work.
+    pub label: String,
+    /// Base simulation configuration; `seed` is overridden per replicate.
+    pub config: SimConfig,
+    /// Designs to evaluate.
+    pub designs: Vec<Design>,
+    /// Workload axis (synthetic sweep or SPLASH apps).
+    pub workload: WorkloadAxis,
+    /// Fault fractions (0.0..=1.0). Empty means a single fault-free run.
+    /// Honoured by the DXbar designs; others ignore faults (as in the
+    /// paper's fault study). Closed-loop SPLASH points ignore it too.
+    pub fault_fractions: Vec<f64>,
+    /// Replicate seeds. Empty means one replicate at `config.seed`.
+    pub seeds: Vec<u64>,
+    /// Optional traffic relabel applied to every result of the group
+    /// (ablation bins tag runs like "UR thresh=4"). Part of cache identity.
+    pub tag: Option<String>,
+}
+
+/// How often the executor re-attempts a panicking point before recording
+/// it as failed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+}
+
+/// A declarative experiment campaign: a named list of point groups plus a
+/// retry policy. Serializable to/from JSON (`campaign_run` spec files).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    pub name: String,
+    pub retry: RetryPolicy,
+    pub groups: Vec<PointGroup>,
+}
+
+impl CampaignSpec {
+    pub fn new(name: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            retry: RetryPolicy::default(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Builder-style group append.
+    pub fn with_group(mut self, group: PointGroup) -> CampaignSpec {
+        self.groups.push(group);
+        self
+    }
+
+    /// Concatenate several specs into one campaign (the `repro_all` union
+    /// grid). Group labels are kept as-is; the retry policy is the maximum
+    /// of the parts.
+    pub fn merged(name: impl Into<String>, specs: impl IntoIterator<Item = CampaignSpec>) -> Self {
+        let mut out = CampaignSpec::new(name);
+        for s in specs {
+            out.retry.max_retries = out.retry.max_retries.max(s.retry.max_retries);
+            out.groups.extend(s.groups);
+        }
+        out
+    }
+
+    /// Check the spec for internal consistency; returns the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.groups.is_empty() {
+            return Err(format!("campaign {:?} has no point groups", self.name));
+        }
+        for g in &self.groups {
+            g.config
+                .validate()
+                .map_err(|e| format!("group {:?}: {e}", g.label))?;
+            if g.designs.is_empty() {
+                return Err(format!("group {:?} has no designs", g.label));
+            }
+            match &g.workload {
+                WorkloadAxis::Synthetic { patterns, loads } => {
+                    if patterns.is_empty() || loads.is_empty() {
+                        return Err(format!("group {:?} has an empty synthetic axis", g.label));
+                    }
+                    if let Some(&l) = loads.iter().find(|l| !(0.0..=1.0).contains(*l)) {
+                        return Err(format!("group {:?}: load {l} outside [0,1]", g.label));
+                    }
+                }
+                WorkloadAxis::Splash { apps, max_cycles } => {
+                    if apps.is_empty() {
+                        return Err(format!("group {:?} has no SPLASH apps", g.label));
+                    }
+                    if *max_cycles == 0 {
+                        return Err(format!("group {:?}: max_cycles must be > 0", g.label));
+                    }
+                }
+            }
+            if let Some(&f) = g.fault_fractions.iter().find(|f| !(0.0..=1.0).contains(*f)) {
+                return Err(format!(
+                    "group {:?}: fault fraction {f} outside [0,1]",
+                    g.label
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into fully-resolved points, in deterministic order:
+    /// groups in declaration order, then designs × workload × fault
+    /// fraction × seed.
+    pub fn points(&self) -> Vec<PointSpec> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            let fractions: &[f64] = if g.fault_fractions.is_empty() {
+                &[0.0]
+            } else {
+                &g.fault_fractions
+            };
+            let seeds: Vec<u64> = if g.seeds.is_empty() {
+                vec![g.config.seed]
+            } else {
+                g.seeds.clone()
+            };
+            let workloads: Vec<Workload> = match &g.workload {
+                WorkloadAxis::Synthetic { patterns, loads } => patterns
+                    .iter()
+                    .flat_map(|&pattern| {
+                        loads
+                            .iter()
+                            .map(move |&load| Workload::Synthetic { pattern, load })
+                    })
+                    .collect(),
+                WorkloadAxis::Splash { apps, max_cycles } => apps
+                    .iter()
+                    .map(|&app| Workload::Splash {
+                        app,
+                        max_cycles: *max_cycles,
+                    })
+                    .collect(),
+            };
+            for &design in &g.designs {
+                for w in &workloads {
+                    for &fault_fraction in fractions {
+                        for &seed in &seeds {
+                            out.push(PointSpec {
+                                group: g.label.clone(),
+                                design,
+                                workload: w.clone(),
+                                fault_fraction,
+                                seed,
+                                tag: g.tag.clone(),
+                                config: SimConfig {
+                                    seed,
+                                    ..g.config.clone()
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable content hash of the whole spec (manifest provenance).
+    pub fn content_hash(&self) -> String {
+        let json = serde_json::to_string(self).expect("serialize spec");
+        format!("{:016x}", fnv1a64(json.as_bytes()))
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize spec")
+    }
+
+    pub fn from_json(s: &str) -> Result<CampaignSpec, String> {
+        serde_json::from_str::<CampaignSpec>(s).map_err(|e| e.to_string())
+    }
+}
+
+/// One fully-resolved experiment point: everything needed to run and to
+/// identify one simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointSpec {
+    /// Label of the group that declared this point (reporting only).
+    pub group: String,
+    pub design: Design,
+    pub workload: Workload,
+    /// Fraction of routers given one crossbar fault (0.0 = fault-free).
+    pub fault_fraction: f64,
+    /// Replicate seed (already substituted into `config.seed`).
+    pub seed: u64,
+    /// Optional traffic relabel applied to the result.
+    pub tag: Option<String>,
+    /// Complete simulation configuration for this point.
+    pub config: SimConfig,
+}
+
+impl PointSpec {
+    /// The canonical identity of this point for caching and in-run
+    /// deduplication: every field that influences the simulation's outcome.
+    /// The `group` label is deliberately excluded — two groups declaring
+    /// the same experiment share one result.
+    pub fn cache_identity(&self) -> Value {
+        Value::Object(vec![
+            ("design".into(), self.design.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("fault_fraction".into(), self.fault_fraction.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("tag".into(), self.tag.to_value()),
+            ("config".into(), self.config.to_value()),
+        ])
+    }
+
+    /// Content-addressed cache key: FNV-1a 64 of the canonical identity
+    /// JSON, salted with the code version. The JSON writer is deterministic
+    /// (field order preserved, shortest-roundtrip floats), so the key is
+    /// stable across runs, platforms and Rust releases.
+    pub fn cache_key(&self, code_salt: &str) -> String {
+        let json = self.cache_identity().to_json();
+        format!(
+            "{:016x}",
+            fnv1a64(format!("{code_salt}\0{json}").as_bytes())
+        )
+    }
+
+    /// One-line descriptor for logs and the manifest.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{} {}", self.design.name(), self.workload.describe());
+        if self.fault_fraction > 0.0 {
+            s.push_str(&format!(" faults={:.0}%", self.fault_fraction * 100.0));
+        }
+        s.push_str(&format!(" seed={:#x}", self.seed));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CODE_VERSION;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            width: 4,
+            height: 4,
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            drain_cycles: 100,
+            ..SimConfig::default()
+        }
+    }
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("t").with_group(PointGroup {
+            label: "g".into(),
+            config: tiny_cfg(),
+            designs: vec![Design::DXbarDor, Design::FlitBless],
+            workload: WorkloadAxis::Synthetic {
+                patterns: vec![Pattern::UniformRandom],
+                loads: vec![0.1, 0.2, 0.3],
+            },
+            fault_fractions: vec![0.0, 0.5],
+            seeds: vec![1, 2],
+            tag: None,
+        })
+    }
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product() {
+        let pts = spec().points();
+        assert_eq!(pts.len(), 2 * 3 * 2 * 2);
+        // Seed lands in the config.
+        assert!(pts.iter().all(|p| p.config.seed == p.seed));
+        // Deterministic order: two expansions agree.
+        let again = spec().points();
+        for (a, b) in pts.iter().zip(&again) {
+            assert_eq!(a.cache_key(CODE_VERSION), b.cache_key(CODE_VERSION));
+        }
+    }
+
+    #[test]
+    fn empty_axes_default_to_single_values() {
+        let mut s = spec();
+        s.groups[0].fault_fractions.clear();
+        s.groups[0].seeds.clear();
+        let pts = s.points();
+        assert_eq!(pts.len(), 2 * 3);
+        assert!(pts.iter().all(|p| p.fault_fraction == 0.0));
+        assert!(pts.iter().all(|p| p.seed == tiny_cfg().seed));
+    }
+
+    #[test]
+    fn cache_key_changes_with_every_identity_field() {
+        let base = spec().points().remove(0);
+        let k = |p: &PointSpec| p.cache_key(CODE_VERSION);
+        let base_key = k(&base);
+
+        let mut p = base.clone();
+        p.seed = 99;
+        p.config.seed = 99;
+        assert_ne!(k(&p), base_key, "seed must invalidate");
+
+        let mut p = base.clone();
+        p.design = Design::Scarab;
+        assert_ne!(k(&p), base_key, "design must invalidate");
+
+        let mut p = base.clone();
+        p.workload = Workload::Synthetic {
+            pattern: Pattern::UniformRandom,
+            load: 0.11,
+        };
+        assert_ne!(k(&p), base_key, "load must invalidate");
+
+        let mut p = base.clone();
+        p.fault_fraction = 0.25;
+        assert_ne!(k(&p), base_key, "fault fraction must invalidate");
+
+        let mut p = base.clone();
+        p.config.buffer_depth = 8;
+        assert_ne!(k(&p), base_key, "config field must invalidate");
+
+        let mut p = base.clone();
+        p.tag = Some("relabelled".into());
+        assert_ne!(k(&p), base_key, "tag must invalidate");
+
+        // The code-version salt invalidates everything at once.
+        assert_ne!(base.cache_key("some-other-code-version"), base_key);
+
+        // But the group label does NOT change identity.
+        let mut p = base.clone();
+        p.group = "another-figure".into();
+        assert_eq!(k(&p), base_key, "group label is not part of identity");
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let mut s = spec();
+        s.groups.push(PointGroup {
+            label: "splash".into(),
+            config: tiny_cfg(),
+            designs: vec![Design::Buffered4],
+            workload: WorkloadAxis::Splash {
+                apps: vec![SplashApp::Fft],
+                max_cycles: 10_000,
+            },
+            fault_fractions: vec![],
+            seeds: vec![],
+            tag: Some("FFT tagged".into()),
+        });
+        let json = s.to_json();
+        let back = CampaignSpec::from_json(&json).expect("roundtrip");
+        assert_eq!(back.content_hash(), s.content_hash());
+        assert_eq!(back.points().len(), s.points().len());
+        for (a, b) in s.points().iter().zip(back.points().iter()) {
+            assert_eq!(a.cache_key(CODE_VERSION), b.cache_key(CODE_VERSION));
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(CampaignSpec::new("empty").validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].designs.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].fault_fractions = vec![1.5];
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].config.width = 1;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].workload = WorkloadAxis::Synthetic {
+            patterns: vec![],
+            loads: vec![0.1],
+        };
+        assert!(s.validate().is_err());
+
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn merged_concatenates_groups() {
+        let m = CampaignSpec::merged("union", [spec(), spec()]);
+        assert_eq!(m.groups.len(), 2);
+        assert_eq!(m.points().len(), 2 * spec().points().len());
+    }
+}

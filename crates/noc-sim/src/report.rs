@@ -76,6 +76,22 @@ pub fn render_series(title: &str, xlabel: &str, ylabel: &str, points: &[(f64, f6
     out
 }
 
+/// Render a series of `(x, mean, ci95)` triples as an aligned three-column
+/// table — the multi-seed variant of [`render_series`], with the 95 %
+/// confidence half-width of the mean in the last column.
+pub fn render_series_ci(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    points: &[(f64, f64, f64)],
+) -> String {
+    let mut out = format!("# {title}\n# {xlabel:>8}  {ylabel}  ±95% CI\n");
+    for (x, y, ci) in points {
+        out.push_str(&format!("{x:>10.3}  {y:.4}  ±{ci:.4}\n"));
+    }
+    out
+}
+
 /// Render a grouped bar chart as text: one row per category, one column per
 /// series (the textual equivalent of the paper's per-pattern bar figures).
 pub fn render_bars(title: &str, series_names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
@@ -104,6 +120,14 @@ mod tests {
         assert!(s.contains("Fig 5"));
         assert!(s.contains("0.100"));
         assert!(s.contains("0.3500"));
+    }
+
+    #[test]
+    fn series_ci_renders_ci_column() {
+        let s = render_series_ci("Fig 5", "load", "accepted", &[(0.1, 0.102, 0.004)]);
+        assert!(s.contains("±95% CI"));
+        assert!(s.contains("±0.0040"));
+        assert!(s.contains("0.1020"));
     }
 
     #[test]

@@ -5,8 +5,26 @@
 //! contiguous chunks out across the available cores. Results land in
 //! pre-assigned slots, so output order always matches input order exactly
 //! as with real rayon's indexed parallel iterators.
+//!
+//! The `DXBAR_JOBS` environment variable caps the worker-thread count
+//! (CI runners and laptops set it instead of always fanning out to every
+//! core); unset or invalid values fall back to `available_parallelism`.
 
 use std::num::NonZeroUsize;
+
+/// Maximum worker threads: `DXBAR_JOBS` if set to a positive integer,
+/// otherwise the number of available cores.
+pub fn max_threads() -> usize {
+    std::env::var("DXBAR_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
@@ -60,10 +78,7 @@ where
 {
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = max_threads().min(n.max(1));
         if threads <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
@@ -94,6 +109,21 @@ mod tests {
         let xs: Vec<u64> = (0..1000).collect();
         let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dxbar_jobs_caps_threads_without_changing_results() {
+        // Results are slot-assigned, so any thread cap yields identical
+        // output; this checks the cap is parsed and correctness holds.
+        std::env::set_var("DXBAR_JOBS", "2");
+        assert_eq!(crate::max_threads(), 2);
+        let xs: Vec<u64> = (0..97).collect();
+        let out: Vec<u64> = xs.par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..97).map(|x| x * 3).collect::<Vec<_>>());
+        std::env::set_var("DXBAR_JOBS", "not-a-number");
+        assert!(crate::max_threads() >= 1);
+        std::env::remove_var("DXBAR_JOBS");
+        assert!(crate::max_threads() >= 1);
     }
 
     #[test]

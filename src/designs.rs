@@ -18,10 +18,12 @@ use noc_topology::Mesh;
 use noc_traffic::generator::SyntheticTraffic;
 use noc_traffic::patterns::Pattern;
 use noc_traffic::splash::{SplashApp, SplashTraffic};
+use serde::{Deserialize, Serialize};
 
 /// One evaluated configuration: a router micro-architecture plus its
-/// routing algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// routing algorithm. Serializes as the variant name ("DXbarDor"), which
+/// the campaign engine relies on for stable cache keys and spec files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Design {
     FlitBless,
     Scarab,
