@@ -7,7 +7,7 @@
 //!   SPEC.json             campaign spec file (see EXPERIMENTS.md)
 //!   --preset NAME         use a built-in spec instead of a file
 //!                         (fig05, fig06, fig07_08, fig09_10, fig11_12,
-//!                          ablations, smoke, repro_all)
+//!                          ablations, smoke, verify_smoke, repro_all)
 //!   --seeds N             replace every group's seeds with N derived
 //!                         replicate seeds (mean ± 95% CI aggregation)
 //!   --cache DIR           result-cache directory (default: $DXBAR_CACHE)
@@ -15,8 +15,12 @@
 //!                         cores)
 //!   --manifest PATH       write the provenance manifest JSON here
 //!   --emit-spec PATH      write the resolved spec JSON and exit
+//!   --verify              run every point under the runtime-oracle suite
+//!                         (also enabled by DXBAR_VERIFY=1); results land
+//!                         in a disjoint +verify cache namespace
 //!
-//! Exits 0 when every point completed, 1 when any point failed, 2 on
+//! Exits 0 when every point completed (and, with --verify, no invariant
+//! was violated), 1 when any point failed or violated an invariant, 2 on
 //! usage errors.
 //! ```
 
@@ -33,13 +37,14 @@ struct Args {
     jobs: Option<usize>,
     manifest: Option<PathBuf>,
     emit_spec: Option<PathBuf>,
+    verify: bool,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: campaign_run [SPEC.json] [--preset NAME] [--seeds N] [--cache DIR] \
-         [--jobs N] [--manifest PATH] [--emit-spec PATH]"
+         [--jobs N] [--manifest PATH] [--emit-spec PATH] [--verify]"
     );
     eprintln!("presets: {}", bench::specs::PRESETS.join(", "));
     exit(2);
@@ -54,6 +59,7 @@ fn parse_args() -> Args {
         jobs: None,
         manifest: None,
         emit_spec: None,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +86,7 @@ fn parse_args() -> Args {
             }
             "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest"))),
             "--emit-spec" => args.emit_spec = Some(PathBuf::from(value("--emit-spec"))),
+            "--verify" => args.verify = true,
             "--help" | "-h" => usage("help requested"),
             flag if flag.starts_with("--") => usage(&format!("unknown option {flag}")),
             file => {
@@ -134,6 +141,9 @@ fn main() {
     if let Some(jobs) = args.jobs {
         opts.jobs = Some(jobs);
     }
+    if args.verify {
+        opts.verify = true;
+    }
     let report = match run_campaign(&spec, &opts) {
         Ok(r) => r,
         Err(e) => usage(&format!("invalid campaign: {e}")),
@@ -175,6 +185,13 @@ fn main() {
             "{}/{} points failed",
             report.failed_count(),
             report.outcomes.len()
+        );
+        exit(1);
+    }
+    if report.total_violations() > 0 {
+        eprintln!(
+            "{} invariant violation(s) under verification",
+            report.total_violations()
         );
         exit(1);
     }

@@ -14,9 +14,13 @@
 //! Set `DXBAR_QUICK=1` for a fast smoke run, `DXBAR_SEEDS=n` for
 //! multi-seed figures with confidence intervals, `DXBAR_CACHE=dir` to
 //! choose the cache location (defaults to `<DXBAR_OUT>/campaign-cache`,
-//! falling back to `target/campaign-cache`).
+//! falling back to `target/campaign-cache`), and `DXBAR_VERIFY=1` to run
+//! the entire reproduction under the runtime-oracle suite (the campaign
+//! and every figure bin then fail on any invariant violation; verified
+//! results fill a disjoint `+verify` cache namespace).
 
 use bench::{campaign_options, run_figure_campaign};
+use dxbar_noc::noc_verify::verify_from_env;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -45,7 +49,17 @@ fn main() {
     // The figure bins read the cache location from the environment; the
     // unified campaign below fills it so they only render.
     std::env::set_var("DXBAR_CACHE", &cache);
-    eprintln!("=== unified campaign (cache: {}) ===", cache.display());
+    let verify = verify_from_env();
+    if verify {
+        // Make the switch explicit for the figure-bin children even if the
+        // user spelled it "true" etc.
+        std::env::set_var("DXBAR_VERIFY", "1");
+    }
+    eprintln!(
+        "=== unified campaign (cache: {}{}) ===",
+        cache.display(),
+        if verify { ", verified" } else { "" }
+    );
     assert!(
         campaign_options().cache_dir.is_some(),
         "cache must be active for repro_all"
@@ -57,6 +71,12 @@ fn main() {
         .failed()
         .map(|o| format!("campaign point {}", o.point.describe()))
         .collect();
+    if report.total_violations() > 0 {
+        failures.push(format!(
+            "{} invariant violation(s) under verification",
+            report.total_violations()
+        ));
+    }
 
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -25,12 +25,13 @@
 //!
 //! `DXBAR_QUICK=1` shrinks the simulated windows as for the figure bins.
 
+use bench::noc_campaign::verify_from_env;
 use bench::paper_config;
 use dxbar_noc::noc_sim::diagnostics::NodeField;
 use dxbar_noc::noc_sim::noc_trace::{chrome_trace_json, to_jsonl, RecordingSink};
 use dxbar_noc::noc_topology::Mesh;
 use dxbar_noc::noc_traffic::patterns::Pattern;
-use dxbar_noc::{run_synthetic_traced, Design};
+use dxbar_noc::{run_synthetic_traced, run_synthetic_traced_verified, Design};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::exit;
@@ -43,6 +44,7 @@ struct Options {
     events: usize,
     stride: u64,
     top: usize,
+    verify: bool,
 }
 
 fn parse_design(s: &str) -> Option<Design> {
@@ -90,6 +92,7 @@ fn parse_args() -> Options {
         events: 0,
         stride: 1,
         top: 10,
+        verify: verify_from_env(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -133,6 +136,7 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit(&format!("bad top count '{v}'")));
             }
+            "--verify" => opts.verify = true,
             other => usage_and_exit(&format!("unknown option '{other}'")),
         }
     }
@@ -152,7 +156,14 @@ fn main() {
         cfg.width,
         cfg.height
     );
-    let (result, sink) = run_synthetic_traced(opts.design, &cfg, opts.pattern, opts.load, sink);
+    let (result, sink, verify_report) = if opts.verify {
+        let (r, s, rep) =
+            run_synthetic_traced_verified(opts.design, &cfg, opts.pattern, opts.load, sink);
+        (r, s, Some(rep))
+    } else {
+        let (r, s) = run_synthetic_traced(opts.design, &cfg, opts.pattern, opts.load, sink);
+        (r, s, None)
+    };
 
     std::fs::create_dir_all(&opts.out).expect("create output dir");
 
@@ -258,6 +269,13 @@ fn main() {
         );
     }
 
+    if let Some(rep) = &verify_report {
+        let _ = writeln!(text, "\n== runtime verification ==\n{}", rep.summary());
+        for v in &rep.violations {
+            let _ = writeln!(text, "  {v}");
+        }
+    }
+
     let summary_path = opts.out.join("summary.txt");
     std::fs::write(&summary_path, &text).expect("write summary.txt");
     print!("{text}");
@@ -267,4 +285,13 @@ fn main() {
         chrome_path.display(),
         summary_path.display()
     );
+    if let Some(rep) = &verify_report {
+        if !rep.is_clean() {
+            eprintln!(
+                "[trace_run] verification FAILED: {} violation(s)",
+                rep.total_violations
+            );
+            exit(1);
+        }
+    }
 }

@@ -15,7 +15,14 @@
 //! * `DXBAR_SEEDS=<n>` — seed replicates per point; figures gain mean ±
 //!   95 % CI columns when n > 1;
 //! * `DXBAR_JOBS=<n>` — cap on worker threads (campaign executor and the
-//!   rayon shim).
+//!   rayon shim);
+//! * `DXBAR_VERIFY=1` — run every simulated point under the runtime-oracle
+//!   suite (`crates/noc-verify`): flit conservation, crossbar exclusivity,
+//!   route legality, FIFO bounds, fairness guarantee, deadlock watchdog.
+//!   Verified results use a disjoint `+verify` cache namespace; manifests
+//!   gain a `verify` block and any violation makes the bin exit nonzero.
+//!   Expect roughly 1.5-2x wall time per simulated point (see DESIGN.md's
+//!   "Verified invariants" section for measured overhead).
 
 pub mod specs;
 pub mod svg;
@@ -119,11 +126,16 @@ pub fn run_figure_campaign(spec: &CampaignSpec) -> CampaignReport {
     for f in report.failed() {
         eprintln!("[{}] point FAILED: {}", spec.name, f.point.describe());
     }
+    if report.verify_enabled {
+        let v = report.total_violations();
+        eprintln!("[{}] verification: {} invariant violation(s)", spec.name, v);
+    }
     report
 }
 
-/// Exit nonzero when a campaign lost points — called at the end of every
-/// figure bin so CI gates on complete regeneration.
+/// Exit nonzero when a campaign lost points or (under `DXBAR_VERIFY=1`)
+/// observed invariant violations — called at the end of every figure bin so
+/// CI gates on complete, verified regeneration.
 pub fn exit_on_failures(report: &CampaignReport) {
     let failed = report.failed_count();
     if failed > 0 {
@@ -131,6 +143,14 @@ pub fn exit_on_failures(report: &CampaignReport) {
             "[{}] {failed}/{} points failed; figure is incomplete",
             report.name,
             report.outcomes.len()
+        );
+        std::process::exit(1);
+    }
+    let violations = report.total_violations();
+    if violations > 0 {
+        eprintln!(
+            "[{}] {violations} invariant violation(s) under verification",
+            report.name
         );
         std::process::exit(1);
     }

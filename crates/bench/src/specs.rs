@@ -221,6 +221,53 @@ pub fn smoke() -> CampaignSpec {
         })
 }
 
+/// A small campaign for the CI `verify-smoke` job: intended to run under
+/// `--verify` / `DXBAR_VERIFY=1`, it exercises every oracle-relevant design
+/// family (dual-crossbar, unified, buffered, deflecting, dropping) at a
+/// contended load, plus the DXbar designs through runtime fault
+/// transitions. Bigger than `smoke`, far smaller than any figure.
+pub fn verify_smoke() -> CampaignSpec {
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 300,
+        measure_cycles: 1_200,
+        drain_cycles: 500,
+        ..SimConfig::default()
+    };
+    CampaignSpec::new("verify_smoke")
+        .with_group(PointGroup {
+            label: "verify_designs".into(),
+            config: cfg.clone(),
+            designs: vec![
+                Design::DXbarDor,
+                Design::DXbarWf,
+                Design::UnifiedDor,
+                Design::UnifiedWf,
+                Design::Buffered8,
+                Design::FlitBless,
+                Design::Scarab,
+                Design::Afc,
+            ],
+            workload: WorkloadAxis::Synthetic {
+                patterns: vec![Pattern::UniformRandom],
+                loads: vec![0.1, 0.5],
+            },
+            fault_fractions: vec![],
+            seeds: vec![],
+            tag: None,
+        })
+        .with_group(PointGroup {
+            label: "verify_faults".into(),
+            config: cfg,
+            designs: vec![Design::DXbarDor, Design::DXbarWf],
+            workload: ur_at(0.3),
+            fault_fractions: vec![0.5],
+            seeds: vec![],
+            tag: Some("UR faults=50%".into()),
+        })
+}
+
 /// The unified evaluation grid: every figure and ablation in one campaign.
 /// Overlapping groups (fig05/fig06) are deduplicated by the engine.
 pub fn repro_all() -> CampaignSpec {
@@ -247,13 +294,14 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
         "fig11_12" | "fig11_12_faults" => Some(fig11_12()),
         "ablations" => Some(ablations()),
         "smoke" => Some(smoke()),
+        "verify_smoke" => Some(verify_smoke()),
         "repro_all" | "all" => Some(repro_all()),
         _ => None,
     }
 }
 
 /// Preset names accepted by [`preset`] (canonical spellings).
-pub const PRESETS: [&str; 8] = [
+pub const PRESETS: [&str; 9] = [
     "fig05",
     "fig06",
     "fig07_08",
@@ -261,6 +309,7 @@ pub const PRESETS: [&str; 8] = [
     "fig11_12",
     "ablations",
     "smoke",
+    "verify_smoke",
     "repro_all",
 ];
 

@@ -32,5 +32,5 @@ pub mod router;
 pub mod unified;
 
 pub use fairness::FairnessCounter;
-pub use router::DXbarRouter;
+pub use router::{best_output, DXbarRouter};
 pub use unified::UnifiedRouter;

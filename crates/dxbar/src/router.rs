@@ -34,10 +34,11 @@ use crate::crossbar::{ConnectError, Crossbar};
 use crate::fairness::FairnessCounter;
 use noc_core::flit::Flit;
 use noc_core::queue::FixedQueue;
-use noc_core::types::{Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS};
+use noc_core::types::{Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS};
 use noc_faults::{CrossbarId, FaultClock, RouterFault};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
+use noc_sim::verify::ProbeEvent;
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
 use std::collections::VecDeque;
@@ -53,6 +54,41 @@ pub(crate) fn remaining_leg(mesh: &Mesh, current: NodeId, dst: NodeId, dir: Dire
         Direction::North | Direction::South => c.y.abs_diff(d.y) as u32,
         Direction::Local => 0,
     }
+}
+
+/// The per-requester decision of DXbar's greedy age-ordered allocation:
+/// the best free, credit-backed output for a route set. Ejection wins
+/// outright; among link ports prefer the least congested (most credits),
+/// then the longer remaining dimension. `None` = the requester lost
+/// arbitration this cycle.
+///
+/// Exposed so `noc-verify`'s micro-model-checker can enumerate the exact
+/// allocation function the router executes.
+pub fn best_output(
+    route: PortSet,
+    out_used: &[bool; 5],
+    credits: &[u32; 4],
+    leg: impl Fn(Direction) -> u32,
+) -> Option<Direction> {
+    let mut target = None;
+    let mut best_key = (0u32, 0u32);
+    for dir in ALL_DIRECTIONS {
+        if !route.contains(dir) || out_used[dir.index()] {
+            continue;
+        }
+        if dir == Direction::Local {
+            return Some(dir);
+        }
+        if credits[dir.index()] == 0 {
+            continue;
+        }
+        let key = (credits[dir.index()], leg(dir));
+        if target.is_none() || key > best_key {
+            target = Some(dir);
+            best_key = key;
+        }
+    }
+    target
 }
 
 /// Who requests an output port this cycle.
@@ -249,6 +285,15 @@ impl RouterModel for DXbarRouter {
                 epoch,
             });
         }
+        // Probe: could any waiter actually be served this cycle? Input to
+        // the fairness-starvation oracle; a wasted undetected-fault cycle
+        // clears it below (legal non-service).
+        let waiter_eligible = flipped
+            && ctx.probe.is_enabled()
+            && waiting.iter().any(|(_, f)| {
+                let route = self.algorithm.route(&self.mesh, self.node, f.dst);
+                best_output(route, &[false; 5], &self.credits, |_| 0).is_some()
+            });
         let order: Vec<(Who, Flit)> = if flipped {
             waiting.into_iter().chain(incoming).collect()
         } else {
@@ -260,38 +305,18 @@ impl RouterModel for DXbarRouter {
         let mut primary_row_used = [false; 4];
         let mut incoming_won = false;
         let mut waiter_won = false;
+        let mut faulty_wasted = false;
         let mut granted_buffers: Vec<usize> = Vec::new();
         let mut diverted: Vec<usize> = Vec::new(); // inputs whose arrival lost
 
         for (who, flit) in order {
             let route = self.algorithm.route(&self.mesh, self.node, flit.dst);
-            // Best free, credit-backed output: ejection first; among
-            // productive link ports prefer the least-congested (most
-            // credits), then the dimension with the longer remaining leg —
-            // the adaptive selection that makes WF competitive instead of
-            // piling onto the lowest port index.
-            let mut target = None;
-            let mut best_key = (0u32, 0u32);
-            for dir in ALL_DIRECTIONS {
-                if !route.contains(dir) || out_used[dir.index()] {
-                    continue;
-                }
-                if dir == Direction::Local {
-                    target = Some(dir);
-                    break;
-                }
-                if self.credits[dir.index()] == 0 {
-                    continue;
-                }
-                let key = (
-                    self.credits[dir.index()],
-                    remaining_leg(&self.mesh, self.node, flit.dst, dir),
-                );
-                if target.is_none() || key > best_key {
-                    target = Some(dir);
-                    best_key = key;
-                }
-            }
+            // Best free, credit-backed output: the adaptive selection that
+            // makes WF competitive instead of piling onto the lowest port
+            // index (see `best_output`).
+            let target = best_output(route, &out_used, &self.credits, |dir| {
+                remaining_leg(&self.mesh, self.node, flit.dst, dir)
+            });
             let Some(dir) = target else {
                 // Lost arbitration.
                 if let Who::Incoming(i) = who {
@@ -351,6 +376,16 @@ impl RouterModel for DXbarRouter {
                     // Commit the grant.
                     out_used[out_idx] = true;
                     ctx.events.xbar_traversals += 1;
+                    let (probe_input, probe_slot) = match who {
+                        Who::Incoming(i) => (i as u8, 0u8),
+                        Who::Buffered(i) => (i as u8, 1),
+                        Who::Injection => (4, 2),
+                    };
+                    ctx.probe.emit(|| ProbeEvent::Grant {
+                        input: probe_input,
+                        slot: probe_slot,
+                        output: out_idx as u8,
+                    });
                     let mut flit = flit;
                     match who {
                         Who::Incoming(i) => {
@@ -406,6 +441,7 @@ impl RouterModel for DXbarRouter {
                     // electrical path is dead — the cycle and the output
                     // slot are wasted, and the BIST countdown starts.
                     out_used[out_idx] = true;
+                    faulty_wasted = true;
                     if let Some(fc) = self.fault.as_mut() {
                         fc.record_failed_attempt(t);
                     }
@@ -446,6 +482,20 @@ impl RouterModel for DXbarRouter {
             primary_detected || ctx.arrivals.iter().all(|a| a.is_none()),
             "arrival neither switched nor buffered"
         );
+
+        if flipped {
+            ctx.probe.emit(|| ProbeEvent::FairnessFlip {
+                eligible_waiter: waiter_eligible && !faulty_wasted,
+                waiter_won,
+            });
+        }
+        for (i, b) in self.buffers.iter().enumerate() {
+            ctx.probe.emit(|| ProbeEvent::FifoDepth {
+                input: i as u8,
+                depth: b.len() as u8,
+                cap: self.depth as u8,
+            });
+        }
 
         self.fairness
             .update(waiters_exist, incoming_won, waiter_won);

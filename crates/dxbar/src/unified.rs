@@ -27,6 +27,7 @@ use noc_core::queue::FixedQueue;
 use noc_core::types::{Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
+use noc_sim::verify::ProbeEvent;
 use noc_topology::Mesh;
 use std::cmp::Reverse;
 
@@ -118,8 +119,10 @@ impl RouterModel for UnifiedRouter {
 
         // Build the request matrix: inputs 0..3 carry (incoming, buffered),
         // input 4 carries the injection flit in slot 0.
+        let flipped_at_start = self.fairness.flipped();
         let mut inputs: Vec<InputRequests<Prio>> = vec![InputRequests::default(); 5];
         let mut waiters_exist = false;
+        let mut waiter_requested = false;
         for d in LINK_DIRECTIONS {
             let i = d.index();
             if let Some(f) = &ctx.arrivals[i] {
@@ -132,6 +135,7 @@ impl RouterModel for UnifiedRouter {
                 waiters_exist = true;
                 let mask = self.request_mask(f);
                 if mask != 0 {
+                    waiter_requested = true;
                     inputs[i].slots[1] = Some((mask, self.prio(f, false)));
                 }
             }
@@ -140,6 +144,7 @@ impl RouterModel for UnifiedRouter {
             waiters_exist = true;
             let mask = self.request_mask(f);
             if mask != 0 {
+                waiter_requested = true;
                 inputs[4].slots[0] = Some((mask, self.prio(f, false)));
             }
         }
@@ -221,6 +226,13 @@ impl RouterModel for UnifiedRouter {
         // Commit grants.
         let mut incoming_won = false;
         let mut waiter_won = false;
+        for g in &grants {
+            ctx.probe.emit(|| ProbeEvent::Grant {
+                input: g.input as u8,
+                slot: g.v as u8,
+                output: g.output as u8,
+            });
+        }
         for g in grants {
             let (mut flit, is_incoming) = match (g.input, g.v) {
                 (4, 0) => {
@@ -267,6 +279,22 @@ impl RouterModel for UnifiedRouter {
                     .push(f)
                     .unwrap_or_else(|_| panic!("credit violation at {}: FIFO {i} full", self.node));
             }
+        }
+
+        if flipped_at_start {
+            // A waiter is eligible when its (credit-masked) request mask is
+            // non-empty — the priority classes guarantee it then wins.
+            ctx.probe.emit(|| ProbeEvent::FairnessFlip {
+                eligible_waiter: waiter_requested,
+                waiter_won,
+            });
+        }
+        for (i, b) in self.buffers.iter().enumerate() {
+            ctx.probe.emit(|| ProbeEvent::FifoDepth {
+                input: i as u8,
+                depth: b.len() as u8,
+                cap: self.depth as u8,
+            });
         }
 
         self.fairness

@@ -19,6 +19,7 @@ use noc_core::queue::FixedQueue;
 use noc_core::types::{Cycle, Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_PORTS};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
+use noc_sim::ProbeEvent;
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
 
@@ -285,6 +286,11 @@ impl RouterModel for BufferedRouter {
             let mut flit = w.flit;
             ctx.events.buffer_reads += 1;
             ctx.events.xbar_traversals += 1;
+            ctx.probe.emit(|| ProbeEvent::Grant {
+                input: input as u8,
+                slot: vc as u8,
+                output: dir.index() as u8,
+            });
             // `ready` is arrival + 1, so the buffer-entry cycle is ready - 1.
             let waited = t.saturating_sub(w.ready.saturating_sub(1));
             ctx.trace.emit(|| TraceEvent::BufferExit {
@@ -319,6 +325,19 @@ impl RouterModel for BufferedRouter {
                 let c = &mut self.credits[d.index()][vc.min(num_vcs - 1)];
                 *c += count;
                 debug_assert!(*c <= self.depth as u32, "credit overflow on {d}");
+            }
+        }
+
+        if ctx.probe.is_enabled() {
+            for (input, vcs) in self.vcs.iter().enumerate() {
+                for (vc, q) in vcs.iter().enumerate() {
+                    // `input` field encodes (input port, VC) as port<<4 | vc.
+                    ctx.probe.emit(|| ProbeEvent::FifoDepth {
+                        input: ((input as u8) << 4) | vc as u8,
+                        depth: q.len() as u8,
+                        cap: self.depth as u8,
+                    });
+                }
             }
         }
     }

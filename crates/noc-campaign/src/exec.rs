@@ -2,12 +2,15 @@
 
 use crate::agg::Aggregate;
 use crate::cache::ResultCache;
-use crate::manifest::{CampaignManifest, PointRecord};
+use crate::manifest::{CampaignManifest, PointRecord, VerifyBlock};
 use crate::spec::{CampaignSpec, PointSpec, Workload};
 use crate::CODE_VERSION;
 use dxbar_noc::noc_faults::FaultPlan;
 use dxbar_noc::noc_topology::Mesh;
-use dxbar_noc::{run_splash, run_synthetic, run_synthetic_with_faults, RunResult};
+use dxbar_noc::{
+    run_splash, run_splash_verified, run_synthetic, run_synthetic_verified,
+    run_synthetic_with_faults, RunResult,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -30,6 +33,11 @@ pub struct ExecOptions {
     pub code_salt: String,
     /// Emit progress/ETA lines to stderr.
     pub progress: bool,
+    /// Run every simulated point under the runtime-oracle suite. Defaults
+    /// to the `DXBAR_VERIFY` environment variable ("1"/"true"). Verified
+    /// results use a `+verify`-salted cache namespace so they never mix
+    /// with unverified ones.
+    pub verify: bool,
 }
 
 impl Default for ExecOptions {
@@ -39,8 +47,33 @@ impl Default for ExecOptions {
             jobs: None,
             code_salt: CODE_VERSION.to_string(),
             progress: false,
+            verify: verify_from_env(),
         }
     }
+}
+
+/// Whether `DXBAR_VERIFY` asks for verified runs ("1" or "true").
+pub use dxbar_noc::noc_verify::verify_from_env;
+
+impl ExecOptions {
+    /// Cache salt actually in effect: `+verify` keeps verified and
+    /// unverified results in disjoint cache namespaces.
+    fn effective_salt(&self) -> String {
+        if self.verify {
+            format!("{}+verify", self.code_salt)
+        } else {
+            self.code_salt.clone()
+        }
+    }
+}
+
+/// Verification outcome of one simulated point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointVerify {
+    /// Invariant violations observed during the run.
+    pub violations: u64,
+    /// Individual oracle checks performed.
+    pub checks: u64,
 }
 
 /// Terminal state of one point.
@@ -71,6 +104,10 @@ pub struct PointOutcome {
     pub wall_ms: u64,
     /// Runner invocations (0 for cache hits and deduplicated points).
     pub attempts: u32,
+    /// Oracle outcome when the point was simulated under verification
+    /// (`None` for unverified runs and cache hits — a hit in the `+verify`
+    /// namespace was verified clean when it was stored).
+    pub verify: Option<PointVerify>,
 }
 
 impl PointOutcome {
@@ -92,10 +129,13 @@ pub struct CampaignReport {
     pub name: String,
     /// Content hash of the spec that produced this report.
     pub spec_hash: String,
+    /// Cache salt in effect (includes `+verify` for verified runs).
     pub code_salt: String,
     /// Worker threads actually used.
     pub jobs: usize,
     pub wall_ms: u64,
+    /// Whether points ran under the runtime-oracle suite.
+    pub verify_enabled: bool,
     pub outcomes: Vec<PointOutcome>,
 }
 
@@ -134,6 +174,16 @@ impl CampaignReport {
         Aggregate::collect(&self.outcomes)
     }
 
+    /// Total invariant violations across verified points (0 when
+    /// verification was off).
+    pub fn total_violations(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.verify)
+            .map(|v| v.violations)
+            .sum()
+    }
+
     /// Serializable per-point provenance record of the whole campaign.
     pub fn manifest(&self) -> CampaignManifest {
         CampaignManifest {
@@ -147,6 +197,17 @@ impl CampaignReport {
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
             wall_ms: self.wall_ms,
+            verify: self.verify_enabled.then(|| VerifyBlock {
+                enabled: true,
+                verified_points: self.outcomes.iter().filter(|o| o.verify.is_some()).count(),
+                violations: self.total_violations(),
+                checks: self
+                    .outcomes
+                    .iter()
+                    .filter_map(|o| o.verify)
+                    .map(|v| v.checks)
+                    .sum(),
+            }),
             points: self
                 .outcomes
                 .iter()
@@ -166,10 +227,24 @@ impl CampaignReport {
                     deduped: o.deduped,
                     wall_ms: o.wall_ms,
                     attempts: o.attempts,
+                    violations: o.verify.map_or(0, |v| v.violations),
                 })
                 .collect(),
         }
     }
+}
+
+/// Seeded fault plan for a faulty point (the paper's methodology: plan
+/// seeded by the run seed, faults manifest during warmup).
+fn fault_plan(p: &PointSpec) -> FaultPlan {
+    let mesh = Mesh::new(p.config.width, p.config.height);
+    FaultPlan::generate(
+        &mesh,
+        p.fault_fraction,
+        p.config.warmup_cycles / 2,
+        p.config.warmup_cycles.max(1),
+        p.config.seed,
+    )
 }
 
 /// Run one point with the production simulator: dispatches on the
@@ -179,17 +254,7 @@ pub fn run_point(p: &PointSpec) -> RunResult {
     let mut r = match &p.workload {
         Workload::Synthetic { pattern, load } => {
             if p.fault_fraction > 0.0 {
-                // Matches the paper's fault methodology: plan seeded by the
-                // run seed, faults manifest during warmup.
-                let mesh = Mesh::new(p.config.width, p.config.height);
-                let plan = FaultPlan::generate(
-                    &mesh,
-                    p.fault_fraction,
-                    p.config.warmup_cycles / 2,
-                    p.config.warmup_cycles.max(1),
-                    p.config.seed,
-                );
-                run_synthetic_with_faults(p.design, &p.config, *pattern, *load, &plan)
+                run_synthetic_with_faults(p.design, &p.config, *pattern, *load, &fault_plan(p))
             } else {
                 run_synthetic(p.design, &p.config, *pattern, *load)
             }
@@ -202,9 +267,56 @@ pub fn run_point(p: &PointSpec) -> RunResult {
     r
 }
 
-/// Run a campaign with the production runner ([`run_point`]).
+/// [`run_point`] under the runtime-oracle suite. A violating run still
+/// returns its result — the violation count travels in [`PointVerify`] and
+/// is surfaced through the campaign manifest's `verify` block.
+pub fn run_point_verified(p: &PointSpec) -> (RunResult, PointVerify) {
+    let outcome = match &p.workload {
+        Workload::Synthetic { pattern, load } => {
+            let plan = if p.fault_fraction > 0.0 {
+                fault_plan(p)
+            } else {
+                FaultPlan::none(&Mesh::new(p.config.width, p.config.height))
+            };
+            run_synthetic_verified(p.design, &p.config, *pattern, *load, &plan)
+        }
+        Workload::Splash { app, max_cycles } => {
+            run_splash_verified(p.design, &p.config, *app, *max_cycles)
+        }
+    };
+    let (mut r, verify) = match outcome {
+        Ok((r, report)) => (
+            r,
+            PointVerify {
+                violations: 0,
+                checks: report.checks.total(),
+            },
+        ),
+        Err(e) => (
+            e.result,
+            PointVerify {
+                violations: e.report.total_violations,
+                checks: e.report.checks.total(),
+            },
+        ),
+    };
+    if let Some(tag) = &p.tag {
+        r.traffic = tag.clone();
+    }
+    (r, verify)
+}
+
+/// Run a campaign with the production runner ([`run_point`], or
+/// [`run_point_verified`] when `opts.verify` is set).
 pub fn run_campaign(spec: &CampaignSpec, opts: &ExecOptions) -> Result<CampaignReport, String> {
-    run_campaign_with(spec, opts, &run_point)
+    if opts.verify {
+        run_campaign_inner(spec, opts, &|p| {
+            let (r, v) = run_point_verified(p);
+            (r, Some(v))
+        })
+    } else {
+        run_campaign_with(spec, opts, &run_point)
+    }
 }
 
 /// Run a campaign with a custom runner (tests inject panicking or counting
@@ -214,13 +326,22 @@ pub fn run_campaign_with(
     opts: &ExecOptions,
     runner: &(dyn Fn(&PointSpec) -> RunResult + Sync),
 ) -> Result<CampaignReport, String> {
+    run_campaign_inner(spec, opts, &|p| (runner(p), None))
+}
+
+fn run_campaign_inner(
+    spec: &CampaignSpec,
+    opts: &ExecOptions,
+    runner: &(dyn Fn(&PointSpec) -> (RunResult, Option<PointVerify>) + Sync),
+) -> Result<CampaignReport, String> {
     spec.validate()?;
     let start = Instant::now();
+    let salt = opts.effective_salt();
     let points = spec.points();
     let n = points.len();
     let cache = match &opts.cache_dir {
         Some(dir) => Some(
-            ResultCache::open(dir, opts.code_salt.clone())
+            ResultCache::open(dir, salt.clone())
                 .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
         ),
         None => None,
@@ -230,10 +351,7 @@ pub fn run_campaign_with(
     // executed once and the outcome shared. The unified `repro_all` grid
     // deliberately declares e.g. the fig05 and fig06 sweeps over the same
     // points; only one of the pair costs simulation time.
-    let keys: Vec<String> = points
-        .iter()
-        .map(|p| p.cache_key(&opts.code_salt))
-        .collect();
+    let keys: Vec<String> = points.iter().map(|p| p.cache_key(&salt)).collect();
     let mut first_of: HashMap<&str, usize> = HashMap::new();
     let mut work: Vec<usize> = Vec::new(); // indices of unique points
     let mut share_from: Vec<Option<usize>> = vec![None; n]; // dup -> original
@@ -321,6 +439,7 @@ pub fn run_campaign_with(
                 deduped: true,
                 wall_ms: 0,
                 attempts: 0,
+                verify: source.verify,
             });
         }
     }
@@ -329,9 +448,10 @@ pub fn run_campaign_with(
     let report = CampaignReport {
         name: spec.name.clone(),
         spec_hash: spec.content_hash(),
-        code_salt: opts.code_salt.clone(),
+        code_salt: salt,
         jobs,
         wall_ms: start.elapsed().as_millis() as u64,
+        verify_enabled: opts.verify,
         outcomes,
     };
     if opts.progress {
@@ -371,7 +491,7 @@ fn run_one(
     key: String,
     cache: Option<&ResultCache>,
     max_retries: u32,
-    runner: &(dyn Fn(&PointSpec) -> RunResult + Sync),
+    runner: &(dyn Fn(&PointSpec) -> (RunResult, Option<PointVerify>) + Sync),
 ) -> PointOutcome {
     let t0 = Instant::now();
     if let Some(c) = cache {
@@ -384,17 +504,23 @@ fn run_one(
                 deduped: false,
                 wall_ms: t0.elapsed().as_millis() as u64,
                 attempts: 0,
+                verify: None,
             };
         }
     }
     let mut attempts = 0u32;
+    let mut verify = None;
     let status = loop {
         attempts += 1;
         match catch_unwind(AssertUnwindSafe(|| runner(point))) {
-            Ok(result) => {
-                if let Some(c) = cache {
+            Ok((result, v)) => {
+                // Violating results never enter the cache: a later hit
+                // could not re-report the violations.
+                let clean = v.is_none_or(|v| v.violations == 0);
+                if let (Some(c), true) = (cache, clean) {
                     c.store(point, &result);
                 }
+                verify = v;
                 break PointStatus::Done(result);
             }
             Err(payload) => {
@@ -415,6 +541,7 @@ fn run_one(
         deduped: false,
         wall_ms: t0.elapsed().as_millis() as u64,
         attempts,
+        verify,
     }
 }
 

@@ -63,10 +63,10 @@ pub mod spec;
 pub use agg::{Aggregate, MetricSummary};
 pub use cache::ResultCache;
 pub use exec::{
-    run_campaign, run_campaign_with, run_point, CampaignReport, ExecOptions, PointOutcome,
-    PointStatus,
+    run_campaign, run_campaign_with, run_point, verify_from_env, CampaignReport, ExecOptions,
+    PointOutcome, PointStatus, PointVerify,
 };
-pub use manifest::{CampaignManifest, PointRecord};
+pub use manifest::{CampaignManifest, PointRecord, VerifyBlock};
 pub use spec::{CampaignSpec, PointGroup, PointSpec, RetryPolicy, Workload, WorkloadAxis};
 
 /// Code-version salt mixed into every cache key. Bump whenever the

@@ -21,7 +21,23 @@ pub struct CampaignManifest {
     /// Points that actually invoked the simulator.
     pub cache_misses: usize,
     pub wall_ms: u64,
+    /// Runtime-verification summary; `None` when the campaign ran without
+    /// the oracle suite.
+    pub verify: Option<VerifyBlock>,
     pub points: Vec<PointRecord>,
+}
+
+/// Aggregate runtime-verification outcome of one campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyBlock {
+    pub enabled: bool,
+    /// Points simulated under the oracle suite this run (cache hits were
+    /// verified when first stored and are not re-counted).
+    pub verified_points: usize,
+    /// Total invariant violations across verified points.
+    pub violations: u64,
+    /// Total individual oracle checks performed.
+    pub checks: u64,
 }
 
 impl CampaignManifest {
@@ -54,6 +70,9 @@ pub struct PointRecord {
     pub deduped: bool,
     pub wall_ms: u64,
     pub attempts: u32,
+    /// Invariant violations observed for this point (0 unless the point
+    /// was simulated under verification and violated an oracle).
+    pub violations: u64,
 }
 
 #[cfg(test)]
@@ -73,6 +92,12 @@ mod tests {
             cache_hits: 0,
             cache_misses: 2,
             wall_ms: 1234,
+            verify: Some(VerifyBlock {
+                enabled: true,
+                verified_points: 2,
+                violations: 1,
+                checks: 9_999,
+            }),
             points: vec![PointRecord {
                 key: "00ff".into(),
                 group: "fig05".into(),
@@ -86,6 +111,7 @@ mod tests {
                 deduped: false,
                 wall_ms: 17,
                 attempts: 2,
+                violations: 1,
             }],
         };
         let back = CampaignManifest::from_json(&m.to_json()).unwrap();
@@ -93,5 +119,10 @@ mod tests {
         assert_eq!(back.points.len(), 1);
         assert_eq!(back.points[0].reason, "panicked: boom");
         assert_eq!(back.points[0].attempts, 2);
+        assert_eq!(back.points[0].violations, 1);
+        let v = back.verify.expect("verify block survives the roundtrip");
+        assert_eq!(v.verified_points, 2);
+        assert_eq!(v.violations, 1);
+        assert_eq!(v.checks, 9_999);
     }
 }

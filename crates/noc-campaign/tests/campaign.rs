@@ -342,6 +342,53 @@ fn real_simulation_results_roundtrip_through_the_cache() {
 }
 
 #[test]
+fn verified_campaign_reports_clean_manifest_block() {
+    let dir = scratch("verified");
+    let spec = CampaignSpec::new("verified").with_group(PointGroup {
+        label: "verified".into(),
+        config: tiny_cfg(),
+        designs: vec![Design::DXbarDor, Design::UnifiedWf],
+        workload: WorkloadAxis::Synthetic {
+            patterns: vec![Pattern::UniformRandom],
+            loads: vec![0.2],
+        },
+        fault_fractions: vec![0.0, 0.5],
+        seeds: vec![7],
+        tag: None,
+    });
+    let opts = ExecOptions {
+        verify: true,
+        ..opts_with_cache(&dir)
+    };
+
+    let r = run_campaign(&spec, &opts).unwrap();
+    assert_eq!(r.failed_count(), 0);
+    assert!(r.verify_enabled);
+    assert_eq!(r.total_violations(), 0);
+    let m = r.manifest();
+    assert!(m.code_version.ends_with("+verify"));
+    let v = m.verify.as_ref().expect("verify block present");
+    assert!(v.enabled);
+    assert_eq!(v.verified_points, 4);
+    assert_eq!(v.violations, 0);
+    assert!(v.checks > 0, "oracles must actually have run");
+
+    // Verified and unverified results live in disjoint cache namespaces.
+    let plain = run_campaign(&spec, &opts_with_cache(&dir)).unwrap();
+    assert_eq!(plain.cache_hits(), 0, "unverified run must not hit +verify");
+    assert!(plain.manifest().verify.is_none());
+
+    // A second verified run hits its own namespace; the manifest still
+    // reports verification enabled with nothing re-verified.
+    let again = run_campaign(&spec, &opts).unwrap();
+    assert_eq!(again.cache_hits(), 4);
+    let v = again.manifest().verify.unwrap();
+    assert_eq!(v.verified_points, 0);
+    assert_eq!(v.violations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn identical_points_across_groups_are_deduplicated_in_run() {
     // fig05 and fig06 declare the same sweep under different labels; the
     // engine must simulate each unique point once and share the result.

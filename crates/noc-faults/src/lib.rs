@@ -324,6 +324,93 @@ mod tests {
         assert!(c.detected(15));
     }
 
+    #[test]
+    fn bist_detection_boundary_is_exactly_delay_cycles_after_first_attempt() {
+        // The paper's BIST countdown: with the default 5-cycle delay, the
+        // fault stays Undetected through first+4 and flips Detected at
+        // exactly first+5 — check every cycle across the boundary.
+        let f = RouterFault {
+            router: NodeId(3),
+            target: CrossbarId::Primary,
+            onset: 0,
+        };
+        let mut c = FaultClock::new(f, 5);
+        c.record_failed_attempt(20);
+        for cycle in 20..25 {
+            assert_eq!(c.phase(cycle), FaultPhase::Undetected, "cycle {cycle}");
+            assert!(!c.detected(cycle), "cycle {cycle}");
+        }
+        assert_eq!(c.phase(25), FaultPhase::Detected);
+        assert!(c.detected(25));
+    }
+
+    #[test]
+    fn zero_detection_delay_detects_on_the_attempt_cycle() {
+        // The ablation sweep's delay=0 edge: detection is immediate, but
+        // still requires an attempt — before it, the fault is Undetected.
+        let f = RouterFault {
+            router: NodeId(0),
+            target: CrossbarId::Secondary,
+            onset: 5,
+        };
+        let mut c = FaultClock::new(f, 0);
+        assert_eq!(c.phase(6), FaultPhase::Undetected);
+        c.record_failed_attempt(7);
+        assert_eq!(c.phase(7), FaultPhase::Detected);
+    }
+
+    #[test]
+    fn attempt_at_onset_cycle_anchors_the_countdown() {
+        // A flit can hit the crossbar the very cycle the fault manifests;
+        // the countdown anchors there, so detection lands at onset+delay.
+        let f = RouterFault {
+            router: NodeId(1),
+            target: CrossbarId::Primary,
+            onset: 100,
+        };
+        let mut c = FaultClock::new(f, 5);
+        c.record_failed_attempt(100);
+        assert_eq!(c.phase(104), FaultPhase::Undetected);
+        assert_eq!(c.phase(105), FaultPhase::Detected);
+    }
+
+    #[test]
+    fn phase_queries_before_the_anchor_stay_consistent() {
+        // phase() may be queried for cycles earlier than the recorded
+        // attempt (e.g. replay/diagnostics): those still report the
+        // pre-detection state, and Dormant before onset.
+        let f = RouterFault {
+            router: NodeId(2),
+            target: CrossbarId::Secondary,
+            onset: 50,
+        };
+        let mut c = FaultClock::new(f, 5);
+        c.record_failed_attempt(60);
+        assert_eq!(c.phase(49), FaultPhase::Dormant);
+        assert_eq!(c.phase(55), FaultPhase::Undetected);
+        assert_eq!(c.phase(64), FaultPhase::Undetected);
+        assert_eq!(c.phase(65), FaultPhase::Detected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_detection_boundary_exact(delay in 0u64..=64, first in 0u64..=1_000) {
+            // For any delay and anchor, Detected begins at exactly
+            // first + delay and never a cycle earlier.
+            let f = RouterFault {
+                router: NodeId(0),
+                target: CrossbarId::Primary,
+                onset: 0,
+            };
+            let mut c = FaultClock::new(f, delay);
+            c.record_failed_attempt(first);
+            if delay > 0 {
+                prop_assert_eq!(c.phase(first + delay - 1), FaultPhase::Undetected);
+            }
+            prop_assert_eq!(c.phase(first + delay), FaultPhase::Detected);
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_plan_matches_fraction(frac in 0.0f64..=1.0, seed in any::<u64>()) {

@@ -27,11 +27,13 @@ pub mod reassembly;
 pub mod report;
 pub mod router;
 pub mod runner;
+pub mod verify;
 
 pub use network::Network;
 pub use report::RunResult;
 pub use router::{RouterFactory, RouterModel, StepCtx};
 pub use runner::{run, run_traced, RunMode};
+pub use verify::{NullVerifier, ProbeBuf, ProbeEvent, RunObserver, StepInputs};
 
 // Downstream crates (router models, binaries) reach trace types through
 // the engine so they agree on the version the engine was built with.

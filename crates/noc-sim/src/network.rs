@@ -3,6 +3,7 @@
 
 use crate::reassembly::Reassembler;
 use crate::router::{RouterModel, StepCtx};
+use crate::verify::{NullVerifier, RunObserver, StepInputs};
 use crate::{CREDIT_LATENCY, LINK_LATENCY};
 use noc_core::flit::Flit;
 use noc_core::stats::NetStats;
@@ -40,6 +41,10 @@ pub struct Network {
     /// [`NullSink`] reports not-recording, which keeps every router's
     /// `TraceBuf` disabled and the hot path at one branch per site.
     sink: Box<dyn TraceSink>,
+    /// Runtime-verification observer. The default [`NullVerifier`] reports
+    /// inactive, which keeps every router's `ProbeBuf` disabled and skips
+    /// all observer hooks.
+    observer: Box<dyn RunObserver>,
 }
 
 impl Network {
@@ -79,6 +84,7 @@ impl Network {
             cycle: 0,
             source_overflow: 0,
             sink: Box::new(NullSink),
+            observer: Box::new(NullVerifier),
         }
     }
 
@@ -96,6 +102,23 @@ impl Network {
     /// The attached trace sink (read-only view).
     pub fn trace_sink(&self) -> &dyn TraceSink {
         self.sink.as_ref()
+    }
+
+    /// Attach a runtime-verification observer; subsequent cycles report
+    /// into it (and routers stage verification probes).
+    pub fn set_observer(&mut self, observer: Box<dyn RunObserver>) {
+        self.observer = observer;
+    }
+
+    /// Detach the current observer (replacing it with [`NullVerifier`]), so
+    /// callers can recover a verifier's findings after a run.
+    pub fn take_observer(&mut self) -> Box<dyn RunObserver> {
+        std::mem::replace(&mut self.observer, Box::new(NullVerifier))
+    }
+
+    /// The attached observer (read-only view).
+    pub fn observer(&self) -> &dyn RunObserver {
+        self.observer.as_ref()
     }
 
     pub fn mesh(&self) -> &Mesh {
@@ -183,11 +206,16 @@ impl Network {
     /// deterministic and race-free.
     fn cycle_routers(&mut self, t: Cycle, model: &mut dyn TrafficModel) {
         let tracing = self.sink.is_recording();
+        let verifying = self.observer.is_active();
+        if verifying {
+            self.observer.on_cycle_start(t);
+        }
         let traversals_before = self.stats.events.link_traversals;
         for i in 0..self.routers.len() {
             let node = NodeId(i as u16);
             let mut ctx = StepCtx::new(t);
             ctx.trace.set_enabled(tracing);
+            ctx.probe.set_enabled(verifying);
 
             for d in LINK_DIRECTIONS {
                 if let Some(line) = self.in_links[i][d.index()].as_mut() {
@@ -205,17 +233,34 @@ impl Network {
                 f
             });
 
-            // Routers may consume (take) their arrivals, so count inputs
+            // Routers may consume (take) their arrivals, so snapshot inputs
             // before stepping.
+            let inputs = if verifying {
+                Some(StepInputs {
+                    arrivals: ctx.arrivals,
+                    injection: ctx.injection,
+                })
+            } else {
+                None
+            };
             let arrivals_offered = ctx.arrivals.iter().flatten().count();
             let occ_before = self.routers[i].occupancy();
             self.routers[i].step(&mut ctx);
             let occ_after = self.routers[i].occupancy();
-            debug_assert_eq!(
-                occ_before + arrivals_offered + usize::from(ctx.injected),
-                occ_after + ctx.flits_out(),
+            // With an active observer attached, conservation violations are
+            // its to report (structured, non-fatal); the hard assert guards
+            // unobserved runs only.
+            debug_assert!(
+                verifying
+                    || occ_before + arrivals_offered + usize::from(ctx.injected)
+                        == occ_after + ctx.flits_out(),
                 "flit conservation violated at {node} cycle {t}"
             );
+            if let Some(inputs) = &inputs {
+                // Observe before the engine consumes the outputs below.
+                self.observer
+                    .on_router_step(node, inputs, &ctx, occ_before, occ_after);
+            }
 
             // Outgoing flits onto the links.
             for d in LINK_DIRECTIONS {
@@ -320,6 +365,11 @@ impl Network {
 
             self.stats.events.merge(&ctx.events);
             ctx.trace.drain_into(self.sink.as_mut());
+        }
+
+        if verifying {
+            let in_flight = self.flits_in_flight();
+            self.observer.on_cycle_end(t, in_flight);
         }
 
         if tracing {

@@ -180,6 +180,116 @@ mod tests {
     }
 
     #[test]
+    fn fully_reversed_arrival_completes_with_head_last() {
+        // Tail-first delivery: the head flit (index 0) is the last missing
+        // piece, and completion metadata still comes from the packet, not
+        // from arrival order.
+        let mut r = Reassembler::new();
+        for i in [3u8, 2, 1] {
+            assert!(r.accept(&flit(i, 4), 30).is_none());
+        }
+        let done = r.accept(&flit(0, 4), 31).expect("head completes");
+        assert_eq!(done.id, PacketId(7));
+        assert_eq!(done.src, NodeId(1));
+        assert_eq!(done.dst, NodeId(2));
+        assert_eq!(done.created, 100);
+        assert_eq!(done.completed, 31);
+    }
+
+    #[test]
+    fn interleaved_packets_from_distinct_sources_stay_separate() {
+        // One ejection port sees two in-flight packets from different
+        // sources with their flits interleaved; each must reassemble
+        // against its own entry and complete independently.
+        let mut r = Reassembler::new();
+        let a = |idx| {
+            Flit::new(
+                PacketId(10),
+                idx,
+                3,
+                NodeId(4),
+                NodeId(2),
+                50,
+                FlitKind::Data,
+            )
+        };
+        let b = |idx| {
+            Flit::new(
+                PacketId(11),
+                idx,
+                2,
+                NodeId(9),
+                NodeId(2),
+                55,
+                FlitKind::Data,
+            )
+        };
+        assert!(r.accept(&a(0), 60).is_none());
+        assert!(r.accept(&b(1), 61).is_none());
+        assert_eq!(r.pending_packets(), 2);
+        assert!(r.accept(&a(2), 62).is_none());
+        let done_b = r.accept(&b(0), 63).expect("b completes first");
+        assert_eq!(done_b.id, PacketId(11));
+        assert_eq!(done_b.src, NodeId(9));
+        assert_eq!(done_b.created, 55);
+        assert_eq!(r.pending_packets(), 1);
+        let done_a = r.accept(&a(1), 64).expect("a completes");
+        assert_eq!(done_a.id, PacketId(10));
+        assert_eq!(done_a.src, NodeId(4));
+        assert!(r.is_empty());
+        assert_eq!(r.duplicates(), 0);
+    }
+
+    #[test]
+    fn consecutive_single_flit_packets_never_pend() {
+        // Request/forward traffic is single-flit: each accept completes
+        // immediately and the table never grows.
+        let mut r = Reassembler::new();
+        for p in 0..10u64 {
+            let f = Flit::new(
+                PacketId(p),
+                0,
+                1,
+                NodeId(p as u16 % 4),
+                NodeId(2),
+                p,
+                FlitKind::Request,
+            );
+            let done = r.accept(&f, p + 100).expect("single flit completes");
+            assert_eq!(done.id, PacketId(p));
+            assert_eq!(done.kind, FlitKind::Request);
+            assert_eq!(r.pending_packets(), 0);
+        }
+    }
+
+    #[test]
+    fn longest_supported_packet_uses_the_full_bitmask() {
+        // 64 flits is the bitmask's capacity; index 63 must not overflow
+        // and the packet must complete only when all 64 landed.
+        let mut r = Reassembler::new();
+        let f = |idx| {
+            Flit::new(
+                PacketId(1),
+                idx,
+                64,
+                NodeId(0),
+                NodeId(3),
+                0,
+                FlitKind::Data,
+            )
+        };
+        // Even indices descending, then odd ascending: 63 first, 0 late.
+        let mut order: Vec<u8> = (0..64).rev().filter(|i| i % 2 == 1).collect();
+        order.extend((0..64).filter(|i| i % 2 == 0));
+        let last = order.pop().unwrap();
+        for idx in order {
+            assert!(r.accept(&f(idx), 5).is_none(), "premature at {idx}");
+        }
+        assert!(r.accept(&f(last), 6).is_some());
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn forget_clears_partial_packet() {
         let mut r = Reassembler::new();
         let _ = r.accept(&flit(0, 4), 1);

@@ -6,6 +6,7 @@
 //! (DXbar, unified, Buffered-4/8, Flit-BLESS, SCARAB) pluggable into the
 //! same network and measured by the same accounting.
 
+use crate::verify::ProbeBuf;
 use noc_core::flit::Flit;
 use noc_core::stats::EventCounts;
 use noc_core::types::{Cycle, NodeId, NUM_LINK_PORTS};
@@ -46,6 +47,10 @@ pub struct StepCtx {
     /// network has a recording trace sink attached; routers emit through
     /// [`TraceBuf::emit`] so event construction is skipped when off.
     pub trace: TraceBuf,
+    /// Verification-probe staging buffer: allocator grants, FIFO depths,
+    /// fairness flips. Disabled (and free) unless the network has an
+    /// active [`RunObserver`](crate::verify::RunObserver) attached.
+    pub probe: ProbeBuf,
 }
 
 impl StepCtx {

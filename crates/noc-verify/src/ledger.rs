@@ -1,0 +1,307 @@
+//! Global flit ledger: conservation and no-duplication accounting.
+//!
+//! Tracks the lifecycle of every flit the network accepts: injected →
+//! in-flight (at some router or on a link) → ejected exactly once, or
+//! dropped with a recorded reason (SCARAB). Any flit observed outside this
+//! lifecycle — ejected twice, arriving without having been injected,
+//! ejected at the wrong node — is a violation.
+
+use crate::violation::{FlitId, Violation, ViolationKind};
+use noc_core::flit::Flit;
+use noc_core::types::{Cycle, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Where a live flit was last seen.
+#[derive(Debug, Clone, Copy)]
+pub struct FlitPos {
+    /// Router where the flit was last observed (inside it or leaving it).
+    pub node: NodeId,
+    /// Cycle of the last observation.
+    pub since: Cycle,
+    pub src: NodeId,
+    pub dst: NodeId,
+}
+
+/// Ledger of every flit the network has accepted.
+#[derive(Debug, Default)]
+pub struct FlitLedger {
+    /// Injected but not yet ejected or dropped.
+    in_flight: HashMap<FlitId, FlitPos>,
+    /// Dropped (SCARAB) and awaiting retransmission; a retransmitted copy
+    /// re-enters `in_flight` via a fresh injection observation.
+    dropped: HashSet<FlitId>,
+    /// Delivered at their destination. A flit may be dropped and
+    /// retransmitted many times but delivered only once.
+    ejected: HashSet<FlitId>,
+    injected_total: u64,
+    ejected_total: u64,
+    dropped_total: u64,
+}
+
+fn id(f: &Flit) -> FlitId {
+    (f.packet.0, f.flit_index)
+}
+
+impl FlitLedger {
+    pub fn new() -> FlitLedger {
+        FlitLedger::default()
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.injected_total, self.ejected_total, self.dropped_total)
+    }
+
+    /// Iterate over live flits (for stuck-flit reports and heatmaps).
+    pub fn live(&self) -> impl Iterator<Item = (&FlitId, &FlitPos)> {
+        self.in_flight.iter()
+    }
+
+    /// A flit left the injection queue at `node`.
+    pub fn on_inject(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
+        let fid = id(f);
+        self.injected_total += 1;
+        // A retransmission of a dropped flit is a legal re-injection.
+        self.dropped.remove(&fid);
+        if self.ejected.contains(&fid) {
+            out.push(Violation {
+                kind: ViolationKind::Duplicate,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: "flit re-injected after delivery".into(),
+            });
+            return;
+        }
+        if let Some(prev) = self.in_flight.insert(
+            fid,
+            FlitPos {
+                node,
+                since: cycle,
+                src: f.src,
+                dst: f.dst,
+            },
+        ) {
+            out.push(Violation {
+                kind: ViolationKind::Duplicate,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: format!(
+                    "flit injected while already in flight (last seen at {} cycle {})",
+                    prev.node, prev.since
+                ),
+            });
+        }
+    }
+
+    /// A flit arrived on a link input of `node`: refresh its position.
+    pub fn on_arrival(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
+        let fid = id(f);
+        match self.in_flight.get_mut(&fid) {
+            Some(pos) => {
+                pos.node = node;
+                pos.since = cycle;
+            }
+            None => {
+                let detail = if self.ejected.contains(&fid) {
+                    "delivered flit re-appeared on a link"
+                } else if self.dropped.contains(&fid) {
+                    "dropped flit re-appeared on a link without retransmission"
+                } else {
+                    "flit on a link was never injected"
+                };
+                out.push(Violation {
+                    kind: ViolationKind::Phantom,
+                    cycle,
+                    router: Some(node),
+                    flits: vec![fid],
+                    detail: detail.into(),
+                });
+            }
+        }
+    }
+
+    /// A flit was ejected to the PE at `node`.
+    pub fn on_eject(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
+        let fid = id(f);
+        self.ejected_total += 1;
+        if f.dst != node {
+            out.push(Violation {
+                kind: ViolationKind::WrongEjectNode,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: format!("ejected at {} but destined for {}", node, f.dst),
+            });
+        }
+        if self.in_flight.remove(&fid).is_none() {
+            let detail = if self.ejected.contains(&fid) {
+                "flit ejected twice"
+            } else {
+                "ejected flit was never injected"
+            };
+            out.push(Violation {
+                kind: if self.ejected.contains(&fid) {
+                    ViolationKind::Duplicate
+                } else {
+                    ViolationKind::Phantom
+                },
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: detail.into(),
+            });
+        }
+        if !self.ejected.insert(fid) {
+            // Second insert: already reported above as Duplicate.
+        }
+    }
+
+    /// A flit was dropped at `node` (legal only for dropping designs; the
+    /// oracle checks the profile before calling this).
+    pub fn on_drop(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
+        let fid = id(f);
+        self.dropped_total += 1;
+        if self.in_flight.remove(&fid).is_none() && !self.dropped.contains(&fid) {
+            out.push(Violation {
+                kind: ViolationKind::Phantom,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: "dropped flit was not in flight".into(),
+            });
+        }
+        self.dropped.insert(fid);
+    }
+
+    /// End-of-run check: nothing may still be in flight once the network
+    /// reports quiescent. Dropped flits whose packet was never delivered
+    /// count as leaks too (the engine retransmits until delivery).
+    pub fn finalize(&self, cycle: Cycle, out: &mut Vec<Violation>) {
+        if !self.in_flight.is_empty() {
+            let mut flits: Vec<FlitId> = self.in_flight.keys().copied().collect();
+            flits.sort_unstable();
+            out.push(Violation {
+                kind: ViolationKind::Leak,
+                cycle,
+                router: None,
+                flits,
+                detail: format!(
+                    "{} flit(s) still in flight after drain",
+                    self.in_flight.len()
+                ),
+            });
+        }
+        let undelivered: Vec<FlitId> = self
+            .dropped
+            .iter()
+            .filter(|fid| !self.ejected.contains(*fid))
+            .copied()
+            .collect();
+        if !undelivered.is_empty() {
+            let mut flits = undelivered;
+            flits.sort_unstable();
+            out.push(Violation {
+                kind: ViolationKind::Leak,
+                cycle,
+                router: None,
+                flits: flits.clone(),
+                detail: format!(
+                    "{} dropped flit(s) never retransmitted to delivery",
+                    flits.len()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::flit::PacketId;
+
+    fn flit(pid: u64, src: u16, dst: u16) -> Flit {
+        Flit::synthetic(PacketId(pid), NodeId(src), NodeId(dst), 0)
+    }
+
+    #[test]
+    fn normal_lifecycle_is_clean() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = flit(1, 0, 3);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_arrival(&f, NodeId(1), 3, &mut v);
+        led.on_arrival(&f, NodeId(3), 5, &mut v);
+        led.on_eject(&f, NodeId(3), 5, &mut v);
+        led.finalize(10, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(led.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn double_ejection_is_duplicate() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = flit(1, 0, 3);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_eject(&f, NodeId(3), 5, &mut v);
+        led.on_eject(&f, NodeId(3), 6, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Duplicate);
+    }
+
+    #[test]
+    fn phantom_arrival_is_flagged() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        led.on_arrival(&flit(9, 0, 3), NodeId(1), 4, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Phantom);
+    }
+
+    #[test]
+    fn wrong_destination_ejection_is_flagged() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = flit(1, 0, 3);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_eject(&f, NodeId(2), 5, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::WrongEjectNode);
+    }
+
+    #[test]
+    fn drop_and_retransmit_is_legal_but_leak_without_delivery() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = flit(1, 0, 3);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_drop(&f, NodeId(1), 3, &mut v);
+        assert!(v.is_empty());
+        // Never retransmitted: finalize reports a leak.
+        led.finalize(100, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Leak);
+        // Retransmit + deliver clears it.
+        v.clear();
+        led.on_inject(&f, NodeId(0), 10, &mut v);
+        led.on_eject(&f, NodeId(3), 14, &mut v);
+        led.finalize(100, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unflushed_flit_is_a_leak() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        led.on_inject(&flit(1, 0, 3), NodeId(0), 1, &mut v);
+        led.finalize(50, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Leak);
+        assert_eq!(v[0].flits, vec![(1, 0)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Runtime invariant oracles and an exhaustive allocator
+//! micro-model-checker for the DXbar NoC reproduction.
+//!
+//! Two halves:
+//!
+//! * **Runtime oracles** ([`oracle::Verifier`]) — a cheap per-cycle
+//!   [`noc_sim::RunObserver`] checking flit conservation/no-duplication,
+//!   crossbar exclusivity, route legality, FIFO capacity bounds, the
+//!   fairness-counter service guarantee, and a deadlock/livelock watchdog.
+//!   Attach via [`runner::run_verified`], or enable everywhere with the
+//!   `DXBAR_VERIFY=1` environment variable / `--verify` bench flags.
+//! * **Micro-model-checker** ([`checker`]) — exhaustive state-space
+//!   enumeration over single-router allocator configurations (DXbar's
+//!   greedy 4x5 primary and 5x5 secondary allocation, and the unified
+//!   design's separable dual-input allocator with two serial V:1 arbiters
+//!   plus the conflict-free swap), asserting no grant conflicts, work
+//!   conservation, and swap-logic correctness. Runs as ordinary
+//!   `cargo test -p noc-verify`.
+//!
+//! Violations carry structured context ([`violation::Violation`]: cycle,
+//! router, flit ids) and surface as `Err` from the verified runner.
+
+pub mod checker;
+pub mod ledger;
+pub mod oracle;
+pub mod profile;
+pub mod runner;
+pub mod violation;
+
+pub use checker::{CheckError, CheckerReport};
+pub use ledger::FlitLedger;
+pub use oracle::{CheckCounts, Verifier, VerifyOptions, VerifyReport};
+pub use profile::{DesignProfile, RouteRule};
+pub use runner::{run_traced_verified, run_verified, run_verified_with, VerifyError};
+pub use violation::{Violation, ViolationKind};
+
+/// Whether `DXBAR_VERIFY` asks for verified runs ("1" or "true"). The
+/// campaign engine and the CLI bins all share this switch.
+pub fn verify_from_env() -> bool {
+    std::env::var("DXBAR_VERIFY")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}

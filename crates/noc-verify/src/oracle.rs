@@ -1,0 +1,771 @@
+//! The runtime verifier: a [`RunObserver`] implementing the paper-level
+//! invariant oracles.
+//!
+//! Checked every cycle, for every router, in release builds:
+//!
+//! * **Flit conservation** — per-router flow equation (flits in + buffered
+//!   before = flits out + buffered after) and a global ledger proving every
+//!   injected flit is ejected exactly once or dropped with a recorded
+//!   reason (and later retransmitted to delivery).
+//! * **Crossbar exclusivity** — at most one allocator grant per output
+//!   column, at most one ejection per cycle, and at most one grant per
+//!   input slot; two same-input winners only where the design provides a
+//!   second path (DXbar's secondary crossbar, the unified design's
+//!   segmented-output dual grant).
+//! * **Route legality** — every link hop obeys the design's routing rule
+//!   (DOR/WF turn model, minimal-adaptive for SCARAB), including during
+//!   fault-degraded operation.
+//! * **FIFO bounds** — secondary FIFOs never exceed their depth; router
+//!   occupancy never exceeds the design's storage.
+//! * **Fairness** — when the fairness counter flips priority to the
+//!   buffered side, an eligible waiter must actually win that round.
+//! * **Progress watchdog** — if no flit ejects for a bounded horizon while
+//!   flits remain in flight, the run is declared deadlocked (nothing moved)
+//!   or livelocked (flits moved but none arrived), with a stuck-flit report
+//!   and a mesh heatmap.
+
+use crate::ledger::FlitLedger;
+use crate::profile::{DesignProfile, RouteRule};
+use crate::violation::{Violation, ViolationKind};
+use noc_core::types::{Cycle, Direction, NodeId, LINK_DIRECTIONS};
+use noc_routing::is_productive;
+use noc_sim::diagnostics::NodeField;
+use noc_sim::verify::{ProbeEvent, RunObserver, StepInputs};
+use noc_sim::{Network, StepCtx};
+use noc_topology::Mesh;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Tunables for the runtime oracles.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Cycles without a single network-wide ejection (while flits are in
+    /// flight) before the watchdog declares deadlock/livelock.
+    pub watchdog_horizon: u64,
+    /// Maximum violations kept with full context; further violations are
+    /// counted but not stored.
+    pub max_recorded: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            watchdog_horizon: 2048,
+            max_recorded: 32,
+        }
+    }
+}
+
+/// How many of each check the verifier actually performed — so a "zero
+/// violations" report can prove the oracles were exercised, not skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounts {
+    pub cycles: u64,
+    pub router_steps: u64,
+    pub conservation: u64,
+    pub route_hops: u64,
+    pub grants: u64,
+    pub fifo_samples: u64,
+    pub fairness_flips: u64,
+}
+
+impl CheckCounts {
+    /// Total individual oracle checks performed (for aggregate reporting;
+    /// `cycles` and `router_steps` are bookkeeping, not checks).
+    pub fn total(&self) -> u64 {
+        self.conservation + self.route_hops + self.grants + self.fifo_samples + self.fairness_flips
+    }
+}
+
+/// Outcome of a verified run.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Design label the profile was derived from.
+    pub design: String,
+    /// Recorded violations (capped at `VerifyOptions::max_recorded`).
+    pub violations: Vec<Violation>,
+    /// Total violations observed, including unrecorded ones.
+    pub total_violations: u64,
+    pub checks: CheckCounts,
+    /// Ledger totals: (injected, ejected, dropped).
+    pub flit_counts: (u64, u64, u64),
+}
+
+impl VerifyReport {
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// One-paragraph summary suitable for logs and campaign manifests.
+    pub fn summary(&self) -> String {
+        let c = &self.checks;
+        let mut s = format!(
+            "verify[{}]: {} violation(s) over {} cycles ({} router-steps; \
+             {} conservation, {} route-hop, {} grant, {} fifo, {} fairness checks; \
+             {} injected / {} ejected / {} dropped)",
+            self.design,
+            self.total_violations,
+            c.cycles,
+            c.router_steps,
+            c.conservation,
+            c.route_hops,
+            c.grants,
+            c.fifo_samples,
+            c.fairness_flips,
+            self.flit_counts.0,
+            self.flit_counts.1,
+            self.flit_counts.2,
+        );
+        for v in self.violations.iter().take(8) {
+            s.push('\n');
+            s.push_str(&v.to_string());
+        }
+        if self.violations.len() > 8 {
+            s.push_str(&format!(
+                "\n... and {} more recorded violation(s)",
+                self.violations.len() - 8
+            ));
+        }
+        s
+    }
+}
+
+/// The runtime oracle set. Attach with [`Network::set_observer`] (or use
+/// [`crate::runner::run_verified`]) and collect the [`VerifyReport`] with
+/// [`Verifier::finalize`] after the run.
+pub struct Verifier {
+    design: String,
+    profile: DesignProfile,
+    mesh: Mesh,
+    opts: VerifyOptions,
+    ledger: FlitLedger,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    checks: CheckCounts,
+    // Watchdog state.
+    last_progress: Cycle,
+    moved_since_progress: bool,
+    ejected_this_cycle: bool,
+    watchdog_tripped: bool,
+    finalized: bool,
+}
+
+impl Verifier {
+    /// Oracle set for `design_name` (a `RouterModel::design_name` string)
+    /// on `mesh` with per-FIFO `buffer_depth`.
+    pub fn new(design_name: &str, mesh: Mesh, buffer_depth: usize) -> Verifier {
+        Verifier::with_options(design_name, mesh, buffer_depth, VerifyOptions::default())
+    }
+
+    pub fn with_options(
+        design_name: &str,
+        mesh: Mesh,
+        buffer_depth: usize,
+        opts: VerifyOptions,
+    ) -> Verifier {
+        Verifier {
+            design: design_name.to_string(),
+            profile: DesignProfile::for_design(design_name, buffer_depth),
+            mesh,
+            opts,
+            ledger: FlitLedger::new(),
+            violations: Vec::new(),
+            total_violations: 0,
+            checks: CheckCounts::default(),
+            last_progress: 0,
+            moved_since_progress: false,
+            ejected_this_cycle: false,
+            watchdog_tripped: false,
+            finalized: false,
+        }
+    }
+
+    pub fn profile(&self) -> &DesignProfile {
+        &self.profile
+    }
+
+    fn push(&mut self, v: Violation) {
+        self.total_violations += 1;
+        if self.violations.len() < self.opts.max_recorded {
+            self.violations.push(v);
+        }
+    }
+
+    fn check_route_hop(&mut self, node: NodeId, dir: Direction, dst: NodeId, cycle: Cycle) {
+        self.checks.route_hops += 1;
+        let legal = match self.profile.route {
+            RouteRule::Turn(alg) => alg.route(&self.mesh, node, dst).contains(dir),
+            RouteRule::MinimalAdaptive => is_productive(&self.mesh, node, dst, dir),
+            RouteRule::Deflecting | RouteRule::Any => true,
+        };
+        if !legal {
+            let rule = match self.profile.route {
+                RouteRule::Turn(alg) => alg.name(),
+                RouteRule::MinimalAdaptive => "minimal-adaptive",
+                _ => unreachable!(),
+            };
+            self.push(Violation {
+                kind: ViolationKind::RouteIllegal,
+                cycle,
+                router: Some(node),
+                flits: vec![],
+                detail: format!("hop {dir} toward {dst} violates the {rule} rule"),
+            });
+        }
+    }
+
+    fn check_probes(&mut self, node: NodeId, ctx: &StepCtx) {
+        // (input, slot) -> output, plus per-output winner counts.
+        let mut out_winners: [u8; 5] = [0; 5];
+        let mut input_grants: HashMap<u8, Vec<(u8, u8)>> = HashMap::new();
+        for ev in ctx.probe.events() {
+            match *ev {
+                ProbeEvent::Grant {
+                    input,
+                    slot,
+                    output,
+                } => {
+                    self.checks.grants += 1;
+                    if (output as usize) < out_winners.len() {
+                        out_winners[output as usize] += 1;
+                    }
+                    input_grants.entry(input).or_default().push((slot, output));
+                }
+                ProbeEvent::FifoDepth { input, depth, cap } => {
+                    self.checks.fifo_samples += 1;
+                    let hard_cap = self
+                        .profile
+                        .fifo_capacity
+                        .map_or(cap as usize, |c| c.min(cap as usize));
+                    if depth as usize > hard_cap {
+                        self.push(Violation {
+                            kind: ViolationKind::FifoOverflow,
+                            cycle: ctx.cycle,
+                            router: Some(node),
+                            flits: vec![],
+                            detail: format!(
+                                "FIFO {input} holds {depth} flits, capacity {hard_cap}"
+                            ),
+                        });
+                    }
+                }
+                ProbeEvent::FairnessFlip {
+                    eligible_waiter,
+                    waiter_won,
+                } => {
+                    self.checks.fairness_flips += 1;
+                    if eligible_waiter && !waiter_won {
+                        self.push(Violation {
+                            kind: ViolationKind::FairnessStarvation,
+                            cycle: ctx.cycle,
+                            router: Some(node),
+                            flits: vec![],
+                            detail: "fairness counter flipped priority but no eligible \
+                                     buffered flit was served"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+        for (o, &n) in out_winners.iter().enumerate() {
+            if n > 1 {
+                self.push(Violation {
+                    kind: ViolationKind::Exclusivity,
+                    cycle: ctx.cycle,
+                    router: Some(node),
+                    flits: vec![],
+                    detail: format!(
+                        "{n} allocator grants on output {}",
+                        Direction::from_index(o)
+                    ),
+                });
+            }
+        }
+        for (input, grants) in input_grants {
+            if grants.len() <= 1 {
+                continue;
+            }
+            let dual_ok = self.profile.dual_input
+                && grants.len() == 2
+                && grants[0].0 != grants[1].0
+                && grants[0].1 != grants[1].1;
+            if !dual_ok {
+                self.push(Violation {
+                    kind: ViolationKind::Exclusivity,
+                    cycle: ctx.cycle,
+                    router: Some(node),
+                    flits: vec![],
+                    detail: format!(
+                        "{} grants for input row {input} (slots/outputs {:?})",
+                        grants.len(),
+                        grants
+                    ),
+                });
+            }
+        }
+    }
+
+    fn trip_watchdog(&mut self, cycle: Cycle, in_flight: usize) {
+        self.watchdog_tripped = true;
+        let kind = if self.moved_since_progress {
+            ViolationKind::Livelock
+        } else {
+            ViolationKind::Deadlock
+        };
+        // Oldest-stuck flits first.
+        let mut stuck: Vec<_> = self.ledger.live().map(|(fid, pos)| (*fid, *pos)).collect();
+        stuck.sort_unstable_by_key(|(fid, pos)| (pos.since, *fid));
+        let mut detail = format!(
+            "no ejection for {} cycles with {} flit(s) in flight ({})",
+            self.opts.watchdog_horizon,
+            in_flight,
+            if kind == ViolationKind::Livelock {
+                "flits still moving: livelock"
+            } else {
+                "nothing moved: deadlock"
+            }
+        );
+        for (fid, pos) in stuck.iter().take(8) {
+            detail.push_str(&format!(
+                "\n  flit {}.{} stuck at {} since cycle {} ({} -> {})",
+                fid.0, fid.1, pos.node, pos.since, pos.src, pos.dst
+            ));
+        }
+        if stuck.len() > 8 {
+            detail.push_str(&format!("\n  ... and {} more", stuck.len() - 8));
+        }
+        let mut per_node: HashMap<NodeId, f64> = HashMap::new();
+        for (_, pos) in &stuck {
+            *per_node.entry(pos.node).or_default() += 1.0;
+        }
+        let field = NodeField::sample("stuck flits", &self.mesh, |n| {
+            per_node.get(&n).copied().unwrap_or(0.0)
+        });
+        detail.push('\n');
+        detail.push_str(&field.render());
+        let flits = stuck.iter().map(|(fid, _)| *fid).take(32).collect();
+        self.push(Violation {
+            kind,
+            cycle,
+            router: None,
+            flits,
+            detail,
+        });
+    }
+
+    /// Close out the run: end-of-run ledger checks (only when the network
+    /// has drained), reassembly-duplicate check, and report assembly.
+    pub fn finalize(mut self, net: &Network) -> VerifyReport {
+        let cycle = net.cycle();
+        if net.reassembly_duplicates() > 0 {
+            self.push(Violation {
+                kind: ViolationKind::ReassemblyDuplicate,
+                cycle,
+                router: None,
+                flits: vec![],
+                detail: format!(
+                    "{} duplicate flit(s) reached reassembly",
+                    net.reassembly_duplicates()
+                ),
+            });
+        }
+        if net.is_quiescent() {
+            let mut out = Vec::new();
+            self.ledger.finalize(cycle, &mut out);
+            for v in out {
+                self.push(v);
+            }
+        }
+        self.finalized = true;
+        VerifyReport {
+            design: self.design,
+            violations: self.violations,
+            total_violations: self.total_violations,
+            checks: self.checks,
+            flit_counts: self.ledger.counts(),
+        }
+    }
+}
+
+impl RunObserver for Verifier {
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    fn on_cycle_start(&mut self, _cycle: Cycle) {
+        self.ejected_this_cycle = false;
+    }
+
+    fn on_router_step(
+        &mut self,
+        node: NodeId,
+        inputs: &StepInputs,
+        ctx: &StepCtx,
+        occupancy_before: usize,
+        occupancy_after: usize,
+    ) {
+        self.checks.router_steps += 1;
+        let cycle = ctx.cycle;
+        let mut scratch = Vec::new();
+
+        // Ledger: arrivals refresh position; accepted injections enter.
+        for f in inputs.arrivals.iter().flatten() {
+            self.ledger.on_arrival(f, node, cycle, &mut scratch);
+        }
+        if ctx.injected {
+            match &inputs.injection {
+                Some(f) => self.ledger.on_inject(f, node, cycle, &mut scratch),
+                None => scratch.push(Violation {
+                    kind: ViolationKind::Phantom,
+                    cycle,
+                    router: Some(node),
+                    flits: vec![],
+                    detail: "router claimed injection with no flit offered".into(),
+                }),
+            }
+        }
+
+        // Conservation: what entered must leave or stay buffered.
+        self.checks.conservation += 1;
+        let inflow = occupancy_before + inputs.arrivals_offered() + usize::from(ctx.injected);
+        let outflow = occupancy_after + ctx.flits_out();
+        if inflow != outflow {
+            scratch.push(Violation {
+                kind: ViolationKind::Conservation,
+                cycle,
+                router: Some(node),
+                flits: vec![],
+                detail: format!(
+                    "occ {occupancy_before} + in {} + inj {} != occ {occupancy_after} + out {}",
+                    inputs.arrivals_offered(),
+                    usize::from(ctx.injected),
+                    ctx.flits_out()
+                ),
+            });
+        }
+        if let Some(cap) = self.profile.router_capacity {
+            if occupancy_after > cap {
+                scratch.push(Violation {
+                    kind: ViolationKind::FifoOverflow,
+                    cycle,
+                    router: Some(node),
+                    flits: vec![],
+                    detail: format!("router holds {occupancy_after} flits, capacity {cap}"),
+                });
+            }
+        }
+
+        // Every design ejects at most one flit per cycle (single PE port).
+        if ctx.ejected.len() > 1 {
+            scratch.push(Violation {
+                kind: ViolationKind::Exclusivity,
+                cycle,
+                router: Some(node),
+                flits: ctx
+                    .ejected
+                    .iter()
+                    .map(|f| (f.packet.0, f.flit_index))
+                    .collect(),
+                detail: format!("{} flits ejected in one cycle", ctx.ejected.len()),
+            });
+        }
+        for f in &ctx.ejected {
+            self.ledger.on_eject(f, node, cycle, &mut scratch);
+            self.ejected_this_cycle = true;
+        }
+
+        // Drops: legal only for dropping designs, and always ledgered.
+        if !ctx.dropped.is_empty() && !self.profile.drops_allowed {
+            scratch.push(Violation {
+                kind: ViolationKind::Leak,
+                cycle,
+                router: Some(node),
+                flits: ctx
+                    .dropped
+                    .iter()
+                    .map(|f| (f.packet.0, f.flit_index))
+                    .collect(),
+                detail: format!("non-dropping design dropped {} flit(s)", ctx.dropped.len()),
+            });
+        }
+        for f in &ctx.dropped {
+            self.ledger.on_drop(f, node, cycle, &mut scratch);
+        }
+
+        // Route legality on every link output.
+        for d in LINK_DIRECTIONS {
+            if let Some(f) = &ctx.out_links[d.index()] {
+                self.moved_since_progress = true;
+                self.check_route_hop(node, d, f.dst, cycle);
+            }
+        }
+
+        // Allocator-level probes (grants, FIFO depths, fairness flips).
+        self.check_probes(node, ctx);
+
+        for v in scratch {
+            self.push(v);
+        }
+    }
+
+    fn on_cycle_end(&mut self, cycle: Cycle, in_flight: usize) {
+        self.checks.cycles += 1;
+        if self.ejected_this_cycle || in_flight == 0 {
+            self.last_progress = cycle;
+            self.moved_since_progress = false;
+            self.watchdog_tripped = false;
+        } else if !self.watchdog_tripped
+            && cycle.saturating_sub(self.last_progress) >= self.opts.watchdog_horizon
+        {
+            self.trip_watchdog(cycle, in_flight);
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::flit::{Flit, PacketId};
+
+    fn mk() -> Verifier {
+        Verifier::new("DXbar DOR", Mesh::new(4, 4), 4)
+    }
+
+    fn flit(pid: u64, src: u16, dst: u16) -> Flit {
+        Flit::synthetic(PacketId(pid), NodeId(src), NodeId(dst), 0)
+    }
+
+    fn step_ctx(cycle: Cycle) -> StepCtx {
+        let mut ctx = StepCtx::new(cycle);
+        ctx.probe.set_enabled(true);
+        ctx
+    }
+
+    #[test]
+    fn clean_forwarding_step_passes() {
+        let mut v = mk();
+        let f = flit(1, 0, 3);
+        // Inject at n0, forward East (DOR-legal toward n3).
+        let mut ctx = step_ctx(1);
+        ctx.injected = true;
+        ctx.out_links[Direction::East.index()] = Some(f);
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: Some(f),
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert_eq!(v.total_violations, 0);
+    }
+
+    #[test]
+    fn illegal_dor_hop_is_flagged() {
+        let mut v = mk();
+        let f = flit(1, 0, 3); // dst is due East of n0
+        let mut ctx = step_ctx(1);
+        ctx.injected = true;
+        ctx.out_links[Direction::South.index()] = Some(f); // Y-first: illegal under DOR
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: Some(f),
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert_eq!(v.total_violations, 1);
+        assert_eq!(v.violations[0].kind, ViolationKind::RouteIllegal);
+    }
+
+    #[test]
+    fn conservation_break_is_flagged() {
+        let mut v = mk();
+        let f = flit(1, 0, 3);
+        let ctx = step_ctx(1); // arrival vanished: no output, occupancy unchanged
+        let inputs = StepInputs {
+            arrivals: [Some(f), None, None, None],
+            injection: None,
+        };
+        v.on_router_step(NodeId(1), &inputs, &ctx, 0, 0);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.kind == ViolationKind::Conservation));
+    }
+
+    #[test]
+    fn double_output_grant_is_exclusivity_violation() {
+        let mut v = mk();
+        let mut ctx = step_ctx(1);
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 0,
+            slot: 0,
+            output: 2,
+        });
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 1,
+            slot: 0,
+            output: 2,
+        });
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.kind == ViolationKind::Exclusivity));
+    }
+
+    #[test]
+    fn dual_input_grant_legal_only_with_distinct_slots_and_outputs() {
+        let mut v = mk(); // DXbar: dual_input = true
+        let mut ctx = step_ctx(1);
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 0,
+            slot: 0,
+            output: 1,
+        });
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 0,
+            slot: 1,
+            output: 2,
+        });
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert_eq!(v.total_violations, 0, "{:?}", v.violations);
+
+        // Same slot twice: always illegal.
+        let mut ctx = step_ctx(2);
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 0,
+            slot: 0,
+            output: 1,
+        });
+        ctx.probe.emit(|| ProbeEvent::Grant {
+            input: 0,
+            slot: 0,
+            output: 2,
+        });
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.kind == ViolationKind::Exclusivity));
+    }
+
+    #[test]
+    fn fifo_overflow_is_flagged() {
+        let mut v = mk();
+        let mut ctx = step_ctx(1);
+        ctx.probe.emit(|| ProbeEvent::FifoDepth {
+            input: 2,
+            depth: 5,
+            cap: 4,
+        });
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| x.kind == ViolationKind::FifoOverflow));
+    }
+
+    #[test]
+    fn fairness_flip_without_service_is_starvation() {
+        let mut v = mk();
+        let mut ctx = step_ctx(1);
+        ctx.probe.emit(|| ProbeEvent::FairnessFlip {
+            eligible_waiter: true,
+            waiter_won: false,
+        });
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 0);
+        assert_eq!(v.total_violations, 1);
+        assert_eq!(v.violations[0].kind, ViolationKind::FairnessStarvation);
+    }
+
+    #[test]
+    fn watchdog_trips_deadlock_then_stays_quiet() {
+        let mut v = Verifier::with_options(
+            "DXbar DOR",
+            Mesh::new(4, 4),
+            4,
+            VerifyOptions {
+                watchdog_horizon: 10,
+                max_recorded: 32,
+            },
+        );
+        // A flit is injected then nothing ever moves again.
+        let f = flit(7, 0, 3);
+        let mut ctx = step_ctx(0);
+        ctx.injected = true;
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: Some(f),
+        };
+        v.on_cycle_start(0);
+        v.on_router_step(NodeId(0), &inputs, &ctx, 0, 1);
+        v.on_cycle_end(0, 1);
+        for t in 1..=12 {
+            v.on_cycle_start(t);
+            v.on_cycle_end(t, 1);
+        }
+        assert_eq!(v.total_violations, 1, "{:?}", v.violations);
+        assert_eq!(v.violations[0].kind, ViolationKind::Deadlock);
+        assert!(v.violations[0].detail.contains("stuck"));
+    }
+
+    #[test]
+    fn ejections_reset_watchdog() {
+        let mut v = Verifier::with_options(
+            "DXbar DOR",
+            Mesh::new(4, 4),
+            4,
+            VerifyOptions {
+                watchdog_horizon: 10,
+                max_recorded: 32,
+            },
+        );
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        for t in 0..100 {
+            v.on_cycle_start(t);
+            if t % 5 == 0 {
+                // A flit travels through and ejects regularly.
+                let f = flit(t, 3, 3);
+                let mut ctx = step_ctx(t);
+                ctx.injected = true;
+                let inj = StepInputs {
+                    arrivals: [None; 4],
+                    injection: Some(f),
+                };
+                let mut ectx = StepCtx::new(t);
+                ectx.ejected.push(f);
+                v.on_router_step(NodeId(3), &inj, &ctx, 0, 1);
+                v.on_router_step(NodeId(3), &inputs, &ectx, 1, 0);
+            }
+            v.on_cycle_end(t, 1);
+        }
+        assert!(
+            !v.violations
+                .iter()
+                .any(|x| matches!(x.kind, ViolationKind::Deadlock | ViolationKind::Livelock)),
+            "{:?}",
+            v.violations
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Structured invariant violations.
+//!
+//! Every oracle failure carries enough context (cycle, router, flit
+//! identities, a human-readable detail line) to localize the bug without
+//! re-running under a debugger.
+
+use noc_core::types::{Cycle, NodeId};
+use std::fmt;
+
+/// Identity of one flit: `(packet id, flit index)` — stable across hops,
+/// buffering and retransmissions.
+pub type FlitId = (u64, u8);
+
+/// Which invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Per-router, per-cycle flit conservation broke: flits entered a
+    /// router and neither left nor stayed buffered (or appeared from
+    /// nowhere).
+    Conservation,
+    /// A flit was ejected more than once, or re-appeared after delivery.
+    Duplicate,
+    /// A flit appeared in the network that was never injected (or a
+    /// dropped flit re-appeared without a retransmission).
+    Phantom,
+    /// A flit was ejected at a node other than its destination.
+    WrongEjectNode,
+    /// A hop violated the design's routing rule (DOR/WF turn model, or
+    /// minimal-adaptive productivity for SCARAB).
+    RouteIllegal,
+    /// Crossbar exclusivity broke: two winners on one output column, more
+    /// than one ejection, or an illegal dual grant.
+    Exclusivity,
+    /// An input FIFO exceeded its capacity.
+    FifoOverflow,
+    /// The fairness counter flipped priority while an eligible waiter
+    /// existed, yet no waiter was served.
+    FairnessStarvation,
+    /// No flit ejected for the watchdog horizon and nothing moved: the
+    /// network is deadlocked.
+    Deadlock,
+    /// No flit ejected for the watchdog horizon although flits kept
+    /// moving: a livelock (deflection pathology).
+    Livelock,
+    /// The reassembler observed duplicate flits.
+    ReassemblyDuplicate,
+    /// The network reports quiescent but the ledger still holds in-flight
+    /// flits (or a design dropped flits it must not drop).
+    Leak,
+}
+
+impl ViolationKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ViolationKind::Conservation => "conservation",
+            ViolationKind::Duplicate => "duplicate",
+            ViolationKind::Phantom => "phantom",
+            ViolationKind::WrongEjectNode => "wrong-eject-node",
+            ViolationKind::RouteIllegal => "route-illegal",
+            ViolationKind::Exclusivity => "exclusivity",
+            ViolationKind::FifoOverflow => "fifo-overflow",
+            ViolationKind::FairnessStarvation => "fairness-starvation",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Livelock => "livelock",
+            ViolationKind::ReassemblyDuplicate => "reassembly-duplicate",
+            ViolationKind::Leak => "leak",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One oracle failure with its structured context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub cycle: Cycle,
+    /// The router where the violation was observed (`None` for
+    /// network-global violations such as the watchdog).
+    pub router: Option<NodeId>,
+    /// Flits involved (empty when not flit-specific).
+    pub flits: Vec<FlitId>,
+    /// Human-readable description (may span lines, e.g. a heatmap).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] cycle {}", self.kind, self.cycle)?;
+        if let Some(node) = self.router {
+            write!(f, " router {node}")?;
+        }
+        if !self.flits.is_empty() {
+            let ids: Vec<String> = self
+                .flits
+                .iter()
+                .take(8)
+                .map(|(p, i)| format!("{p}.{i}"))
+                .collect();
+            write!(f, " flits [{}]", ids.join(", "))?;
+            if self.flits.len() > 8 {
+                write!(f, " (+{} more)", self.flits.len() - 8)?;
+            }
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let v = Violation {
+            kind: ViolationKind::Duplicate,
+            cycle: 42,
+            router: Some(NodeId(5)),
+            flits: vec![(7, 0)],
+            detail: "ejected twice".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("duplicate"));
+        assert!(s.contains("cycle 42"));
+        assert!(s.contains("7.0"));
+        assert!(s.contains("ejected twice"));
+    }
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let kinds = [
+            ViolationKind::Conservation,
+            ViolationKind::Duplicate,
+            ViolationKind::Phantom,
+            ViolationKind::WrongEjectNode,
+            ViolationKind::RouteIllegal,
+            ViolationKind::Exclusivity,
+            ViolationKind::FifoOverflow,
+            ViolationKind::FairnessStarvation,
+            ViolationKind::Deadlock,
+            ViolationKind::Livelock,
+            ViolationKind::ReassemblyDuplicate,
+            ViolationKind::Leak,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

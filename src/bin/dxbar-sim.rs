@@ -14,7 +14,10 @@ use dxbar_noc::noc_faults::FaultPlan;
 use dxbar_noc::noc_topology::Mesh;
 use dxbar_noc::noc_traffic::patterns::Pattern;
 use dxbar_noc::noc_traffic::splash::SplashApp;
-use dxbar_noc::{run_splash, run_synthetic_with_faults, Design, RunResult, SimConfig};
+use dxbar_noc::{
+    run_splash, run_splash_verified, run_synthetic_verified, run_synthetic_with_faults, Design,
+    RunResult, SimConfig,
+};
 
 const HELP: &str = "\
 dxbar-sim — cycle-accurate NoC simulation of the DXbar paper's designs
@@ -37,6 +40,10 @@ OPTIONS:
     --faults <PERCENT>  fraction of routers with one broken crossbar
                         (DXbar designs only; default: 0)
     --json              print the full RunResult as JSON
+    --verify            attach the runtime-oracle suite (flit conservation,
+                        crossbar exclusivity, route legality, FIFO bounds,
+                        fairness, deadlock watchdog); exits 1 on any
+                        violation (also enabled by DXBAR_VERIFY=1)
     --list              list designs, patterns and apps, then exit
     --help              this text
 ";
@@ -74,6 +81,7 @@ struct Args {
     cfg: SimConfig,
     fault_pct: f64,
     json: bool,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -85,6 +93,7 @@ fn parse_args() -> Args {
         cfg: SimConfig::default(),
         fault_pct: 0.0,
         json: false,
+        verify: dxbar_noc::noc_verify::verify_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -167,6 +176,7 @@ fn parse_args() -> Args {
                 args.fault_pct = v / 100.0;
             }
             "--json" => args.json = true,
+            "--verify" => args.verify = true,
             other => fail(&format!("unknown flag '{other}'")),
         }
     }
@@ -219,22 +229,42 @@ fn print_human(r: &RunResult) {
 
 fn main() {
     let args = parse_args();
-    let result = if let Some(app) = args.splash {
-        run_splash(args.design, &args.cfg, app, 10_000_000)
+    let mesh = Mesh::new(args.cfg.width, args.cfg.height);
+    let plan = if args.fault_pct > 0.0 {
+        FaultPlan::generate(
+            &mesh,
+            args.fault_pct,
+            args.cfg.warmup_cycles / 2,
+            args.cfg.warmup_cycles.max(1),
+            args.cfg.seed,
+        )
     } else {
-        let mesh = Mesh::new(args.cfg.width, args.cfg.height);
-        let plan = if args.fault_pct > 0.0 {
-            FaultPlan::generate(
-                &mesh,
-                args.fault_pct,
-                args.cfg.warmup_cycles / 2,
-                args.cfg.warmup_cycles.max(1),
-                args.cfg.seed,
-            )
+        FaultPlan::none(&mesh)
+    };
+
+    let (result, violated) = if args.verify {
+        let outcome = if let Some(app) = args.splash {
+            run_splash_verified(args.design, &args.cfg, app, 10_000_000)
         } else {
-            FaultPlan::none(&mesh)
+            run_synthetic_verified(args.design, &args.cfg, args.pattern, args.load, &plan)
         };
-        run_synthetic_with_faults(args.design, &args.cfg, args.pattern, args.load, &plan)
+        match outcome {
+            Ok((result, report)) => {
+                eprintln!("verification: clean ({})", report.summary());
+                (result, false)
+            }
+            Err(e) => {
+                eprintln!("verification FAILED: {e}");
+                (e.result, true)
+            }
+        }
+    } else if let Some(app) = args.splash {
+        (run_splash(args.design, &args.cfg, app, 10_000_000), false)
+    } else {
+        (
+            run_synthetic_with_faults(args.design, &args.cfg, args.pattern, args.load, &plan),
+            false,
+        )
     };
 
     if args.json {
@@ -244,5 +274,8 @@ fn main() {
         );
     } else {
         print_human(&result);
+    }
+    if violated {
+        std::process::exit(1);
     }
 }

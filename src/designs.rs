@@ -232,6 +232,67 @@ pub fn run_synthetic_traced(
     (result, sink)
 }
 
+/// Like [`run_synthetic_traced`] with the runtime-oracle suite attached as
+/// well. The report comes back unconditionally so callers keep the trace
+/// even when verification fails; check [`noc_verify::VerifyReport::is_clean`].
+pub fn run_synthetic_traced_verified(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    sink: RecordingSink,
+) -> (RunResult, RecordingSink, noc_verify::VerifyReport) {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mut net = design.build(cfg, &FaultPlan::none(&mesh));
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let (mut result, sink, report) = noc_verify::run_traced_verified(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+        sink,
+    );
+    result.offered_load = Some(offered_load);
+    (result, sink, report)
+}
+
+/// Like [`run_synthetic_with_faults`] with the full runtime-oracle suite
+/// attached (flit conservation, crossbar exclusivity, route legality, FIFO
+/// bounds, fairness guarantee, deadlock/livelock watchdog). Returns the run
+/// result together with the clean [`noc_verify::VerifyReport`], or the
+/// structured [`noc_verify::VerifyError`] if any invariant was violated.
+pub fn run_synthetic_verified(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    faults: &FaultPlan,
+) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mut net = design.build(cfg, faults);
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let (mut result, report) = noc_verify::run_verified(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    )?;
+    result.offered_load = Some(offered_load);
+    Ok((result, report))
+}
+
 /// Run one closed-loop SPLASH-2 workload to completion (Figs. 9/10).
 /// `max_cycles` caps runaway runs (a design that cannot finish reports
 /// `completed = false`).
@@ -246,6 +307,30 @@ pub fn run_splash(design: Design, cfg: &SimConfig, app: SplashApp, max_cycles: u
     let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
     let mut model = SplashTraffic::new(app, mesh, cfg.seed);
     run(
+        &mut net,
+        &mut model,
+        RunMode::ClosedLoop { max_cycles },
+        &EnergyModel::default(),
+    )
+}
+
+/// Like [`run_splash`] with the runtime-oracle suite attached.
+pub fn run_splash_verified(
+    design: Design,
+    cfg: &SimConfig,
+    app: SplashApp,
+    max_cycles: u64,
+) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: max_cycles.max(1),
+        drain_cycles: 0,
+        ..cfg.clone()
+    };
+    let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
+    let mut model = SplashTraffic::new(app, mesh, cfg.seed);
+    noc_verify::run_verified(
         &mut net,
         &mut model,
         RunMode::ClosedLoop { max_cycles },

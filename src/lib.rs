@@ -30,7 +30,8 @@
 pub mod designs;
 
 pub use designs::{
-    run_splash, run_synthetic, run_synthetic_traced, run_synthetic_with_faults, Design,
+    run_splash, run_splash_verified, run_synthetic, run_synthetic_traced,
+    run_synthetic_traced_verified, run_synthetic_verified, run_synthetic_with_faults, Design,
 };
 pub use noc_core::SimConfig;
 pub use noc_sim::{Network, RunResult};
@@ -45,3 +46,4 @@ pub use noc_routing;
 pub use noc_sim;
 pub use noc_topology;
 pub use noc_traffic;
+pub use noc_verify;
