@@ -42,6 +42,8 @@ pub fn fig05() -> CampaignSpec {
         designs: Design::ALL.to_vec(),
         workload: ur_loads(),
         fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: replicate_seeds(),
         tag: None,
     })
@@ -56,6 +58,8 @@ pub fn fig06() -> CampaignSpec {
         designs: Design::ALL.to_vec(),
         workload: ur_loads(),
         fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: replicate_seeds(),
         tag: None,
     })
@@ -72,6 +76,8 @@ pub fn fig07_08() -> CampaignSpec {
             loads: vec![0.5],
         },
         fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: replicate_seeds(),
         tag: None,
     })
@@ -94,6 +100,8 @@ pub fn fig09_10() -> CampaignSpec {
             max_cycles: splash_cap(),
         },
         fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: replicate_seeds(),
         tag: None,
     })
@@ -110,6 +118,8 @@ pub fn fig11_12() -> CampaignSpec {
             designs: vec![Design::DXbarDor, Design::DXbarWf],
             workload: ur_loads(),
             fault_fractions: vec![percent as f64 / 100.0],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: replicate_seeds(),
             tag: Some(format!("UR faults={percent}%")),
         });
@@ -131,6 +141,8 @@ pub fn ablations() -> CampaignSpec {
             designs: vec![Design::DXbarDor],
             workload: ur_at(0.45),
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: replicate_seeds(),
             tag: Some(format!("UR thresh={t}")),
         });
@@ -146,6 +158,8 @@ pub fn ablations() -> CampaignSpec {
             designs: vec![Design::DXbarDor],
             workload: ur_at(0.6),
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: replicate_seeds(),
             tag: Some(format!("UR depth={d}")),
         });
@@ -161,6 +175,8 @@ pub fn ablations() -> CampaignSpec {
             designs: vec![Design::DXbarWf],
             workload: ur_at(0.35),
             fault_fractions: vec![1.0],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: replicate_seeds(),
             tag: Some(format!("UR 100% faults delay={delay}")),
         });
@@ -177,11 +193,96 @@ pub fn ablations() -> CampaignSpec {
             designs: vec![Design::FlitBless, Design::Buffered8, Design::DXbarDor],
             workload: ur_at(0.6),
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: replicate_seeds(),
             tag: Some(format!("UR {s}x{s}")),
         });
     }
     spec
+}
+
+/// The transient soft-error rates of the resilience study (expected
+/// corruption/drop events per link-cycle). 0 is the healthy baseline.
+pub const TRANSIENT_RATES: [f64; 5] = [0.0, 2e-4, 5e-4, 1e-3, 2e-3];
+
+/// The permanent link-fault counts of the resilience study (failed
+/// physical channels, placed so the mesh stays connected).
+pub const LINK_FAULT_COUNTS: [usize; 4] = [0, 1, 2, 4];
+
+/// The paper configuration with the drain window stretched past the worst
+/// ARQ give-up chain (~3k cycles at the default retransmit config:
+/// 128·(1+2+8+8) across 4 retries), so every in-flight recovery resolves
+/// and the end-of-run loss accounting is exact.
+fn resilience_config() -> SimConfig {
+    SimConfig {
+        drain_cycles: 6_000,
+        ..paper_config()
+    }
+}
+
+/// The resilience degradation study (`fig_resilience`): delivered
+/// throughput, sanctioned packet loss and recovery latency as fault
+/// intensity grows, for one representative design per family. Two sweeps:
+/// transient soft errors at a fixed moderate load, and permanent link
+/// faults at the same load.
+pub fn resilience() -> CampaignSpec {
+    let designs = vec![
+        Design::DXbarDor,
+        Design::DXbarWf,
+        Design::Buffered8,
+        Design::FlitBless,
+        Design::Scarab,
+    ];
+    CampaignSpec::new("resilience")
+        .with_group(PointGroup {
+            label: "resilience_transients".into(),
+            config: resilience_config(),
+            designs: designs.clone(),
+            workload: ur_at(0.3),
+            fault_fractions: vec![],
+            transient_rates: TRANSIENT_RATES.to_vec(),
+            link_faults: vec![],
+            seeds: replicate_seeds(),
+            tag: None,
+        })
+        .with_group(PointGroup {
+            label: "resilience_links".into(),
+            config: resilience_config(),
+            designs,
+            workload: ur_at(0.3),
+            fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: LINK_FAULT_COUNTS.to_vec(),
+            seeds: replicate_seeds(),
+            tag: None,
+        })
+}
+
+/// A small resilience campaign for the CI `resilience-smoke` job: intended
+/// to run under `--verify` / `DXBAR_VERIFY=1`, it pushes transient faults
+/// and a dead link through a deflecting and an adaptive buffered-crossbar
+/// design and checks the full recovery path against the oracle suite.
+pub fn resilience_smoke() -> CampaignSpec {
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 200,
+        measure_cycles: 800,
+        drain_cycles: 6_000,
+        ..SimConfig::default()
+    };
+    CampaignSpec::new("resilience_smoke").with_group(PointGroup {
+        label: "resilience_smoke".into(),
+        config: cfg,
+        designs: vec![Design::DXbarWf, Design::FlitBless],
+        workload: ur_at(0.1),
+        fault_fractions: vec![],
+        transient_rates: vec![1e-3],
+        link_faults: vec![1],
+        seeds: vec![],
+        tag: None,
+    })
 }
 
 /// A deliberately tiny campaign for CI smoke tests and the EXPERIMENTS.md
@@ -207,6 +308,8 @@ pub fn smoke() -> CampaignSpec {
                 loads: vec![0.2, 0.4],
             },
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![],
             tag: None,
         })
@@ -216,6 +319,8 @@ pub fn smoke() -> CampaignSpec {
             designs: vec![Design::DXbarDor],
             workload: ur_at(0.3),
             fault_fractions: vec![0.5],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![],
             tag: Some("UR faults=50%".into()),
         })
@@ -254,6 +359,8 @@ pub fn verify_smoke() -> CampaignSpec {
                 loads: vec![0.1, 0.5],
             },
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![],
             tag: None,
         })
@@ -263,6 +370,8 @@ pub fn verify_smoke() -> CampaignSpec {
             designs: vec![Design::DXbarDor, Design::DXbarWf],
             workload: ur_at(0.3),
             fault_fractions: vec![0.5],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![],
             tag: Some("UR faults=50%".into()),
         })
@@ -293,6 +402,8 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
         "fig09_10" | "fig09_10_splash" => Some(fig09_10()),
         "fig11_12" | "fig11_12_faults" => Some(fig11_12()),
         "ablations" => Some(ablations()),
+        "resilience" => Some(resilience()),
+        "resilience_smoke" => Some(resilience_smoke()),
         "smoke" => Some(smoke()),
         "verify_smoke" => Some(verify_smoke()),
         "repro_all" | "all" => Some(repro_all()),
@@ -301,13 +412,15 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
 }
 
 /// Preset names accepted by [`preset`] (canonical spellings).
-pub const PRESETS: [&str; 9] = [
+pub const PRESETS: [&str; 11] = [
     "fig05",
     "fig06",
     "fig07_08",
     "fig09_10",
     "fig11_12",
     "ablations",
+    "resilience",
+    "resilience_smoke",
     "smoke",
     "verify_smoke",
     "repro_all",
@@ -354,6 +467,24 @@ mod tests {
         ] {
             assert!(labels.contains(&needle), "missing group {needle}");
         }
+    }
+
+    #[test]
+    fn resilience_presets_sweep_the_fault_axes() {
+        let spec = resilience();
+        spec.validate().unwrap();
+        let pts = spec.points();
+        let rates: std::collections::BTreeSet<u64> =
+            pts.iter().map(|p| p.transient_rate.to_bits()).collect();
+        assert_eq!(rates.len(), TRANSIENT_RATES.len());
+        let links: std::collections::BTreeSet<usize> =
+            pts.iter().map(|p| p.link_fault_count).collect();
+        assert_eq!(links.len(), LINK_FAULT_COUNTS.len());
+        assert!(pts.iter().any(|p| p.has_resilience()));
+
+        let smoke = resilience_smoke();
+        smoke.validate().unwrap();
+        assert!(smoke.points().iter().all(|p| p.has_resilience()));
     }
 
     #[test]

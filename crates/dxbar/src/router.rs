@@ -34,7 +34,9 @@ use crate::crossbar::{ConnectError, Crossbar};
 use crate::fairness::FairnessCounter;
 use noc_core::flit::Flit;
 use noc_core::queue::FixedQueue;
-use noc_core::types::{Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS};
+use noc_core::types::{
+    Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS,
+};
 use noc_faults::{CrossbarId, FaultClock, RouterFault};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
@@ -121,6 +123,8 @@ pub struct DXbarRouter {
     primary: Crossbar,
     secondary: Crossbar,
     fault: Option<FaultClock>,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl DXbarRouter {
@@ -161,6 +165,7 @@ impl DXbarRouter {
             primary,
             secondary,
             fault: fault.map(|f| FaultClock::new(f, detection_delay)),
+            link_down: [false; NUM_LINK_PORTS],
         }
     }
 
@@ -202,6 +207,25 @@ impl DXbarRouter {
         reqs.sort_by_key(|(_, f)| f.age_key());
         reqs
     }
+
+    /// Route set with dead output links pruned — unless every productive
+    /// port is dead, in which case the original set is kept: the flit exits
+    /// into the dead link and the engine accounts the loss. An adaptive
+    /// (WF) flit reroutes within its minimal choices; a DOR flit never
+    /// reroutes — graceful degradation, not rescue.
+    fn usable_route(&self, route: PortSet) -> PortSet {
+        let mut live = route;
+        for d in LINK_DIRECTIONS {
+            if self.link_down[d.index()] {
+                live.remove(d);
+            }
+        }
+        if live.is_empty() {
+            route
+        } else {
+            live
+        }
+    }
 }
 
 impl RouterModel for DXbarRouter {
@@ -223,6 +247,16 @@ impl RouterModel for DXbarRouter {
                     self.credits[d.index()] <= self.depth as u32,
                     "credit overflow toward {d}"
                 );
+            }
+        }
+
+        // A dead output link cannot backpressure: the engine swallows (and
+        // accounts) anything sent into it, so allocation sees it as a
+        // one-credit sink instead of draining real credits to zero.
+        let mut eff_credits = self.credits;
+        for d in LINK_DIRECTIONS {
+            if self.link_down[d.index()] {
+                eff_credits[d.index()] = 1;
             }
         }
 
@@ -291,8 +325,8 @@ impl RouterModel for DXbarRouter {
         let waiter_eligible = flipped
             && ctx.probe.is_enabled()
             && waiting.iter().any(|(_, f)| {
-                let route = self.algorithm.route(&self.mesh, self.node, f.dst);
-                best_output(route, &[false; 5], &self.credits, |_| 0).is_some()
+                let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, f.dst));
+                best_output(route, &[false; 5], &eff_credits, |_| 0).is_some()
             });
         let order: Vec<(Who, Flit)> = if flipped {
             waiting.into_iter().chain(incoming).collect()
@@ -310,11 +344,11 @@ impl RouterModel for DXbarRouter {
         let mut diverted: Vec<usize> = Vec::new(); // inputs whose arrival lost
 
         for (who, flit) in order {
-            let route = self.algorithm.route(&self.mesh, self.node, flit.dst);
+            let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, flit.dst));
             // Best free, credit-backed output: the adaptive selection that
             // makes WF competitive instead of piling onto the lowest port
             // index (see `best_output`).
-            let target = best_output(route, &out_used, &self.credits, |dir| {
+            let target = best_output(route, &out_used, &eff_credits, |dir| {
                 remaining_leg(&self.mesh, self.node, flit.dst, dir)
             });
             let Some(dir) = target else {
@@ -426,7 +460,9 @@ impl RouterModel for DXbarRouter {
                     match dir {
                         Direction::Local => ctx.ejected.push(flit),
                         d => {
-                            self.credits[d.index()] -= 1;
+                            if !self.link_down[d.index()] {
+                                self.credits[d.index()] -= 1;
+                            }
                             flit.vc = 0;
                             debug_assert!(
                                 ctx.out_links[d.index()].is_none(),
@@ -508,6 +544,10 @@ impl RouterModel for DXbarRouter {
 
     fn occupancy(&self) -> usize {
         self.buffers.iter().map(|b| b.len()).sum()
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {
@@ -834,6 +874,33 @@ mod tests {
         r.step(&mut ctx);
         assert!(ctx.out_links[Direction::East.index()].is_some());
         assert_eq!(ctx.events.buffer_writes, 0, "healthy paths stay bufferless");
+    }
+
+    #[test]
+    fn dead_link_reroutes_wf_but_not_dor() {
+        // WF adaptive: dst 10 = (2,2) from (1,1) has East+South productive;
+        // with East dead the flit must leave South.
+        let mut wf = DXbarRouter::healthy(NodeId(5), mesh(), Algorithm::WestFirst, 4, 4);
+        let mut down = [false; NUM_LINK_PORTS];
+        down[Direction::East.index()] = true;
+        wf.set_faulty_links(down);
+        let mut ctx = StepCtx::new(0);
+        ctx.arrivals[Direction::West.index()] = Some(flit(10, 0));
+        wf.step(&mut ctx);
+        assert!(ctx.out_links[Direction::South.index()].is_some());
+        assert!(ctx.out_links[Direction::East.index()].is_none());
+
+        // DOR: dst 7 = (3,1) routes East only — the flit still exits into
+        // the dead link (the engine accounts the loss) rather than wedging
+        // the router, even with zero real credits toward East.
+        let mut dor = router();
+        dor.set_faulty_links(down);
+        dor.credits[Direction::East.index()] = 0;
+        let mut ctx = StepCtx::new(0);
+        ctx.arrivals[Direction::West.index()] = Some(flit(7, 0));
+        dor.step(&mut ctx);
+        assert!(ctx.out_links[Direction::East.index()].is_some());
+        assert!(dor.is_idle(), "doomed flit must not pile up in the FIFOs");
     }
 
     #[test]

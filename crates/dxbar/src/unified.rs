@@ -24,7 +24,9 @@ use crate::conflict_free::{resolve, RowSelection};
 use crate::fairness::FairnessCounter;
 use noc_core::flit::Flit;
 use noc_core::queue::FixedQueue;
-use noc_core::types::{Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS};
+use noc_core::types::{
+    Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS,
+};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_sim::verify::ProbeEvent;
@@ -46,6 +48,8 @@ pub struct UnifiedRouter {
     fairness: FairnessCounter,
     /// Conflict-free swaps performed (diagnostics; Fig. 4(c) events).
     swaps: u64,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl UnifiedRouter {
@@ -71,6 +75,7 @@ impl UnifiedRouter {
             credits,
             fairness: FairnessCounter::new(fairness_threshold),
             swaps: 0,
+            link_down: [false; NUM_LINK_PORTS],
         }
     }
 
@@ -85,20 +90,38 @@ impl UnifiedRouter {
         (class, Reverse(flit.age_key()))
     }
 
-    /// Request mask over the 5 outputs for a flit, honouring credits.
+    /// Request mask over the 5 outputs for a flit, honouring credits. Dead
+    /// output links are pruned while a live productive port remains (WF
+    /// reroutes within its minimal choices); if every productive port is
+    /// dead the flit requests the dead link anyway — it cannot backpressure,
+    /// so no credit is required, and the engine accounts the loss.
     fn request_mask(&self, flit: &Flit) -> u8 {
-        let route = self.algorithm.route(&self.mesh, self.node, flit.dst);
+        let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, flit.dst));
         let mut mask = 0u8;
         for dir in ALL_DIRECTIONS {
             if !route.contains(dir) {
                 continue;
             }
-            if dir.is_link() && self.credits[dir.index()] == 0 {
+            if dir.is_link() && !self.link_down[dir.index()] && self.credits[dir.index()] == 0 {
                 continue;
             }
             mask |= 1 << dir.index();
         }
         mask
+    }
+
+    fn usable_route(&self, route: PortSet) -> PortSet {
+        let mut live = route;
+        for d in LINK_DIRECTIONS {
+            if self.link_down[d.index()] {
+                live.remove(d);
+            }
+        }
+        if live.is_empty() {
+            route
+        } else {
+            live
+        }
     }
 }
 
@@ -262,7 +285,9 @@ impl RouterModel for UnifiedRouter {
             match dir {
                 Direction::Local => ctx.ejected.push(flit),
                 d => {
-                    self.credits[d.index()] -= 1;
+                    if !self.link_down[d.index()] {
+                        self.credits[d.index()] -= 1;
+                    }
                     flit.vc = 0;
                     debug_assert!(ctx.out_links[d.index()].is_none());
                     ctx.out_links[d.index()] = Some(flit);
@@ -307,6 +332,10 @@ impl RouterModel for UnifiedRouter {
 
     fn occupancy(&self) -> usize {
         self.buffers.iter().map(|b| b.len()).sum()
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {

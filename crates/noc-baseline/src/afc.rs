@@ -21,8 +21,8 @@
 use noc_core::flit::Flit;
 use noc_core::queue::FixedQueue;
 use noc_core::types::Cycle;
-use noc_core::types::NodeId;
-use noc_routing::deflection::{productive_count, rank_ports};
+use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
+use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
@@ -59,6 +59,8 @@ pub struct AfcRouter {
     congestion: f64,
     /// Mode transitions taken (diagnostics).
     transitions: u64,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl AfcRouter {
@@ -71,6 +73,7 @@ impl AfcRouter {
             mode: AfcMode::Bufferless,
             congestion: 0.0,
             transitions: 0,
+            link_down: [false; NUM_LINK_PORTS],
         }
     }
 
@@ -105,16 +108,21 @@ impl AfcRouter {
         for mut f in flits {
             let ranking = rank_ports(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
-            let mut assigned = None;
-            for (rank, dir) in ranking.iter().enumerate() {
-                if !used[dir.index()] {
-                    assigned = Some((rank, *dir));
-                    break;
-                }
-            }
-            let (rank, dir) = assigned.expect("flit count never exceeds free ports");
+            // Prefer live ports (a dead one guarantees the flit's loss); a
+            // flit whose productive ports are all dead spins its escape
+            // direction by its own deflection count to break dead-link
+            // ping-pong; only when every free port is dead does the flit
+            // exit into one and the engine accounts the loss.
+            let (dir, deflected) = assign_port_with_faults(
+                &ranking,
+                productive,
+                used,
+                &self.link_down,
+                f.deflections as usize,
+            )
+            .expect("flit count never exceeds free ports");
             used[dir.index()] = true;
-            if rank >= productive {
+            if deflected {
                 f.deflections += 1;
                 ctx.events.deflections += 1;
                 let cycle = ctx.cycle;
@@ -131,6 +139,22 @@ impl AfcRouter {
             ctx.events.xbar_traversals += 1;
             ctx.out_links[dir.index()] = Some(f);
         }
+    }
+
+    /// Best free productive port, preferring live links; a dead productive
+    /// port is used only when no live one is free (the flit is doomed under
+    /// minimal routing — the engine accounts the loss).
+    fn pick_productive(
+        &self,
+        ranking: &[Direction],
+        productive: usize,
+        used: &[bool; 4],
+    ) -> Option<Direction> {
+        ranking[..productive]
+            .iter()
+            .find(|d| !used[d.index()] && !self.link_down[d.index()])
+            .or_else(|| ranking[..productive].iter().find(|d| !used[d.index()]))
+            .copied()
     }
 }
 
@@ -246,11 +270,7 @@ impl RouterModel for AfcRouter {
                     }
                     let ranking = rank_ports(&self.mesh, self.node, f.dst);
                     let productive = productive_count(&self.mesh, self.node, f.dst);
-                    if let Some(dir) = ranking[..productive]
-                        .iter()
-                        .find(|d| !used[d.index()])
-                        .copied()
-                    {
+                    if let Some(dir) = self.pick_productive(&ranking, productive, &used) {
                         used[dir.index()] = true;
                         let popped = self.buffers[i].pop().expect("head exists");
                         ctx.events.buffer_reads += 1;
@@ -280,11 +300,7 @@ impl RouterModel for AfcRouter {
                         } else {
                             let ranking = rank_ports(&self.mesh, self.node, inj.dst);
                             let productive = productive_count(&self.mesh, self.node, inj.dst);
-                            if let Some(dir) = ranking[..productive]
-                                .iter()
-                                .find(|d| !used[d.index()])
-                                .copied()
-                            {
+                            if let Some(dir) = self.pick_productive(&ranking, productive, &used) {
                                 ctx.events.xbar_traversals += 1;
                                 ctx.out_links[dir.index()] = Some(inj);
                                 ctx.injected = true;
@@ -302,6 +318,10 @@ impl RouterModel for AfcRouter {
 
     fn occupancy(&self) -> usize {
         self.buffers.iter().map(|b| b.len()).sum()
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {

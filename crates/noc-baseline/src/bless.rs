@@ -14,8 +14,8 @@
 //! routing).
 
 use noc_core::flit::Flit;
-use noc_core::types::{Direction, NodeId};
-use noc_routing::deflection::{productive_count, rank_ports};
+use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
+use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
@@ -26,6 +26,8 @@ pub struct BlessRouter {
     mesh: Mesh,
     /// Link directions that exist at this node.
     num_links: usize,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl BlessRouter {
@@ -35,6 +37,7 @@ impl BlessRouter {
             node,
             mesh,
             num_links,
+            link_down: [false; NUM_LINK_PORTS],
         }
     }
 }
@@ -81,16 +84,24 @@ impl RouterModel for BlessRouter {
         for mut f in flits {
             let ranking = rank_ports(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
-            let mut assigned = None;
-            for (rank, dir) in ranking.iter().enumerate() {
-                if !used[dir.index()] {
-                    assigned = Some((rank, *dir));
-                    break;
-                }
-            }
-            let (rank, dir) = assigned.expect("flit count never exceeds free ports");
+            // Prefer live ports — deflecting onto a live link keeps the
+            // flit alive, a dead productive port guarantees its loss. A
+            // flit whose productive ports are all dead spins its escape
+            // direction (by its own deflection count) so it cannot
+            // ping-pong forever against a neighbour that routes it straight
+            // back. Only when every free port is dead does the flit exit
+            // into one (it must leave — the design is bufferless) and the
+            // engine accounts the loss.
+            let (dir, deflected) = assign_port_with_faults(
+                &ranking,
+                productive,
+                &used,
+                &self.link_down,
+                f.deflections as usize,
+            )
+            .expect("flit count never exceeds free ports");
             used[dir.index()] = true;
-            if rank >= productive {
+            if deflected {
                 f.deflections += 1;
                 ctx.events.deflections += 1;
                 let cycle = ctx.cycle;
@@ -116,6 +127,10 @@ impl RouterModel for BlessRouter {
 
     fn occupancy(&self) -> usize {
         0
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {
@@ -233,6 +248,23 @@ mod tests {
         assert!(!ctx.injected);
         // Both flits still got ports (the 2 existing links).
         assert_eq!(ctx.out_links.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn dead_link_deflects_rather_than_losing() {
+        use noc_core::types::NUM_LINK_PORTS;
+        let mut r = mid_router();
+        let mut down = [false; NUM_LINK_PORTS];
+        down[Direction::East.index()] = true;
+        r.set_faulty_links(down);
+        let mut ctx = StepCtx::new(0);
+        // dst 7 = (3,1): East is productive but dead — the flit must take a
+        // live port (counted as a deflection) instead of vanishing.
+        ctx.arrivals[Direction::West.index()] = Some(flit(7, 0));
+        r.step(&mut ctx);
+        assert!(ctx.out_links[Direction::East.index()].is_none());
+        assert_eq!(ctx.flits_out(), 1);
+        assert_eq!(ctx.events.deflections, 1);
     }
 
     #[test]

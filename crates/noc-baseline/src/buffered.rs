@@ -16,7 +16,9 @@
 
 use noc_core::flit::Flit;
 use noc_core::queue::FixedQueue;
-use noc_core::types::{Cycle, Direction, NodeId, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_PORTS};
+use noc_core::types::{
+    Cycle, Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS, NUM_PORTS,
+};
 use noc_routing::Algorithm;
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_sim::ProbeEvent;
@@ -79,6 +81,8 @@ pub struct BufferedRouter {
     rr_out: [usize; NUM_PORTS],
     /// Round-robin downstream-VC assignment pointer per output direction.
     rr_dvc: [usize; 4],
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl BufferedRouter {
@@ -112,6 +116,7 @@ impl BufferedRouter {
             rr_vc: [0; NUM_INPUTS],
             rr_out: [0; NUM_PORTS],
             rr_dvc: [0; 4],
+            link_down: [false; NUM_LINK_PORTS],
         }
     }
 
@@ -133,10 +138,33 @@ impl BufferedRouter {
     /// routers assign VCs blindly rather than by occupancy); `None` if all
     /// are out of credit.
     fn pick_downstream_vc(&self, dir: Direction) -> Option<usize> {
+        // A dead link cannot backpressure: nothing sent into it occupies a
+        // downstream slot, so no credit is required (the engine swallows
+        // and accounts the flit).
+        if self.link_down[dir.index()] {
+            return Some(0);
+        }
         let n = self.num_vcs();
         (0..n)
             .map(|k| (self.rr_dvc[dir.index()] + k) % n)
             .find(|&vc| self.credits[dir.index()][vc] > 0)
+    }
+
+    /// Route set with dead output links pruned, unless every productive
+    /// port is dead (DOR flits never reroute — the flit exits into the dead
+    /// link and the engine accounts the loss).
+    fn usable_route(&self, route: PortSet) -> PortSet {
+        let mut live = route;
+        for d in LINK_DIRECTIONS {
+            if self.link_down[d.index()] {
+                live.remove(d);
+            }
+        }
+        if live.is_empty() {
+            route
+        } else {
+            live
+        }
     }
 }
 
@@ -222,7 +250,8 @@ impl RouterModel for BufferedRouter {
                 if head.ready > t {
                     continue;
                 }
-                let route = self.algorithm.route(&self.mesh, self.node, head.flit.dst);
+                let route =
+                    self.usable_route(self.algorithm.route(&self.mesh, self.node, head.flit.dst));
                 let mut mask = 0u8;
                 for dir in ALL_DIRECTIONS {
                     if !route.contains(dir) {
@@ -309,8 +338,10 @@ impl RouterModel for BufferedRouter {
                 Direction::Local => ctx.ejected.push(flit),
                 d => {
                     let dvc = dvc.expect("link grants carry a VC");
-                    self.credits[d.index()][dvc] -= 1;
-                    self.rr_dvc[d.index()] = (dvc + 1) % self.num_vcs();
+                    if !self.link_down[d.index()] {
+                        self.credits[d.index()][dvc] -= 1;
+                        self.rr_dvc[d.index()] = (dvc + 1) % self.num_vcs();
+                    }
                     flit.vc = dvc as u8;
                     ctx.out_links[d.index()] = Some(flit);
                 }
@@ -348,6 +379,10 @@ impl RouterModel for BufferedRouter {
 
     fn occupancy(&self) -> usize {
         self.vcs.iter().flatten().map(|vc| vc.len()).sum()
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {

@@ -12,7 +12,7 @@
 //! Pipeline: SA/ST + LT (2 stages, look-ahead routing), like DXbar/BLESS.
 
 use noc_core::flit::Flit;
-use noc_core::types::{Direction, NodeId};
+use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
 use noc_routing::deflection::{productive_count, rank_ports};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
@@ -21,11 +21,34 @@ use noc_topology::Mesh;
 pub struct ScarabRouter {
     node: NodeId,
     mesh: Mesh,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
 }
 
 impl ScarabRouter {
     pub fn new(node: NodeId, mesh: Mesh) -> ScarabRouter {
-        ScarabRouter { node, mesh }
+        ScarabRouter {
+            node,
+            mesh,
+            link_down: [false; NUM_LINK_PORTS],
+        }
+    }
+
+    /// Best free productive port: a live one if any, else a dead one (the
+    /// flit is doomed under minimal routing anyway — sending it into the
+    /// dead link lets the engine account the loss once, rather than
+    /// drop-NACK-retransmit looping forever), else `None`.
+    fn free_productive(
+        &self,
+        ranking: &[Direction],
+        productive: usize,
+        used: &[bool; 4],
+    ) -> Option<Direction> {
+        ranking[..productive]
+            .iter()
+            .find(|d| !used[d.index()] && !self.link_down[d.index()])
+            .or_else(|| ranking[..productive].iter().find(|d| !used[d.index()]))
+            .copied()
     }
 }
 
@@ -64,11 +87,7 @@ impl RouterModel for ScarabRouter {
         for f in remaining {
             let ranking = rank_ports(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
-            match ranking[..productive]
-                .iter()
-                .find(|d| !used[d.index()])
-                .copied()
-            {
+            match self.free_productive(&ranking, productive, &used) {
                 Some(dir) => {
                     used[dir.index()] = true;
                     ctx.events.xbar_traversals += 1;
@@ -94,11 +113,7 @@ impl RouterModel for ScarabRouter {
             } else {
                 let ranking = rank_ports(&self.mesh, self.node, inj.dst);
                 let productive = productive_count(&self.mesh, self.node, inj.dst);
-                if let Some(dir) = ranking[..productive]
-                    .iter()
-                    .find(|d| !used[d.index()])
-                    .copied()
-                {
+                if let Some(dir) = self.free_productive(&ranking, productive, &used) {
                     ctx.events.xbar_traversals += 1;
                     ctx.out_links[dir.index()] = Some(inj);
                     ctx.injected = true;
@@ -113,6 +128,10 @@ impl RouterModel for ScarabRouter {
 
     fn occupancy(&self) -> usize {
         0
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
     }
 
     fn design_name(&self) -> &'static str {

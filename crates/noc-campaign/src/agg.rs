@@ -5,7 +5,7 @@ use crate::exec::PointOutcome;
 use dxbar_noc::RunResult;
 
 /// Replicates of one experiment point (same group, design, workload,
-/// x-coordinate and fault fraction; differing only by seed).
+/// x-coordinate and fault intensity; differing only by seed).
 #[derive(Debug, Clone)]
 pub struct Aggregate {
     pub group: String,
@@ -16,6 +16,10 @@ pub struct Aggregate {
     /// Offered load for synthetic sweeps; 0 for closed-loop points.
     pub x: f64,
     pub fault_fraction: f64,
+    /// Transient soft-error rate (resilience sweeps; 0 otherwise).
+    pub transient_rate: f64,
+    /// Permanent link faults (resilience sweeps; 0 otherwise).
+    pub link_fault_count: usize,
     /// Completed replicate results, in seed order.
     pub runs: Vec<RunResult>,
     /// Replicates that failed (excluded from the statistics).
@@ -33,12 +37,16 @@ impl Aggregate {
             let workload = o.point.workload.short();
             let x = o.point.workload.x();
             let ff = o.point.fault_fraction;
+            let tr = o.point.transient_rate;
+            let lf = o.point.link_fault_count;
             let slot = out.iter_mut().find(|a| {
                 a.group == o.point.group
                     && a.design == design
                     && a.workload == workload
                     && a.x.to_bits() == x.to_bits()
                     && a.fault_fraction.to_bits() == ff.to_bits()
+                    && a.transient_rate.to_bits() == tr.to_bits()
+                    && a.link_fault_count == lf
             });
             let agg = match slot {
                 Some(a) => a,
@@ -49,6 +57,8 @@ impl Aggregate {
                         workload: workload.to_string(),
                         x,
                         fault_fraction: ff,
+                        transient_rate: tr,
+                        link_fault_count: lf,
                         runs: Vec::new(),
                         failed: 0,
                     });

@@ -6,10 +6,11 @@ use crate::manifest::{CampaignManifest, PointRecord, VerifyBlock};
 use crate::spec::{CampaignSpec, PointSpec, Workload};
 use crate::CODE_VERSION;
 use dxbar_noc::noc_faults::FaultPlan;
+use dxbar_noc::noc_resilience::ResiliencePlan;
 use dxbar_noc::noc_topology::Mesh;
 use dxbar_noc::{
-    run_splash, run_splash_verified, run_synthetic, run_synthetic_verified,
-    run_synthetic_with_faults, RunResult,
+    run_splash, run_splash_verified, run_synthetic, run_synthetic_resilient,
+    run_synthetic_resilient_verified, run_synthetic_verified, run_synthetic_with_faults, RunResult,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -217,6 +218,8 @@ impl CampaignReport {
                     design: o.point.design.name().to_string(),
                     workload: o.point.workload.describe(),
                     fault_fraction: o.point.fault_fraction,
+                    transient_rate: o.point.transient_rate,
+                    link_fault_count: o.point.link_fault_count,
                     seed: o.point.seed,
                     status: if o.is_failed() { "failed" } else { "ok" }.to_string(),
                     reason: match &o.status {
@@ -247,13 +250,43 @@ fn fault_plan(p: &PointSpec) -> FaultPlan {
     )
 }
 
+/// Seeded resilience plan for a resilience point: crossbar faults at the
+/// point's fault fraction, `link_fault_count` dead channels placed so the
+/// mesh stays connected, and the transient soft-error process. Faults
+/// manifest during warmup, matching [`fault_plan`].
+fn resilience_plan(p: &PointSpec) -> ResiliencePlan {
+    let mesh = Mesh::new(p.config.width, p.config.height);
+    ResiliencePlan::generate(
+        &mesh,
+        p.fault_fraction,
+        p.link_fault_count,
+        p.transient_rate,
+        p.config.warmup_cycles / 2,
+        p.config.warmup_cycles.max(1),
+        p.config.seed,
+    )
+}
+
 /// Run one point with the production simulator: dispatches on the
-/// workload, generates the seeded fault plan for faulty points, and applies
+/// workload, generates the seeded fault (or resilience) plan, and applies
 /// the group's traffic tag.
 pub fn run_point(p: &PointSpec) -> RunResult {
     let mut r = match &p.workload {
         Workload::Synthetic { pattern, load } => {
-            if p.fault_fraction > 0.0 {
+            if p.has_resilience() {
+                let (r, reach) = run_synthetic_resilient(
+                    p.design,
+                    &p.config,
+                    *pattern,
+                    *load,
+                    &resilience_plan(p),
+                );
+                debug_assert!(
+                    reach.is_fully_connected(),
+                    "generated plan keeps mesh connected"
+                );
+                r
+            } else if p.fault_fraction > 0.0 {
                 run_synthetic_with_faults(p.design, &p.config, *pattern, *load, &fault_plan(p))
             } else {
                 run_synthetic(p.design, &p.config, *pattern, *load)
@@ -272,6 +305,16 @@ pub fn run_point(p: &PointSpec) -> RunResult {
 /// is surfaced through the campaign manifest's `verify` block.
 pub fn run_point_verified(p: &PointSpec) -> (RunResult, PointVerify) {
     let outcome = match &p.workload {
+        Workload::Synthetic { pattern, load } if p.has_resilience() => {
+            run_synthetic_resilient_verified(
+                p.design,
+                &p.config,
+                *pattern,
+                *load,
+                &resilience_plan(p),
+            )
+            .map(|(r, _reach, report)| (r, report))
+        }
         Workload::Synthetic { pattern, load } => {
             let plan = if p.fault_fraction > 0.0 {
                 fault_plan(p)

@@ -43,6 +43,8 @@
 //!         loads: vec![0.2, 0.3],
 //!     },
 //!     fault_fractions: vec![],
+//!     transient_rates: vec![],
+//!     link_faults: vec![],
 //!     seeds: vec![1, 2],
 //!     tag: None,
 //! });
@@ -72,7 +74,7 @@ pub use spec::{CampaignSpec, PointGroup, PointSpec, RetryPolicy, Workload, Workl
 /// Code-version salt mixed into every cache key. Bump whenever the
 /// simulator's semantics change in a way that invalidates cached results
 /// (router behaviour, energy model, traffic generation, stat definitions).
-pub const CODE_VERSION: &str = "dxbar-sim-v2";
+pub const CODE_VERSION: &str = "dxbar-sim-v3";
 
 /// FNV-1a 64-bit over a byte string — the stable content hash behind cache
 /// keys and spec hashes. Chosen over `DefaultHasher` because its output is

@@ -60,6 +60,10 @@ pub struct PointRecord {
     /// Workload descriptor ("UR@0.30", "SPLASH FFT").
     pub workload: String,
     pub fault_fraction: f64,
+    /// Transient soft-error rate of the point (0.0 for non-resilience runs).
+    pub transient_rate: f64,
+    /// Permanent link faults of the point (0 for non-resilience runs).
+    pub link_fault_count: usize,
     pub seed: u64,
     /// "ok" or "failed".
     pub status: String,
@@ -104,6 +108,8 @@ mod tests {
                 design: "DXbar DOR".into(),
                 workload: "UR@0.30".into(),
                 fault_fraction: 0.0,
+                transient_rate: 1e-4,
+                link_fault_count: 2,
                 seed: 7,
                 status: "failed".into(),
                 reason: "panicked: boom".into(),
@@ -119,6 +125,8 @@ mod tests {
         assert_eq!(back.points.len(), 1);
         assert_eq!(back.points[0].reason, "panicked: boom");
         assert_eq!(back.points[0].attempts, 2);
+        assert_eq!(back.points[0].transient_rate, 1e-4);
+        assert_eq!(back.points[0].link_fault_count, 2);
         assert_eq!(back.points[0].violations, 1);
         let v = back.verify.expect("verify block survives the roundtrip");
         assert_eq!(v.verified_points, 2);

@@ -146,6 +146,16 @@ pub struct PointGroup {
     /// Honoured by the DXbar designs; others ignore faults (as in the
     /// paper's fault study). Closed-loop SPLASH points ignore it too.
     pub fault_fractions: Vec<f64>,
+    /// Transient soft-error rates (expected events per link-cycle) for the
+    /// resilience study. Empty means no transient process. Any non-zero
+    /// entry makes the point a resilience run: CRC + NI retransmission are
+    /// armed and the seeded [`noc_resilience::ResiliencePlan`] is applied.
+    /// Synthetic workloads only.
+    pub transient_rates: Vec<f64>,
+    /// Permanent link-fault counts (failed physical channels, placed so the
+    /// mesh provably stays connected). Empty means none. Synthetic
+    /// workloads only.
+    pub link_faults: Vec<usize>,
     /// Replicate seeds. Empty means one replicate at `config.seed`.
     pub seeds: Vec<u64>,
     /// Optional traffic relabel applied to every result of the group
@@ -233,6 +243,25 @@ impl CampaignSpec {
                     g.label
                 ));
             }
+            if let Some(&r) = g
+                .transient_rates
+                .iter()
+                .find(|r| !r.is_finite() || **r < 0.0)
+            {
+                return Err(format!(
+                    "group {:?}: transient rate {r} must be finite and >= 0",
+                    g.label
+                ));
+            }
+            let has_resilience =
+                g.transient_rates.iter().any(|&r| r > 0.0) || g.link_faults.iter().any(|&k| k > 0);
+            if has_resilience && matches!(g.workload, WorkloadAxis::Splash { .. }) {
+                return Err(format!(
+                    "group {:?}: the resilience axes (transient_rates / link_faults) \
+                     apply to synthetic workloads only",
+                    g.label
+                ));
+            }
         }
         Ok(())
     }
@@ -247,6 +276,16 @@ impl CampaignSpec {
                 &[0.0]
             } else {
                 &g.fault_fractions
+            };
+            let transient_rates: &[f64] = if g.transient_rates.is_empty() {
+                &[0.0]
+            } else {
+                &g.transient_rates
+            };
+            let link_faults: &[usize] = if g.link_faults.is_empty() {
+                &[0]
+            } else {
+                &g.link_faults
             };
             let seeds: Vec<u64> = if g.seeds.is_empty() {
                 vec![g.config.seed]
@@ -273,19 +312,25 @@ impl CampaignSpec {
             for &design in &g.designs {
                 for w in &workloads {
                     for &fault_fraction in fractions {
-                        for &seed in &seeds {
-                            out.push(PointSpec {
-                                group: g.label.clone(),
-                                design,
-                                workload: w.clone(),
-                                fault_fraction,
-                                seed,
-                                tag: g.tag.clone(),
-                                config: SimConfig {
-                                    seed,
-                                    ..g.config.clone()
-                                },
-                            });
+                        for &transient_rate in transient_rates {
+                            for &link_fault_count in link_faults {
+                                for &seed in &seeds {
+                                    out.push(PointSpec {
+                                        group: g.label.clone(),
+                                        design,
+                                        workload: w.clone(),
+                                        fault_fraction,
+                                        transient_rate,
+                                        link_fault_count,
+                                        seed,
+                                        tag: g.tag.clone(),
+                                        config: SimConfig {
+                                            seed,
+                                            ..g.config.clone()
+                                        },
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -319,6 +364,10 @@ pub struct PointSpec {
     pub workload: Workload,
     /// Fraction of routers given one crossbar fault (0.0 = fault-free).
     pub fault_fraction: f64,
+    /// Transient soft-error rate in events per link-cycle (0.0 = none).
+    pub transient_rate: f64,
+    /// Number of permanently failed physical channels (0 = none).
+    pub link_fault_count: usize,
     /// Replicate seed (already substituted into `config.seed`).
     pub seed: u64,
     /// Optional traffic relabel applied to the result.
@@ -337,6 +386,8 @@ impl PointSpec {
             ("design".into(), self.design.to_value()),
             ("workload".into(), self.workload.to_value()),
             ("fault_fraction".into(), self.fault_fraction.to_value()),
+            ("transient_rate".into(), self.transient_rate.to_value()),
+            ("link_fault_count".into(), self.link_fault_count.to_value()),
             ("seed".into(), self.seed.to_value()),
             ("tag".into(), self.tag.to_value()),
             ("config".into(), self.config.to_value()),
@@ -355,11 +406,23 @@ impl PointSpec {
         )
     }
 
+    /// Whether this point runs under the resilience layer (transient soft
+    /// errors and/or permanent link faults, with CRC + NI retransmission).
+    pub fn has_resilience(&self) -> bool {
+        self.transient_rate > 0.0 || self.link_fault_count > 0
+    }
+
     /// One-line descriptor for logs and the manifest.
     pub fn describe(&self) -> String {
         let mut s = format!("{} {}", self.design.name(), self.workload.describe());
         if self.fault_fraction > 0.0 {
             s.push_str(&format!(" faults={:.0}%", self.fault_fraction * 100.0));
+        }
+        if self.transient_rate > 0.0 {
+            s.push_str(&format!(" transients={:.1e}", self.transient_rate));
+        }
+        if self.link_fault_count > 0 {
+            s.push_str(&format!(" deadlinks={}", self.link_fault_count));
         }
         s.push_str(&format!(" seed={:#x}", self.seed));
         s
@@ -392,6 +455,8 @@ mod tests {
                 loads: vec![0.1, 0.2, 0.3],
             },
             fault_fractions: vec![0.0, 0.5],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![1, 2],
             tag: None,
         })
@@ -422,6 +487,19 @@ mod tests {
     }
 
     #[test]
+    fn resilience_axes_expand_and_mark_points() {
+        let mut s = spec();
+        s.groups[0].transient_rates = vec![0.0, 1e-3];
+        s.groups[0].link_faults = vec![0, 2];
+        let pts = s.points();
+        assert_eq!(pts.len(), 2 * 3 * 2 * 2 * 2 * 2);
+        assert!(pts.iter().any(|p| p.has_resilience()));
+        assert!(pts
+            .iter()
+            .any(|p| p.transient_rate == 0.0 && p.link_fault_count == 0 && !p.has_resilience()));
+    }
+
+    #[test]
     fn cache_key_changes_with_every_identity_field() {
         let base = spec().points().remove(0);
         let k = |p: &PointSpec| p.cache_key(CODE_VERSION);
@@ -446,6 +524,14 @@ mod tests {
         let mut p = base.clone();
         p.fault_fraction = 0.25;
         assert_ne!(k(&p), base_key, "fault fraction must invalidate");
+
+        let mut p = base.clone();
+        p.transient_rate = 1e-4;
+        assert_ne!(k(&p), base_key, "transient rate must invalidate");
+
+        let mut p = base.clone();
+        p.link_fault_count = 2;
+        assert_ne!(k(&p), base_key, "link fault count must invalidate");
 
         let mut p = base.clone();
         p.config.buffer_depth = 8;
@@ -476,6 +562,8 @@ mod tests {
                 max_cycles: 10_000,
             },
             fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
             seeds: vec![],
             tag: Some("FFT tagged".into()),
         });
@@ -510,6 +598,24 @@ mod tests {
             loads: vec![0.1],
         };
         assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].transient_rates = vec![-1e-3];
+        assert!(s.validate().is_err());
+
+        // Resilience axes require an open-loop synthetic workload.
+        let mut s = spec();
+        s.groups[0].transient_rates = vec![1e-3];
+        s.groups[0].workload = WorkloadAxis::Splash {
+            apps: vec![SplashApp::Fft],
+            max_cycles: 10_000,
+        };
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.groups[0].transient_rates = vec![1e-3];
+        s.groups[0].link_faults = vec![1, 2];
+        assert!(s.validate().is_ok());
 
         assert!(spec().validate().is_ok());
     }

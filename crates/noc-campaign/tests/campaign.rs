@@ -46,6 +46,8 @@ fn tiny_spec() -> CampaignSpec {
             loads: vec![0.15, 0.3],
         },
         fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: vec![1, 2],
         tag: None,
     })
@@ -73,6 +75,10 @@ fn fake_result(p: &PointSpec) -> RunResult {
         latency_spread: 1.2,
         finish_cycle: None,
         completed: true,
+        lost_flits: 0,
+        crc_rejects: 0,
+        ni_retransmits: 0,
+        avg_recovery_latency: 0.0,
         stats: Default::default(),
     }
 }
@@ -324,6 +330,8 @@ fn real_simulation_results_roundtrip_through_the_cache() {
             loads: vec![0.2],
         },
         fault_fractions: vec![0.0, 0.5],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: vec![7],
         tag: None,
     });
@@ -353,6 +361,8 @@ fn verified_campaign_reports_clean_manifest_block() {
             loads: vec![0.2],
         },
         fault_fractions: vec![0.0, 0.5],
+        transient_rates: vec![],
+        link_faults: vec![],
         seeds: vec![7],
         tag: None,
     });
@@ -386,6 +396,64 @@ fn verified_campaign_reports_clean_manifest_block() {
     assert_eq!(v.verified_points, 0);
     assert_eq!(v.violations, 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verified_resilience_campaign_is_clean_and_accounts_faults() {
+    // The acceptance run of the resilience layer: transient soft errors and
+    // a permanent link fault, under the full oracle suite. The drain window
+    // exceeds the worst ARQ give-up chain so the run reaches quiescence and
+    // the end-of-run accounting oracles actually fire.
+    let spec = CampaignSpec::new("resilience").with_group(PointGroup {
+        label: "resilience".into(),
+        config: SimConfig {
+            drain_cycles: 6_000,
+            ..tiny_cfg()
+        },
+        designs: vec![Design::DXbarWf, Design::FlitBless],
+        workload: WorkloadAxis::Synthetic {
+            patterns: vec![Pattern::UniformRandom],
+            loads: vec![0.1],
+        },
+        fault_fractions: vec![],
+        transient_rates: vec![2e-3],
+        link_faults: vec![1],
+        seeds: vec![3, 4],
+        tag: None,
+    });
+    let opts = ExecOptions {
+        verify: true,
+        cache_dir: None,
+        jobs: Some(2),
+        ..ExecOptions::default()
+    };
+
+    let r = run_campaign(&spec, &opts).unwrap();
+    assert_eq!(r.failed_count(), 0);
+    assert_eq!(
+        r.total_violations(),
+        0,
+        "transient faults + ARQ recovery must satisfy every oracle"
+    );
+    let results = r.results();
+    assert!(
+        results
+            .iter()
+            .all(|res| res.crc_rejects + res.ni_retransmits + res.lost_flits > 0),
+        "a 2e-3 transient rate must produce observable recovery activity"
+    );
+    assert!(
+        results.iter().any(|res| res.ni_retransmits > 0),
+        "some corrupted flits must have been recovered by retransmission"
+    );
+
+    // Degradation is aggregable: replicates fold per (design, rate, links).
+    let aggs = r.aggregates();
+    assert_eq!(aggs.len(), 2);
+    assert!(aggs.iter().all(|a| a.n() == 2));
+    assert!(aggs
+        .iter()
+        .all(|a| a.transient_rate == 2e-3 && a.link_fault_count == 1));
 }
 
 #[test]

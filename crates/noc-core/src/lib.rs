@@ -14,6 +14,7 @@
 //!   pipeline latencies, warmup/measurement windows).
 
 pub mod config;
+pub mod crc;
 pub mod flit;
 pub mod queue;
 pub mod rng;

@@ -122,6 +122,15 @@ impl Rng {
         }
     }
 
+    /// Exponential variate with the given rate (events per cycle); the
+    /// inter-arrival time of a Poisson process. Uses inverse-transform
+    /// sampling on `1 - u` so the argument of `ln` is never zero.
+    /// Panics if `rate` is not strictly positive.
+    pub fn gen_exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -(1.0 - self.gen_f64()).ln() / rate
+    }
+
     /// Fisher-Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
@@ -222,6 +231,29 @@ mod tests {
         assert!(r.gen_bool(1.0));
         assert!(!r.gen_bool(-0.5));
         assert!(r.gen_bool(1.5));
+    }
+
+    #[test]
+    fn gen_exp_mean_roughly_inverse_rate() {
+        let mut r = Rng::seed_from(21);
+        let rate = 0.02;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.gen_exp(rate)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 2.0,
+            "mean {mean} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn gen_exp_is_nonnegative_and_finite() {
+        let mut r = Rng::seed_from(23);
+        for _ in 0..10_000 {
+            let x = r.gen_exp(1.0);
+            assert!(x.is_finite() && x >= 0.0);
+        }
     }
 
     #[test]

@@ -36,6 +36,24 @@ pub struct EventCounts {
     pub injections: u64,
     /// Flits ejected at their destination.
     pub ejections: u64,
+    /// Transient soft errors that corrupted a flit's payload in transit.
+    pub transit_corruptions: u64,
+    /// Flits lost in transit (transient drop events and traversals of a
+    /// permanently failed link).
+    pub transit_losses: u64,
+    /// Flits rejected at an ejection port because the payload CRC failed.
+    pub crc_rejects: u64,
+    /// NI-level retransmissions (NACK- or timeout-triggered).
+    pub ni_retransmits: u64,
+    /// Flits the source NI gave up on after exhausting its retry budget —
+    /// the sanctioned packet-loss count.
+    pub flits_lost: u64,
+    /// Duplicate deliveries suppressed by the receiver NI (late originals or
+    /// spurious-timeout retransmits).
+    pub duplicates_suppressed: u64,
+    /// Hops travelled by ACK/NACK control messages on the (assumed reliable)
+    /// control plane.
+    pub ack_hops: u64,
 }
 
 impl EventCounts {
@@ -52,6 +70,13 @@ impl EventCounts {
         self.retransmissions += other.retransmissions;
         self.injections += other.injections;
         self.ejections += other.ejections;
+        self.transit_corruptions += other.transit_corruptions;
+        self.transit_losses += other.transit_losses;
+        self.crc_rejects += other.crc_rejects;
+        self.ni_retransmits += other.ni_retransmits;
+        self.flits_lost += other.flits_lost;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.ack_hops += other.ack_hops;
     }
 }
 
@@ -202,6 +227,9 @@ pub struct NetStats {
     pub flit_latency: LatencyStats,
     /// Per-flit hop counts at ejection.
     pub hops: LatencyStats,
+    /// Creation-to-delivery latency of flits that needed at least one NI
+    /// retransmission — the recovery-latency metric of the resilience layer.
+    pub recovery_latency: LatencyStats,
     /// Packet latency broken down by *source* node (grown on demand) — the
     /// fairness metric: age-based arbitration starves centre nodes unless
     /// the fairness counter intervenes.
@@ -243,6 +271,14 @@ impl NetStats {
         if created_in_window {
             self.flit_latency.record(now.saturating_sub(created));
             self.hops.record(hops as u64);
+        }
+    }
+
+    /// Record delivery of a flit that survived only thanks to the
+    /// retransmission protocol (`flit.retransmits > 0`).
+    pub fn record_recovery(&mut self, created: Cycle, now: Cycle, created_in_window: bool) {
+        if created_in_window {
+            self.recovery_latency.record(now.saturating_sub(created));
         }
     }
 
@@ -320,6 +356,13 @@ impl NetStats {
         w.retransmissions -= s.retransmissions;
         w.injections -= s.injections;
         w.ejections -= s.ejections;
+        w.transit_corruptions -= s.transit_corruptions;
+        w.transit_losses -= s.transit_losses;
+        w.crc_rejects -= s.crc_rejects;
+        w.ni_retransmits -= s.ni_retransmits;
+        w.flits_lost -= s.flits_lost;
+        w.duplicates_suppressed -= s.duplicates_suppressed;
+        w.ack_hops -= s.ack_hops;
         w
     }
 }

@@ -218,6 +218,39 @@ mod tests {
     }
 
     #[test]
+    fn count_rounds_to_nearest_half_away_from_zero() {
+        // Pins the "almost every router" semantics of the rounded count:
+        // fraction * n is rounded to nearest, with .5 going up (f64::round).
+        let small = Mesh::new(2, 2); // n = 4
+        for (frac, expect) in [(0.124, 0), (0.125, 1), (0.374, 1), (0.375, 2)] {
+            let p = FaultPlan::generate(&small, frac, 0, 10, 7);
+            assert_eq!(p.count(), expect, "fraction {frac} on n=4");
+        }
+        // 63.5 / 64 rounds up to "every router".
+        let m = mesh();
+        let p = FaultPlan::generate(&m, 63.5 / 64.0, 0, 10, 7);
+        assert_eq!(p.count(), 64);
+        assert!(m.nodes().all(|n| p.fault_at(n).is_some()));
+    }
+
+    #[test]
+    fn count_rounds_on_odd_node_meshes() {
+        // Non-power-of-two node counts: 3x5 = 15 routers.
+        let m = Mesh::new(3, 5);
+        for (frac, expect) in [(0.2, 3), (0.5, 8), (1.0, 15)] {
+            let p = FaultPlan::generate(&m, frac, 0, 10, 9);
+            assert_eq!(p.count(), expect, "fraction {frac} on n=15");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_tolerates_empty_onset_window() {
+        // The assert exempts fraction 0.0, since no onset is ever sampled.
+        let p = FaultPlan::generate(&mesh(), 0.0, 5, 5, 1);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
     fn same_seed_same_plan() {
         let m = mesh();
         let a = FaultPlan::generate(&m, 0.5, 0, 1000, 42);

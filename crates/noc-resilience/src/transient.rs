@@ -1,0 +1,190 @@
+//! Transient soft-error process.
+//!
+//! Soft errors strike links as a Poisson process: the superposition of
+//! independent per-link processes at rate λ is one process at rate
+//! `λ · num_links` whose events pick a victim link uniformly — which is what
+//! [`TransientEngine`] samples, keeping the state one float regardless of
+//! mesh size. A strike only matters if a flit traverses the victim link that
+//! cycle (a strike on an idle wire is harmless), so the engine exposes
+//! *armed effects per cycle* and the simulator applies them to actual
+//! traversals.
+
+use noc_core::rng::Rng;
+use noc_core::types::{Cycle, Direction, NodeId, LINK_DIRECTIONS};
+use noc_topology::Mesh;
+
+/// Parameters of the transient soft-error process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// Expected events per directed link per cycle (typical sweeps:
+    /// 1e-5 .. 1e-3).
+    pub rate: f64,
+    /// Fraction of events that swallow the flit outright; the rest flip
+    /// payload bits (caught by CRC at the ejection port).
+    pub drop_fraction: f64,
+    /// Seed for the event stream (independent of traffic/fault seeds).
+    pub seed: u64,
+}
+
+impl TransientSpec {
+    pub fn new(rate: f64, seed: u64) -> TransientSpec {
+        TransientSpec {
+            rate,
+            drop_fraction: 0.5,
+            seed,
+        }
+    }
+}
+
+/// What a strike does to the flit traversing the victim link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientEffect {
+    /// XOR this mask into the payload (never resealing the CRC).
+    Corrupt(u64),
+    /// The flit vanishes on the wire.
+    Drop,
+}
+
+/// One strike, armed on a directed link for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientEvent {
+    /// Upstream router of the struck link.
+    pub node: NodeId,
+    /// Output port of the struck link.
+    pub dir: Direction,
+    pub effect: TransientEffect,
+}
+
+/// Runtime sampler for [`TransientSpec`]. Call
+/// [`TransientEngine::events_for_cycle`] once per cycle in non-decreasing
+/// order.
+#[derive(Debug, Clone)]
+pub struct TransientEngine {
+    links: Vec<(NodeId, Direction)>,
+    rate_total: f64,
+    drop_fraction: f64,
+    rng: Rng,
+    /// Absolute time of the next strike, in (fractional) cycles.
+    next: f64,
+}
+
+impl TransientEngine {
+    /// Build the engine; returns `None` for a non-positive rate.
+    pub fn new(mesh: &Mesh, spec: &TransientSpec) -> Option<TransientEngine> {
+        if spec.rate <= 0.0 {
+            return None;
+        }
+        let links: Vec<(NodeId, Direction)> = mesh
+            .nodes()
+            .flat_map(|n| {
+                LINK_DIRECTIONS
+                    .into_iter()
+                    .filter(move |&d| mesh.neighbor(n, d).is_some())
+                    .map(move |d| (n, d))
+            })
+            .collect();
+        let rate_total = spec.rate * links.len() as f64;
+        let mut rng = Rng::stream(spec.seed, 0x7_1235_1E47);
+        let next = rng.gen_exp(rate_total);
+        Some(TransientEngine {
+            links,
+            rate_total,
+            drop_fraction: spec.drop_fraction.clamp(0.0, 1.0),
+            rng,
+            next,
+        })
+    }
+
+    /// Append every strike landing in `[cycle, cycle + 1)` to `out`.
+    pub fn events_for_cycle(&mut self, cycle: Cycle, out: &mut Vec<TransientEvent>) {
+        let end = (cycle + 1) as f64;
+        while self.next < end {
+            let (node, dir) = self.links[self.rng.gen_index(self.links.len())];
+            let effect = if self.rng.gen_bool(self.drop_fraction) {
+                TransientEffect::Drop
+            } else {
+                TransientEffect::Corrupt(self.rng.next_u64())
+            };
+            if self.next >= cycle as f64 {
+                out.push(TransientEvent { node, dir, effect });
+            }
+            // Strikes scheduled before `cycle` (caller skipped cycles, e.g.
+            // a run starting late) are consumed but not delivered.
+            self.next += self.rng.gen_exp(self.rate_total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(rate: f64, seed: u64) -> TransientEngine {
+        TransientEngine::new(&Mesh::new(4, 4), &TransientSpec::new(rate, seed)).unwrap()
+    }
+
+    #[test]
+    fn zero_rate_yields_no_engine() {
+        let m = Mesh::new(4, 4);
+        assert!(TransientEngine::new(&m, &TransientSpec::new(0.0, 1)).is_none());
+        assert!(TransientEngine::new(&m, &TransientSpec::new(-1.0, 1)).is_none());
+    }
+
+    #[test]
+    fn event_count_tracks_rate() {
+        // 4x4 mesh has 48 directed links; at 1e-3 per link-cycle we expect
+        // ~0.048 events/cycle, i.e. ~480 over 10k cycles.
+        let mut e = engine(1e-3, 9);
+        let mut out = Vec::new();
+        for c in 0..10_000 {
+            e.events_for_cycle(c, &mut out);
+        }
+        assert!(
+            (300..700).contains(&out.len()),
+            "got {} events, expected ~480",
+            out.len()
+        );
+        // Both effect kinds occur at drop_fraction 0.5.
+        assert!(out
+            .iter()
+            .any(|ev| matches!(ev.effect, TransientEffect::Drop)));
+        assert!(out
+            .iter()
+            .any(|ev| matches!(ev.effect, TransientEffect::Corrupt(_))));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = engine(1e-3, 5);
+        let mut b = engine(1e-3, 5);
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        for c in 0..5_000 {
+            a.events_for_cycle(c, &mut va);
+            b.events_for_cycle(c, &mut vb);
+        }
+        assert_eq!(va, vb);
+        let mut c2 = engine(1e-3, 6);
+        let mut vc = Vec::new();
+        for c in 0..5_000 {
+            c2.events_for_cycle(c, &mut vc);
+        }
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn events_target_existing_links_only() {
+        let m = Mesh::new(4, 4);
+        let mut e = engine(1e-2, 3);
+        let mut out = Vec::new();
+        for c in 0..2_000 {
+            e.events_for_cycle(c, &mut out);
+        }
+        assert!(!out.is_empty());
+        for ev in &out {
+            assert!(
+                m.neighbor(ev.node, ev.dir).is_some(),
+                "strike on a non-link"
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! deflecting).
 
 use crate::productive_ports;
-use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS};
+use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
 use noc_topology::Mesh;
 
 /// Preference-ordered link directions for a flit at `current` toward `dst`.
@@ -64,6 +64,54 @@ pub fn rank_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> Vec<Direction> {
     // deflection candidates.
     out.retain(|&dir| mesh.neighbor(current, dir).is_some());
     out
+}
+
+/// Deflection port assignment under dead links: the chosen direction plus
+/// whether taking it counts as a deflection.
+///
+/// Preference: (1) a free, live productive port in ranking order; (2) a
+/// free, live deflection port — scanned from an offset of `spin` when
+/// every productive port is dead, so a flit trapped behind a dead channel
+/// tries a different escape direction on each successive deflection
+/// instead of ping-ponging deterministically against a neighbour that
+/// keeps routing it straight back; (3) any free port, dead included — a
+/// bufferless flit must leave, and exiting into a dead link is an
+/// accounted loss the NI recovers by retransmission. With no dead links
+/// the scan order is exactly the ranking, so healthy-network behaviour is
+/// unchanged. `None` only when every port is taken.
+pub fn assign_port_with_faults(
+    ranking: &[Direction],
+    productive: usize,
+    used: &[bool; 4],
+    link_down: &[bool; NUM_LINK_PORTS],
+    spin: usize,
+) -> Option<(Direction, bool)> {
+    for &dir in &ranking[..productive] {
+        if !used[dir.index()] && !link_down[dir.index()] {
+            return Some((dir, false));
+        }
+    }
+    let defl = &ranking[productive..];
+    if !defl.is_empty() {
+        let blocked_by_dead =
+            productive > 0 && ranking[..productive].iter().all(|d| link_down[d.index()]);
+        let start = if blocked_by_dead {
+            spin % defl.len()
+        } else {
+            0
+        };
+        for i in 0..defl.len() {
+            let dir = defl[(start + i) % defl.len()];
+            if !used[dir.index()] && !link_down[dir.index()] {
+                return Some((dir, true));
+            }
+        }
+    }
+    ranking
+        .iter()
+        .enumerate()
+        .find(|(_, d)| !used[d.index()])
+        .map(|(rank, &d)| (d, rank >= productive))
 }
 
 /// Number of productive entries at the head of [`rank_ports`]' result.

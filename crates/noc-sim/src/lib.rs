@@ -25,12 +25,14 @@ pub mod diagnostics;
 pub mod network;
 pub mod reassembly;
 pub mod report;
+pub mod resilience;
 pub mod router;
 pub mod runner;
 pub mod verify;
 
 pub use network::Network;
 pub use report::RunResult;
+pub use resilience::{AckMsg, ResilienceState};
 pub use router::{RouterFactory, RouterModel, StepCtx};
 pub use runner::{run, run_traced, RunMode};
 pub use verify::{NullVerifier, ProbeBuf, ProbeEvent, RunObserver, StepInputs};

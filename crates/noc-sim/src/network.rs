@@ -2,6 +2,7 @@
 //! SCARAB drop/NACK bookkeeping.
 
 use crate::reassembly::Reassembler;
+use crate::resilience::{AckMsg, ResilienceState};
 use crate::router::{RouterModel, StepCtx};
 use crate::verify::{NullVerifier, RunObserver, StepInputs};
 use crate::{CREDIT_LATENCY, LINK_LATENCY};
@@ -9,6 +10,7 @@ use noc_core::flit::Flit;
 use noc_core::stats::NetStats;
 use noc_core::types::{Cycle, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
 use noc_core::SimConfig;
+use noc_resilience::{ResiliencePlan, TimeoutAction, TransientEffect};
 use noc_topology::link::TimedChannel;
 use noc_topology::{DelayLine, Mesh};
 use noc_trace::{CycleSample, NullSink, TraceEvent, TraceSink};
@@ -45,6 +47,9 @@ pub struct Network {
     /// inactive, which keeps every router's `ProbeBuf` disabled and skips
     /// all observer hooks.
     observer: Box<dyn RunObserver>,
+    /// Resilience layer (fault injection + CRC/ARQ recovery). `None` keeps
+    /// the engine byte-identical to a fault-free build.
+    resilience: Option<ResilienceState>,
 }
 
 impl Network {
@@ -85,7 +90,21 @@ impl Network {
             source_overflow: 0,
             sink: Box::new(NullSink),
             observer: Box::new(NullVerifier),
+            resilience: None,
         }
+    }
+
+    /// Attach a resilience plan: link faults, transient strikes and the NI
+    /// retransmission protocol become live from the next cycle. (Permanent
+    /// crossbar faults live inside the router models and are configured at
+    /// construction, not here.)
+    pub fn set_resilience(&mut self, plan: ResiliencePlan) {
+        self.resilience = Some(ResilienceState::new(&self.mesh, plan));
+    }
+
+    /// The attached resilience state, if any (read-only view).
+    pub fn resilience(&self) -> Option<&ResilienceState> {
+        self.resilience.as_ref()
     }
 
     /// Attach a trace sink; subsequent cycles record into it.
@@ -201,6 +220,56 @@ impl Network {
         self.cycle += 1;
     }
 
+    /// Resilience-layer cycle prologue: publish link-fault onsets to the
+    /// degraded routers, arm this cycle's transient strikes, deliver due
+    /// ACK/NACKs to the source NIs, and fire retransmission timeouts.
+    fn resilience_begin_cycle(&mut self, t: Cycle, verifying: bool) {
+        let Some(res) = self.resilience.as_mut() else {
+            return;
+        };
+        let mut degraded = Vec::new();
+        res.apply_onsets(t, &mut degraded);
+        for node in degraded {
+            let mask = res.link_down[node.index()];
+            self.routers[node.index()].set_faulty_links(mask);
+        }
+
+        res.arm_strikes(t);
+
+        let mut actions = Vec::new();
+        for msg in res.acks.recv_due(t) {
+            let ni = &mut res.senders[msg.to.index()];
+            if msg.nack {
+                if let Some(a) = ni.on_nack(msg.seq) {
+                    actions.push(a);
+                }
+            } else {
+                ni.on_ack(msg.seq);
+            }
+        }
+        for ni in res.senders.iter_mut() {
+            ni.poll(t, &mut actions);
+        }
+        for action in actions {
+            match action {
+                TimeoutAction::Retransmit(flit) => {
+                    self.stats.events.ni_retransmits += 1;
+                    if verifying {
+                        self.observer.on_retransmit_queued(&flit);
+                    }
+                    // The retransmit buffer has priority over fresh traffic.
+                    self.source_queues[flit.src.index()].push_front(flit);
+                }
+                TimeoutAction::GiveUp(flit) => {
+                    self.stats.events.flits_lost += 1;
+                    if verifying {
+                        self.observer.on_flit_lost(&flit);
+                    }
+                }
+            }
+        }
+    }
+
     /// Router phase + link phase, one node at a time. Routers only read
     /// their own delay-line endpoints, so a fixed iteration order is
     /// deterministic and race-free.
@@ -210,6 +279,7 @@ impl Network {
         if verifying {
             self.observer.on_cycle_start(t);
         }
+        self.resilience_begin_cycle(t, verifying);
         let traversals_before = self.stats.events.link_traversals;
         for i in 0..self.routers.len() {
             let node = NodeId(i as u16);
@@ -225,6 +295,14 @@ impl Network {
                     if let Some(c) = line.recv(t) {
                         ctx.credits_in[d.index()] = c;
                     }
+                }
+            }
+            // Sequence the queue head in place before copying it into the
+            // offer, so the sequence number survives the eventual pop (a
+            // no-op for already-sequenced retransmissions).
+            if let Some(res) = self.resilience.as_mut() {
+                if let Some(front) = self.source_queues[i].front_mut() {
+                    res.senders[i].sequence(front);
                 }
             }
             ctx.injection = self.source_queues[i].front().map(|f| {
@@ -269,6 +347,36 @@ impl Network {
                         .mesh
                         .neighbor(node, d)
                         .unwrap_or_else(|| panic!("{node} routed {flit:?} off-mesh via {d}"));
+                    // Resilience link phase: a dead link swallows the flit,
+                    // a transient strike corrupts or drops it. Flits already
+                    // on the wire when a link dies still arrive (the onset
+                    // kills future sends, not in-flight data).
+                    if let Some(res) = self.resilience.as_mut() {
+                        if res.link_dead(node, d) {
+                            ctx.events.transit_losses += 1;
+                            if verifying {
+                                self.observer.on_transit_loss(node, d, &flit);
+                            }
+                            continue;
+                        }
+                        match res.take_strike(node, d) {
+                            Some(TransientEffect::Drop) => {
+                                ctx.events.transit_losses += 1;
+                                if verifying {
+                                    self.observer.on_transit_loss(node, d, &flit);
+                                }
+                                continue;
+                            }
+                            Some(TransientEffect::Corrupt(mask)) => {
+                                flit.corrupt_payload(mask);
+                                ctx.events.transit_corruptions += 1;
+                                if verifying {
+                                    self.observer.on_transit_corrupt(node, d, &flit);
+                                }
+                            }
+                            None => {}
+                        }
+                    }
                     flit.hops += 1;
                     ctx.events.link_traversals += 1;
                     ctx.trace.emit(|| TraceEvent::Hop {
@@ -304,6 +412,12 @@ impl Network {
                 debug_assert!(popped.is_some(), "router injected a phantom flit");
                 ctx.events.injections += 1;
                 if let Some(flit) = popped {
+                    // Arm (or re-arm, for a retransmission) the ARQ timer at
+                    // the actual network entry, so source queueing never
+                    // burns the retry budget.
+                    if let Some(res) = self.resilience.as_mut() {
+                        res.senders[i].on_injected(flit.seq, t);
+                    }
                     ctx.trace.emit(|| TraceEvent::Inject {
                         cycle: t,
                         node,
@@ -313,11 +427,60 @@ impl Network {
                 }
             }
 
-            // Ejections -> reassembly -> traffic-model callback.
+            // Ejections -> CRC check/ACK (resilient runs) -> reassembly ->
+            // traffic-model callback.
             let ejected_in_window = self.now_in_window();
+            let win_lo = self.cfg.warmup_cycles;
+            let win_hi = win_lo + self.cfg.measure_cycles;
             for flit in ctx.ejected.drain(..) {
                 debug_assert_eq!(flit.dst, node, "flit ejected at wrong node");
                 ctx.events.ejections += 1;
+                if flit.seq != 0 {
+                    if let Some(res) = self.resilience.as_mut() {
+                        let back_hops = self.mesh.hop_distance(node, flit.src).max(1) as u64;
+                        ctx.events.ack_hops += back_hops;
+                        if !flit.crc_ok() {
+                            // Detected corruption: bounce it, NACK the
+                            // source NI, and wait for the retransmission.
+                            ctx.events.crc_rejects += 1;
+                            res.acks.send(
+                                t,
+                                back_hops,
+                                AckMsg {
+                                    to: flit.src,
+                                    seq: flit.seq,
+                                    nack: true,
+                                },
+                            );
+                            if verifying {
+                                self.observer.on_crc_reject(node, &flit);
+                            }
+                            continue;
+                        }
+                        res.acks.send(
+                            t,
+                            back_hops,
+                            AckMsg {
+                                to: flit.src,
+                                seq: flit.seq,
+                                nack: false,
+                            },
+                        );
+                        if !res.record_delivery(flit.src, flit.seq) {
+                            // A spurious-timeout retransmission of a flit
+                            // that already arrived: re-ACK and suppress.
+                            ctx.events.duplicates_suppressed += 1;
+                            continue;
+                        }
+                        if flit.retransmits > 0 {
+                            // Delivery needed recovery: record creation ->
+                            // final-delivery latency.
+                            let created_in_window = (win_lo..win_hi).contains(&flit.created);
+                            self.stats
+                                .record_recovery(flit.created, t, created_in_window);
+                        }
+                    }
+                }
                 ctx.trace.emit(|| TraceEvent::Eject {
                     cycle: t,
                     node,
@@ -406,6 +569,7 @@ impl Network {
             && self.source_queues.iter().all(|q| q.is_empty())
             && self.retransmits.is_empty()
             && self.reassembler.is_empty()
+            && self.resilience.as_ref().is_none_or(|r| r.is_quiescent())
     }
 
     /// Flits currently inside the network (diagnostics).

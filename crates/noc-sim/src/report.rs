@@ -45,6 +45,16 @@ pub struct RunResult {
     pub finish_cycle: Option<u64>,
     /// Whether a closed-loop run actually finished within its cap.
     pub completed: bool,
+    /// Flits whose retry budget was exhausted and were counted lost
+    /// (measurement window; 0 without a resilience plan).
+    pub lost_flits: u64,
+    /// Corrupted flits caught by the ejection-port CRC (measurement window).
+    pub crc_rejects: u64,
+    /// NI retransmissions queued (timeouts + NACKs, measurement window).
+    pub ni_retransmits: u64,
+    /// Mean creation-to-delivery latency of flits that needed at least one
+    /// retransmission (cycles; 0.0 when nothing was recovered).
+    pub avg_recovery_latency: f64,
     /// Full statistics for downstream analysis.
     pub stats: NetStats,
 }
@@ -150,6 +160,10 @@ mod tests {
             latency_spread: 1.5,
             finish_cycle: None,
             completed: true,
+            lost_flits: 0,
+            crc_rejects: 0,
+            ni_retransmits: 0,
+            avg_recovery_latency: 0.0,
             stats: Default::default(),
         };
         let line = r.summary_line();

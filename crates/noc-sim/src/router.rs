@@ -92,6 +92,13 @@ pub trait RouterModel: Send {
 
     /// Design label for reports ("DXbar DOR", "Buffered 8", ...).
     fn design_name(&self) -> &'static str;
+
+    /// Inform the router which of its output links are permanently dead
+    /// (`down[Direction::index]`). Adaptive designs may steer minimal
+    /// choices away from dead links; oblivious (DOR) designs ignore it and
+    /// rely on the NI retransmission layer to account the loss. Default:
+    /// no-op.
+    fn set_faulty_links(&mut self, _down: [bool; NUM_LINK_PORTS]) {}
 }
 
 /// Builds one router per node; the engine calls it for every node id.

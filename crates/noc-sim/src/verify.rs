@@ -12,7 +12,7 @@
 //! attached, so event construction is skipped on the hot path.
 
 use noc_core::flit::Flit;
-use noc_core::types::{Cycle, NodeId, NUM_LINK_PORTS};
+use noc_core::types::{Cycle, Direction, NodeId, NUM_LINK_PORTS};
 use std::any::Any;
 
 /// Allocator-internal facts a router may expose for the oracles. All fields
@@ -116,6 +116,28 @@ pub trait RunObserver: Send {
     /// Called once per network cycle after all routers stepped, with the
     /// total number of flits anywhere in the network.
     fn on_cycle_end(&mut self, _cycle: Cycle, _in_flight: usize) {}
+
+    /// A transient strike corrupted `flit` while it traversed the link
+    /// leaving `node` through port `dir` (payload already flipped; the CRC
+    /// no longer matches). Called from the engine's link phase.
+    fn on_transit_corrupt(&mut self, _node: NodeId, _dir: Direction, _flit: &Flit) {}
+
+    /// `flit` vanished on the link leaving `node` through `dir` — a
+    /// transient drop strike or a dead link swallowed it. The ARQ layer is
+    /// expected to recover it (retransmit) or count it lost.
+    fn on_transit_loss(&mut self, _node: NodeId, _dir: Direction, _flit: &Flit) {}
+
+    /// The ejection port at `node` rejected `flit` on a CRC mismatch and
+    /// NACKed the source. Called after `on_router_step` of the same cycle.
+    fn on_crc_reject(&mut self, _node: NodeId, _flit: &Flit) {}
+
+    /// The source NI re-enqueued `flit` for retransmission (timeout or
+    /// NACK); its next injection is a sanctioned re-injection.
+    fn on_retransmit_queued(&mut self, _flit: &Flit) {}
+
+    /// The source NI exhausted the retry budget for `flit` and counted the
+    /// packet lost; the flit will not be seen again.
+    fn on_flit_lost(&mut self, _flit: &Flit) {}
 
     /// Downcast support so callers can recover a concrete verifier after
     /// [`Network::take_observer`](crate::Network::take_observer).

@@ -23,10 +23,30 @@ pub struct FlitPos {
 }
 
 /// Ledger of every flit the network has accepted.
+///
+/// Resilient runs extend the base lifecycle: a flit may legally vanish in
+/// transit (dead link, transient drop) or bounce off the ejection-port CRC,
+/// provided the source NI retransmits it to delivery or counts it lost. A
+/// spurious retransmission timeout can put *two* live instances of one flit
+/// identity into the network at once, so live bookkeeping counts instances;
+/// only sanctioned re-injections (announced via
+/// [`FlitLedger::on_retransmit`]) may create the second instance.
 #[derive(Debug, Default)]
 pub struct FlitLedger {
-    /// Injected but not yet ejected or dropped.
+    /// Injected but not yet ejected or dropped (position of one live
+    /// instance; see `extra` for additional sanctioned instances).
     in_flight: HashMap<FlitId, FlitPos>,
+    /// Additional live instances beyond the one tracked in `in_flight`
+    /// (spurious-timeout retransmissions racing the original).
+    extra: HashMap<FlitId, u32>,
+    /// Announced retransmissions whose re-injection has not yet been seen;
+    /// consumes one credit per sanctioned injection.
+    sanctioned: HashMap<FlitId, u32>,
+    /// Vanished in transit or CRC-bounced: must end the run delivered or
+    /// counted lost, else it leaked.
+    pending_recovery: HashSet<FlitId>,
+    /// Counted lost by the source NI after exhausting the retry budget.
+    lost: HashSet<FlitId>,
     /// Dropped (SCARAB) and awaiting retransmission; a retransmitted copy
     /// re-enters `in_flight` via a fresh injection observation.
     dropped: HashSet<FlitId>,
@@ -36,6 +56,9 @@ pub struct FlitLedger {
     injected_total: u64,
     ejected_total: u64,
     dropped_total: u64,
+    transit_lost_total: u64,
+    crc_bounced_total: u64,
+    lost_total: u64,
 }
 
 fn id(f: &Flit) -> FlitId {
@@ -55,9 +78,36 @@ impl FlitLedger {
         (self.injected_total, self.ejected_total, self.dropped_total)
     }
 
+    /// Resilience totals: `(transit-lost, crc-bounced, counted-lost)`.
+    pub fn recovery_counts(&self) -> (u64, u64, u64) {
+        (
+            self.transit_lost_total,
+            self.crc_bounced_total,
+            self.lost_total,
+        )
+    }
+
+    /// Whether the recovery protocol resolved this flit identity: it was
+    /// eventually delivered, or formally counted lost.
+    pub fn resolved(&self, fid: FlitId) -> bool {
+        self.ejected.contains(&fid) || self.lost.contains(&fid)
+    }
+
     /// Iterate over live flits (for stuck-flit reports and heatmaps).
     pub fn live(&self) -> impl Iterator<Item = (&FlitId, &FlitPos)> {
         self.in_flight.iter()
+    }
+
+    /// Remove one live instance of `fid`; returns `false` if none was live.
+    fn remove_instance(&mut self, fid: FlitId) -> bool {
+        if let Some(n) = self.extra.get_mut(&fid) {
+            *n -= 1;
+            if *n == 0 {
+                self.extra.remove(&fid);
+            }
+            return true;
+        }
+        self.in_flight.remove(&fid).is_some()
     }
 
     /// A flit left the injection queue at `node`.
@@ -66,6 +116,28 @@ impl FlitLedger {
         self.injected_total += 1;
         // A retransmission of a dropped flit is a legal re-injection.
         self.dropped.remove(&fid);
+        // A sanctioned NI retransmission may legally coexist with a live
+        // instance (spurious timeout) or follow a delivery (lost ACK).
+        if let Some(n) = self.sanctioned.get_mut(&fid) {
+            *n -= 1;
+            if *n == 0 {
+                self.sanctioned.remove(&fid);
+            }
+            match self.in_flight.entry(fid) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    *self.extra.entry(fid).or_insert(0) += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(FlitPos {
+                        node,
+                        since: cycle,
+                        src: f.src,
+                        dst: f.dst,
+                    });
+                }
+            }
+            return;
+        }
         if self.ejected.contains(&fid) {
             out.push(Violation {
                 kind: ViolationKind::Duplicate,
@@ -125,9 +197,25 @@ impl FlitLedger {
         }
     }
 
-    /// A flit was ejected to the PE at `node`.
+    /// A flit was ejected to the PE at `node`. Sequenced flits failing
+    /// their CRC are *bounces*, not deliveries: the instance leaves the
+    /// network but the identity must still be recovered or counted lost.
     pub fn on_eject(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
         let fid = id(f);
+        if f.seq != 0 && !f.crc_ok() {
+            self.crc_bounced_total += 1;
+            if !self.remove_instance(fid) {
+                out.push(Violation {
+                    kind: ViolationKind::Phantom,
+                    cycle,
+                    router: Some(node),
+                    flits: vec![fid],
+                    detail: "corrupt flit at the ejection port was not in flight".into(),
+                });
+            }
+            self.pending_recovery.insert(fid);
+            return;
+        }
         self.ejected_total += 1;
         if f.dst != node {
             out.push(Violation {
@@ -138,7 +226,7 @@ impl FlitLedger {
                 detail: format!("ejected at {} but destined for {}", node, f.dst),
             });
         }
-        if self.in_flight.remove(&fid).is_none() {
+        if !self.remove_instance(fid) {
             let detail = if self.ejected.contains(&fid) {
                 "flit ejected twice"
             } else {
@@ -156,8 +244,10 @@ impl FlitLedger {
                 detail: detail.into(),
             });
         }
+        self.pending_recovery.remove(&fid);
         if !self.ejected.insert(fid) {
-            // Second insert: already reported above as Duplicate.
+            // Second insert: either already reported above, or a sanctioned
+            // duplicate delivery (the engine suppresses it at reassembly).
         }
     }
 
@@ -166,7 +256,7 @@ impl FlitLedger {
     pub fn on_drop(&mut self, f: &Flit, node: NodeId, cycle: Cycle, out: &mut Vec<Violation>) {
         let fid = id(f);
         self.dropped_total += 1;
-        if self.in_flight.remove(&fid).is_none() && !self.dropped.contains(&fid) {
+        if !self.remove_instance(fid) && !self.dropped.contains(&fid) {
             out.push(Violation {
                 kind: ViolationKind::Phantom,
                 cycle,
@@ -176,6 +266,43 @@ impl FlitLedger {
             });
         }
         self.dropped.insert(fid);
+    }
+
+    /// A flit instance vanished in transit (transient drop strike or a dead
+    /// link). Legal, but the identity now awaits recovery: it must end the
+    /// run delivered or counted lost.
+    pub fn on_transit_loss(
+        &mut self,
+        f: &Flit,
+        node: NodeId,
+        cycle: Cycle,
+        out: &mut Vec<Violation>,
+    ) {
+        let fid = id(f);
+        self.transit_lost_total += 1;
+        if !self.remove_instance(fid) {
+            out.push(Violation {
+                kind: ViolationKind::Phantom,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: "transit-lost flit was not in flight".into(),
+            });
+        }
+        self.pending_recovery.insert(fid);
+    }
+
+    /// The source NI announced a retransmission of `f`: its next injection
+    /// observation is sanctioned (not a duplicate).
+    pub fn on_retransmit(&mut self, f: &Flit) {
+        *self.sanctioned.entry(id(f)).or_insert(0) += 1;
+    }
+
+    /// The source NI exhausted the retry budget for `f`: the identity is
+    /// formally lost, which resolves its pending recovery.
+    pub fn on_lost(&mut self, f: &Flit) {
+        self.lost_total += 1;
+        self.lost.insert(id(f));
     }
 
     /// End-of-run check: nothing may still be in flight once the network
@@ -199,7 +326,7 @@ impl FlitLedger {
         let undelivered: Vec<FlitId> = self
             .dropped
             .iter()
-            .filter(|fid| !self.ejected.contains(*fid))
+            .filter(|fid| !self.ejected.contains(*fid) && !self.lost.contains(*fid))
             .copied()
             .collect();
         if !undelivered.is_empty() {
@@ -212,6 +339,28 @@ impl FlitLedger {
                 flits: flits.clone(),
                 detail: format!(
                     "{} dropped flit(s) never retransmitted to delivery",
+                    flits.len()
+                ),
+            });
+        }
+        // Every flit removed in transit (or bounced by the CRC) must have
+        // been recovered to delivery or formally counted lost.
+        let unrecovered: Vec<FlitId> = self
+            .pending_recovery
+            .iter()
+            .filter(|fid| !self.resolved(**fid))
+            .copied()
+            .collect();
+        if !unrecovered.is_empty() {
+            let mut flits = unrecovered;
+            flits.sort_unstable();
+            out.push(Violation {
+                kind: ViolationKind::Leak,
+                cycle,
+                router: None,
+                flits: flits.clone(),
+                detail: format!(
+                    "{} flit(s) removed in transit were neither recovered nor counted lost",
                     flits.len()
                 ),
             });
@@ -292,6 +441,111 @@ mod tests {
         led.on_eject(&f, NodeId(3), 14, &mut v);
         led.finalize(100, &mut v);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn sequenced_flit(pid: u64, src: u16, dst: u16, seq: u32) -> Flit {
+        let mut f = flit(pid, src, dst);
+        f.set_seq(seq);
+        f
+    }
+
+    #[test]
+    fn transit_loss_recovered_by_retransmission_is_clean() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = sequenced_flit(1, 0, 3, 1);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_transit_loss(&f, NodeId(1), 3, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        led.on_retransmit(&f);
+        led.on_inject(&f, NodeId(0), 140, &mut v);
+        led.on_eject(&f, NodeId(3), 150, &mut v);
+        led.finalize(200, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(led.recovery_counts(), (1, 0, 0));
+    }
+
+    // Canary for the "NI acks the wrong sequence number" mutation: the real
+    // flit's pending entry disappears, so it is never retransmitted after a
+    // transit loss and never counted lost — the new oracle must flag it.
+    #[test]
+    fn transit_loss_without_recovery_or_loss_accounting_is_a_leak() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = sequenced_flit(1, 0, 3, 1);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_transit_loss(&f, NodeId(1), 3, &mut v);
+        led.finalize(10_000, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Leak);
+        assert!(v[0].detail.contains("neither recovered nor counted lost"));
+    }
+
+    #[test]
+    fn give_up_resolves_pending_recovery() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = sequenced_flit(1, 0, 3, 1);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_transit_loss(&f, NodeId(1), 3, &mut v);
+        led.on_lost(&f);
+        led.finalize(10_000, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(led.recovery_counts(), (1, 0, 1));
+        assert!(led.resolved((1, 0)));
+    }
+
+    #[test]
+    fn crc_bounce_is_not_a_delivery_and_requires_recovery() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let clean = sequenced_flit(1, 0, 3, 1);
+        let mut corrupt = clean;
+        corrupt.corrupt_payload(0b100);
+        led.on_inject(&clean, NodeId(0), 1, &mut v);
+        led.on_eject(&corrupt, NodeId(3), 9, &mut v);
+        assert!(v.is_empty(), "bounce is legal: {v:?}");
+        assert_eq!(led.counts().1, 0, "a bounce is not an ejection");
+        led.finalize(10_000, &mut v);
+        assert_eq!(v.len(), 1, "unrecovered bounce leaks");
+        assert_eq!(v[0].kind, ViolationKind::Leak);
+        // Retransmit + clean delivery clears it.
+        v.clear();
+        led.on_retransmit(&clean);
+        led.on_inject(&clean, NodeId(0), 200, &mut v);
+        led.on_eject(&clean, NodeId(3), 210, &mut v);
+        led.finalize(10_000, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(led.recovery_counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn sanctioned_retransmit_allows_two_live_instances() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = sequenced_flit(1, 0, 3, 1);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        // Spurious timeout: a second instance enters while the first lives.
+        led.on_retransmit(&f);
+        led.on_inject(&f, NodeId(0), 150, &mut v);
+        assert!(v.is_empty(), "sanctioned duplicate injection: {v:?}");
+        // Both instances arrive; the engine suppresses the second delivery.
+        led.on_eject(&f, NodeId(3), 160, &mut v);
+        led.on_eject(&f, NodeId(3), 170, &mut v);
+        assert!(v.is_empty(), "sanctioned duplicate delivery: {v:?}");
+        led.finalize(200, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsanctioned_reinjection_is_still_a_duplicate() {
+        let mut led = FlitLedger::new();
+        let mut v = Vec::new();
+        let f = sequenced_flit(1, 0, 3, 1);
+        led.on_inject(&f, NodeId(0), 1, &mut v);
+        led.on_inject(&f, NodeId(0), 2, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Duplicate);
     }
 
     #[test]

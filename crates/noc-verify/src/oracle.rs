@@ -26,7 +26,8 @@
 
 use crate::ledger::FlitLedger;
 use crate::profile::{DesignProfile, RouteRule};
-use crate::violation::{Violation, ViolationKind};
+use crate::violation::{FlitId, Violation, ViolationKind};
+use noc_core::flit::Flit;
 use noc_core::types::{Cycle, Direction, NodeId, LINK_DIRECTIONS};
 use noc_routing::is_productive;
 use noc_sim::diagnostics::NodeField;
@@ -67,13 +68,24 @@ pub struct CheckCounts {
     pub grants: u64,
     pub fifo_samples: u64,
     pub fairness_flips: u64,
+    /// CRC verdicts recomputed on sequenced ejections.
+    pub crc_checks: u64,
+    /// Transit faults observed (corruptions + losses).
+    pub transit_faults: u64,
+    /// Recovery-protocol events observed (rejects, retransmits, give-ups).
+    pub recovery_events: u64,
 }
 
 impl CheckCounts {
     /// Total individual oracle checks performed (for aggregate reporting;
     /// `cycles` and `router_steps` are bookkeeping, not checks).
     pub fn total(&self) -> u64 {
-        self.conservation + self.route_hops + self.grants + self.fifo_samples + self.fairness_flips
+        self.conservation
+            + self.route_hops
+            + self.grants
+            + self.fifo_samples
+            + self.fairness_flips
+            + self.crc_checks
     }
 }
 
@@ -89,6 +101,8 @@ pub struct VerifyReport {
     pub checks: CheckCounts,
     /// Ledger totals: (injected, ejected, dropped).
     pub flit_counts: (u64, u64, u64),
+    /// Ledger resilience totals: (transit-lost, crc-bounced, counted-lost).
+    pub recovery_counts: (u64, u64, u64),
 }
 
 impl VerifyReport {
@@ -116,6 +130,18 @@ impl VerifyReport {
             self.flit_counts.1,
             self.flit_counts.2,
         );
+        if c.crc_checks + c.transit_faults + c.recovery_events > 0 {
+            s.push_str(&format!(
+                "\nresilience: {} crc check(s), {} transit fault(s), {} recovery event(s); \
+                 {} transit-lost / {} crc-bounced / {} counted-lost",
+                c.crc_checks,
+                c.transit_faults,
+                c.recovery_events,
+                self.recovery_counts.0,
+                self.recovery_counts.1,
+                self.recovery_counts.2,
+            ));
+        }
         for v in self.violations.iter().take(8) {
             s.push('\n');
             s.push_str(&v.to_string());
@@ -148,6 +174,15 @@ pub struct Verifier {
     ejected_this_cycle: bool,
     watchdog_tripped: bool,
     finalized: bool,
+    // Resilience oracles.
+    current_cycle: Cycle,
+    /// Outstanding corrupted instances per flit identity (taint): +1 per
+    /// transit corruption, resolved by a CRC reject or a transit loss.
+    tainted: HashMap<FlitId, u32>,
+    /// Bad-CRC ejections seen this cycle that the engine has not yet
+    /// confirmed rejecting; any remnant at cycle end is a silent
+    /// corruption (the engine delivered a corrupt flit).
+    pending_crc_rejects: Vec<(FlitId, NodeId)>,
 }
 
 impl Verifier {
@@ -177,6 +212,9 @@ impl Verifier {
             ejected_this_cycle: false,
             watchdog_tripped: false,
             finalized: false,
+            current_cycle: 0,
+            tainted: HashMap::new(),
+            pending_crc_rejects: Vec::new(),
         }
     }
 
@@ -376,6 +414,26 @@ impl Verifier {
             for v in out {
                 self.push(v);
             }
+            // Every injected corruption must have been detected (CRC reject
+            // or transit loss) or its flit resolved as delivered-clean-copy
+            // or counted lost. Outstanding taint on an unresolved flit means
+            // the corruption silently vanished from the books.
+            let mut escaped: Vec<FlitId> = self
+                .tainted
+                .iter()
+                .filter(|&(fid, &n)| n > 0 && !self.ledger.resolved(*fid))
+                .map(|(fid, _)| *fid)
+                .collect();
+            if !escaped.is_empty() {
+                escaped.sort_unstable();
+                self.push(Violation {
+                    kind: ViolationKind::SilentCorruption,
+                    cycle,
+                    router: None,
+                    flits: escaped,
+                    detail: "injected corruption was neither detected nor counted lost".into(),
+                });
+            }
         }
         self.finalized = true;
         VerifyReport {
@@ -384,6 +442,7 @@ impl Verifier {
             total_violations: self.total_violations,
             checks: self.checks,
             flit_counts: self.ledger.counts(),
+            recovery_counts: self.ledger.recovery_counts(),
         }
     }
 }
@@ -393,8 +452,9 @@ impl RunObserver for Verifier {
         true
     }
 
-    fn on_cycle_start(&mut self, _cycle: Cycle) {
+    fn on_cycle_start(&mut self, cycle: Cycle) {
         self.ejected_this_cycle = false;
+        self.current_cycle = cycle;
     }
 
     fn on_router_step(
@@ -471,6 +531,16 @@ impl RunObserver for Verifier {
             });
         }
         for f in &ctx.ejected {
+            // Independently recompute the CRC verdict on sequenced flits:
+            // a bad-CRC ejection obliges the engine to confirm a reject
+            // (checked at cycle end), robust to an engine that "forgets".
+            if f.seq != 0 {
+                self.checks.crc_checks += 1;
+                if !f.crc_ok() {
+                    self.pending_crc_rejects
+                        .push(((f.packet.0, f.flit_index), node));
+                }
+            }
             self.ledger.on_eject(f, node, cycle, &mut scratch);
             self.ejected_this_cycle = true;
         }
@@ -511,6 +581,18 @@ impl RunObserver for Verifier {
 
     fn on_cycle_end(&mut self, cycle: Cycle, in_flight: usize) {
         self.checks.cycles += 1;
+        // Every bad-CRC ejection must have been matched by an engine CRC
+        // reject within the cycle; a remnant means the engine delivered a
+        // corrupt flit to the PE.
+        while let Some((fid, node)) = self.pending_crc_rejects.pop() {
+            self.push(Violation {
+                kind: ViolationKind::SilentCorruption,
+                cycle,
+                router: Some(node),
+                flits: vec![fid],
+                detail: "corrupt flit reached the ejection port without a CRC reject".into(),
+            });
+        }
         if self.ejected_this_cycle || in_flight == 0 {
             self.last_progress = cycle;
             self.moved_since_progress = false;
@@ -520,6 +602,62 @@ impl RunObserver for Verifier {
         {
             self.trip_watchdog(cycle, in_flight);
         }
+    }
+
+    fn on_transit_corrupt(&mut self, _node: NodeId, _dir: Direction, flit: &Flit) {
+        self.checks.transit_faults += 1;
+        *self
+            .tainted
+            .entry((flit.packet.0, flit.flit_index))
+            .or_insert(0) += 1;
+    }
+
+    fn on_transit_loss(&mut self, node: NodeId, _dir: Direction, flit: &Flit) {
+        self.checks.transit_faults += 1;
+        let fid = (flit.packet.0, flit.flit_index);
+        // The vanished instance may have been a corrupted one; the loss
+        // resolves one taint (recovery is tracked by the ledger either way).
+        if let Some(n) = self.tainted.get_mut(&fid) {
+            *n -= 1;
+            if *n == 0 {
+                self.tainted.remove(&fid);
+            }
+        }
+        let mut scratch = Vec::new();
+        self.ledger
+            .on_transit_loss(flit, node, self.current_cycle, &mut scratch);
+        for v in scratch {
+            self.push(v);
+        }
+    }
+
+    fn on_crc_reject(&mut self, node: NodeId, flit: &Flit) {
+        self.checks.recovery_events += 1;
+        let fid = (flit.packet.0, flit.flit_index);
+        if let Some(i) = self
+            .pending_crc_rejects
+            .iter()
+            .position(|&(f, n)| f == fid && n == node)
+        {
+            self.pending_crc_rejects.swap_remove(i);
+        }
+        // Detection resolves the corruption taint.
+        if let Some(n) = self.tainted.get_mut(&fid) {
+            *n -= 1;
+            if *n == 0 {
+                self.tainted.remove(&fid);
+            }
+        }
+    }
+
+    fn on_retransmit_queued(&mut self, flit: &Flit) {
+        self.checks.recovery_events += 1;
+        self.ledger.on_retransmit(flit);
+    }
+
+    fn on_flit_lost(&mut self, flit: &Flit) {
+        self.checks.recovery_events += 1;
+        self.ledger.on_lost(flit);
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -767,5 +905,98 @@ mod tests {
             "{:?}",
             v.violations
         );
+    }
+
+    fn corrupt_sequenced_flit(pid: u64, src: u16, dst: u16, seq: u32) -> Flit {
+        let mut f = flit(pid, src, dst);
+        f.set_seq(seq);
+        f.corrupt_payload(0b1);
+        assert!(!f.crc_ok());
+        f
+    }
+
+    fn inject_at(v: &mut Verifier, node: u16, f: Flit, cycle: Cycle) {
+        let mut ctx = step_ctx(cycle);
+        ctx.injected = true;
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: Some(f),
+        };
+        v.on_router_step(NodeId(node), &inputs, &ctx, 0, 1);
+    }
+
+    fn eject_at(v: &mut Verifier, node: u16, f: Flit, cycle: Cycle) {
+        let mut ctx = step_ctx(cycle);
+        ctx.ejected.push(f);
+        let inputs = StepInputs {
+            arrivals: [None; 4],
+            injection: None,
+        };
+        v.on_router_step(NodeId(node), &inputs, &ctx, 1, 0);
+    }
+
+    #[test]
+    fn corrupt_delivery_without_reject_is_silent_corruption() {
+        // Evil-engine canary: a corrupt sequenced flit reaches the ejection
+        // port and the engine never confirms a CRC reject.
+        let mut v = mk();
+        let f = corrupt_sequenced_flit(9, 3, 3, 5);
+        v.on_cycle_start(0);
+        inject_at(&mut v, 3, f, 0);
+        eject_at(&mut v, 3, f, 0);
+        v.on_cycle_end(0, 0);
+        assert_eq!(v.total_violations, 1, "{:?}", v.violations);
+        assert_eq!(v.violations[0].kind, ViolationKind::SilentCorruption);
+        assert!(v.violations[0].detail.contains("without a CRC reject"));
+        assert_eq!(v.checks.crc_checks, 1);
+    }
+
+    #[test]
+    fn crc_reject_and_sanctioned_retransmit_are_clean() {
+        // Honest recovery: bad-CRC ejection is rejected the same cycle, a
+        // retransmission is sanctioned, and the clean copy delivers.
+        let mut v = mk();
+        let bad = corrupt_sequenced_flit(9, 3, 3, 5);
+        v.on_cycle_start(0);
+        inject_at(&mut v, 3, bad, 0);
+        eject_at(&mut v, 3, bad, 0);
+        v.on_crc_reject(NodeId(3), &bad);
+        v.on_retransmit_queued(&bad);
+        v.on_cycle_end(0, 0);
+
+        let mut clean = flit(9, 3, 3);
+        clean.set_seq(5);
+        assert!(clean.crc_ok());
+        v.on_cycle_start(1);
+        inject_at(&mut v, 3, clean, 1);
+        eject_at(&mut v, 3, clean, 1);
+        v.on_cycle_end(1, 0);
+
+        assert_eq!(v.total_violations, 0, "{:?}", v.violations);
+        assert_eq!(v.checks.crc_checks, 2);
+        assert_eq!(v.checks.recovery_events, 2);
+    }
+
+    #[test]
+    fn transit_fault_hooks_track_taint_and_losses() {
+        let mut v = mk();
+        let mut f = flit(4, 0, 3);
+        f.set_seq(2);
+        v.on_cycle_start(0);
+        inject_at(&mut v, 0, f, 0);
+        let mut struck = f;
+        struck.corrupt_payload(0b10);
+        v.on_transit_corrupt(NodeId(0), Direction::East, &struck);
+        assert_eq!(v.tainted.get(&(4, 0)), Some(&1));
+        // The corrupted instance is then dropped in transit: the taint is
+        // resolved by the loss, and the ledger starts tracking recovery.
+        v.on_transit_loss(NodeId(0), Direction::East, &struck);
+        assert!(v.tainted.is_empty());
+        v.on_flit_lost(&struck);
+        v.on_cycle_end(0, 0);
+        assert_eq!(v.total_violations, 0, "{:?}", v.violations);
+        assert_eq!(v.checks.transit_faults, 2);
+        assert_eq!(v.checks.recovery_events, 1);
+        assert_eq!(v.ledger.recovery_counts(), (1, 0, 1));
     }
 }

@@ -47,6 +47,10 @@ pub enum ViolationKind {
     /// The network reports quiescent but the ledger still holds in-flight
     /// flits (or a design dropped flits it must not drop).
     Leak,
+    /// A corrupted flit escaped detection: it reached the ejection port
+    /// without a CRC reject, or an injected corruption was never detected
+    /// nor counted lost by the end of the run.
+    SilentCorruption,
 }
 
 impl ViolationKind {
@@ -64,6 +68,7 @@ impl ViolationKind {
             ViolationKind::Livelock => "livelock",
             ViolationKind::ReassemblyDuplicate => "reassembly-duplicate",
             ViolationKind::Leak => "leak",
+            ViolationKind::SilentCorruption => "silent-corruption",
         }
     }
 }
@@ -145,6 +150,7 @@ mod tests {
             ViolationKind::Livelock,
             ViolationKind::ReassemblyDuplicate,
             ViolationKind::Leak,
+            ViolationKind::SilentCorruption,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.as_str()).collect();
         names.sort_unstable();

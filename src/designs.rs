@@ -9,6 +9,7 @@ use noc_core::SimConfig;
 use noc_faults::FaultPlan;
 use noc_power::area::DesignKind;
 use noc_power::energy::EnergyModel;
+use noc_resilience::{ReachReport, ResiliencePlan};
 use noc_routing::Algorithm;
 use noc_sim::noc_trace::RecordingSink;
 use noc_sim::router::RouterModel;
@@ -291,6 +292,72 @@ pub fn run_synthetic_verified(
     )?;
     result.offered_load = Some(offered_load);
     Ok((result, report))
+}
+
+/// Run one open-loop synthetic experiment under a [`ResiliencePlan`]:
+/// crossbar faults, permanent link faults, transient soft errors, and the
+/// CRC + NI-retransmission recovery protocol. Returns the [`ReachReport`]
+/// of the degraded topology alongside the run result — callers inspect it
+/// for partitioned pairs (traffic between them burns the full retry budget
+/// per packet and lands in `lost_flits`).
+pub fn run_synthetic_resilient(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    plan: &ResiliencePlan,
+) -> (RunResult, ReachReport) {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let reach = plan.reachability(&mesh);
+    let mut net = design.build(cfg, &plan.crossbar);
+    net.set_resilience(plan.clone());
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let mut result = run(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    );
+    result.offered_load = Some(offered_load);
+    (result, reach)
+}
+
+/// Like [`run_synthetic_resilient`] with the full runtime-oracle suite
+/// attached, including the resilience oracles (every injected corruption
+/// detected or counted lost; removed flits recovered or accounted).
+#[allow(clippy::type_complexity)]
+pub fn run_synthetic_resilient_verified(
+    design: Design,
+    cfg: &SimConfig,
+    pattern: Pattern,
+    offered_load: f64,
+    plan: &ResiliencePlan,
+) -> Result<(RunResult, ReachReport, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let reach = plan.reachability(&mesh);
+    let mut net = design.build(cfg, &plan.crossbar);
+    net.set_resilience(plan.clone());
+    let mut model = SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let (mut result, report) = noc_verify::run_verified(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    )?;
+    result.offered_load = Some(offered_load);
+    Ok((result, reach, report))
 }
 
 /// Run one closed-loop SPLASH-2 workload to completion (Figs. 9/10).

@@ -30,8 +30,9 @@
 pub mod designs;
 
 pub use designs::{
-    run_splash, run_splash_verified, run_synthetic, run_synthetic_traced,
-    run_synthetic_traced_verified, run_synthetic_verified, run_synthetic_with_faults, Design,
+    run_splash, run_splash_verified, run_synthetic, run_synthetic_resilient,
+    run_synthetic_resilient_verified, run_synthetic_traced, run_synthetic_traced_verified,
+    run_synthetic_verified, run_synthetic_with_faults, Design,
 };
 pub use noc_core::SimConfig;
 pub use noc_sim::{Network, RunResult};
@@ -42,6 +43,7 @@ pub use noc_baseline;
 pub use noc_core;
 pub use noc_faults;
 pub use noc_power;
+pub use noc_resilience;
 pub use noc_routing;
 pub use noc_sim;
 pub use noc_topology;
