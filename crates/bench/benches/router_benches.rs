@@ -2,6 +2,8 @@
 //!
 //! * `router_step/*` — single-router step cost per design under a loaded
 //!   input pattern (the simulator's hot loop);
+//! * `flit_pool/*` — the engine's slab arena: steady-state park/unpark
+//!   churn (the per-hop cost) and cold warmup growth;
 //! * `allocator/*` — the unified design's separable allocator and the
 //!   conflict-free resolution;
 //! * `network_cycle/*` — whole 8x8-network cycles per second per design at
@@ -141,6 +143,44 @@ fn bench_router_step(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_flit_pool(c: &mut Criterion) {
+    use dxbar_noc::noc_core::pool::{FlitId, FlitPool};
+
+    let mut g = c.benchmark_group("flit_pool");
+    let flit = |p: u64| Flit::synthetic(PacketId(p), NodeId(0), NodeId(63), p);
+
+    // The per-hop path: a warmed pool at link-occupancy depth, one take +
+    // one alloc per iteration. This is what every flit crossing a delay
+    // line costs the engine; steady state must never touch the heap.
+    g.bench_function("steady_state_churn", |b| {
+        let mut pool = FlitPool::with_capacity(256);
+        let mut ids: Vec<FlitId> = (0..256).map(|i| pool.alloc(flit(i))).collect();
+        let mut round = 0u64;
+        b.iter(|| {
+            let slot = (round % 251) as usize; // prime stride scrambles reuse order
+            let id = ids[slot];
+            let f = pool.take(id);
+            ids[slot] = pool.alloc(black_box(f));
+            round += 1;
+            black_box(pool.live())
+        });
+    });
+
+    // Cold growth: the warmup-phase cost of growing the slab from empty to
+    // the run's high-water mark, then draining it.
+    g.bench_function("warmup_growth_256", |b| {
+        b.iter(|| {
+            let mut pool = FlitPool::new();
+            let ids: Vec<FlitId> = (0..256).map(|i| pool.alloc(flit(i))).collect();
+            for id in ids {
+                black_box(pool.take(id));
+            }
+            black_box(pool.slots())
+        });
+    });
+    g.finish();
+}
+
 fn bench_allocator(c: &mut Criterion) {
     use dxbar::allocator::{allocate, InputRequests};
     use dxbar::conflict_free::{resolve, RowSelection};
@@ -256,6 +296,7 @@ fn bench_full_run(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_router_step,
+    bench_flit_pool,
     bench_allocator,
     bench_network_cycle,
     bench_trace_overhead,

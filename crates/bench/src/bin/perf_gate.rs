@@ -1,0 +1,186 @@
+//! perf_gate: the simulator's performance trajectory, as a gate.
+//!
+//! Runs a fixed, deterministic workload per design (8x8 mesh, uniform
+//! random at 30 % of capacity by default) straight through the cycle
+//! kernel — no warmup/measure bookkeeping beyond what every figure run
+//! does — and reports wall-clock cycles/sec plus peak RSS as
+//! `BENCH_5.json`.
+//!
+//! ```text
+//! perf_gate [options]
+//!
+//!   --out FILE          write the JSON report here (default BENCH_5.json)
+//!   --designs LIST      comma-separated design keys (default: all;
+//!                       keys: dxbar-dor, dxbar-wf, unified-dor,
+//!                       unified-wf, buffered4, buffered8, bless, scarab,
+//!                       afc)
+//!   --cycles N          simulated cycles per design (default 40000;
+//!                       DXBAR_QUICK=1 drops it to 4000)
+//!   --load F            offered load as a fraction of capacity (0.3)
+//!   --width W           mesh width (8)
+//!   --height H          mesh height (8)
+//!   --check BASELINE    compare against a committed BENCH_*.json and exit
+//!                       nonzero if any design regressed by more than the
+//!                       allowed factor (the soft gate used by CI)
+//!   --max-regression F  regression factor for --check (default 2.0: fail
+//!                       only when cycles/sec fell below baseline/F)
+//! ```
+//!
+//! The workload is deterministic (fixed seed, fixed cycle count), so two
+//! runs differ only in wall-clock time. The gate is *soft*: a 2x window
+//! absorbs machine-to-machine noise in CI while still catching a kernel
+//! that fell off a cliff.
+
+use bench::perf::{self, GateReport, PerfResult};
+use dxbar_noc::Design;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    out: PathBuf,
+    designs: Vec<Design>,
+    cycles: u64,
+    load: f64,
+    width: u16,
+    height: u16,
+    check: Option<PathBuf>,
+    max_regression: f64,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: perf_gate [--out FILE] [--designs LIST] [--cycles N] [--load F] \
+         [--width W] [--height H] [--check BASELINE] [--max-regression F]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_5.json"),
+        designs: Design::ALL.to_vec(),
+        cycles: if bench::quick_mode() { 4_000 } else { 40_000 },
+        load: 0.3,
+        width: 8,
+        height: 8,
+        check: None,
+        max_regression: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--designs" => {
+                args.designs = value("--designs")
+                    .split(',')
+                    .map(|k| {
+                        perf::design_for_key(k.trim())
+                            .unwrap_or_else(|| usage(&format!("unknown design key {k:?}")))
+                    })
+                    .collect();
+            }
+            "--cycles" => {
+                args.cycles = value("--cycles")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--cycles needs a positive integer"))
+            }
+            "--load" => {
+                args.load = value("--load")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--load needs a number"))
+            }
+            "--width" => {
+                args.width = value("--width")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--width needs a positive integer"))
+            }
+            "--height" => {
+                args.height = value("--height")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--height needs a positive integer"))
+            }
+            "--check" => args.check = Some(PathBuf::from(value("--check"))),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-regression needs a number"))
+            }
+            "--help" | "-h" => usage("help requested"),
+            flag => usage(&format!("unknown option {flag}")),
+        }
+    }
+    if args.cycles == 0 {
+        usage("--cycles must be >= 1");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = perf::Workload {
+        width: args.width,
+        height: args.height,
+        load: args.load,
+        cycles: args.cycles,
+    };
+
+    let mut results: Vec<PerfResult> = Vec::new();
+    for design in &args.designs {
+        let r = perf::measure(*design, &workload);
+        eprintln!(
+            "{:<18} {:>12.0} cycles/s  ({} cycles in {:.3}s, {} flits delivered)",
+            r.design, r.cycles_per_sec, r.cycles, r.elapsed_s, r.flits_delivered
+        );
+        results.push(r);
+    }
+
+    let mut report = GateReport {
+        bench: 5,
+        workload,
+        peak_rss_kb: perf::peak_rss_kb(),
+        results,
+    };
+    // Load the baseline (if any) before writing, so the artifact on disk
+    // records each design's before/after pair.
+    let baseline = args.check.as_ref().map(|baseline_path| {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", baseline_path.display())));
+        let baseline = GateReport::from_json(&text)
+            .unwrap_or_else(|e| usage(&format!("bad baseline {}: {e}", baseline_path.display())));
+        report.annotate_baseline(&baseline);
+        baseline
+    });
+
+    let json = report.to_json();
+    if let Some(parent) = args.out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| usage(&format!("cannot create {}: {e}", parent.display())));
+    }
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| usage(&format!("cannot write {}: {e}", args.out.display())));
+    eprintln!("wrote {}", args.out.display());
+
+    if let Some(baseline) = baseline {
+        let regressions = report.regressions_vs(&baseline, args.max_regression);
+        for reg in &regressions {
+            eprintln!(
+                "REGRESSION {}: {:.0} cycles/s vs baseline {:.0} (>{:.1}x slower)",
+                reg.design, reg.current, reg.baseline, args.max_regression
+            );
+        }
+        if regressions.is_empty() {
+            eprintln!(
+                "perf gate passed ({} designs within {:.1}x of baseline)",
+                report.results.len(),
+                args.max_regression
+            );
+        } else {
+            exit(1);
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //!   Expect roughly 1.5-2x wall time per simulated point (see DESIGN.md's
 //!   "Verified invariants" section for measured overhead).
 
+pub mod perf;
 pub mod specs;
 pub mod svg;
 

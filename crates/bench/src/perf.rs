@@ -1,0 +1,237 @@
+//! Raw-speed measurement of the cycle kernel (the `perf_gate` bin).
+//!
+//! A [`Workload`] pins one deterministic run: mesh shape, uniform-random
+//! offered load, and a flat cycle count driven straight through
+//! [`Network::run_cycles`] with no tracing, verification, or resilience
+//! attached — exactly the configuration the allocation-regression test
+//! asserts is heap-silent. [`measure`] times it and [`GateReport`] is the
+//! serialized `BENCH_5.json` artifact CI compares across commits.
+
+use dxbar_noc::noc_traffic::generator::SyntheticTraffic;
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::{Design, SimConfig};
+use noc_faults::FaultPlan;
+use noc_topology::Mesh;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Stable CLI/JSON key for a design (inverse of [`design_for_key`]).
+pub fn key_of(design: Design) -> &'static str {
+    match design {
+        Design::DXbarDor => "dxbar-dor",
+        Design::DXbarWf => "dxbar-wf",
+        Design::UnifiedDor => "unified-dor",
+        Design::UnifiedWf => "unified-wf",
+        Design::Buffered4 => "buffered4",
+        Design::Buffered8 => "buffered8",
+        Design::FlitBless => "bless",
+        Design::Scarab => "scarab",
+        Design::Afc => "afc",
+    }
+}
+
+/// Parse a stable design key back to the [`Design`].
+pub fn design_for_key(key: &str) -> Option<Design> {
+    Design::ALL.into_iter().find(|&d| key_of(d) == key)
+}
+
+/// One fixed, deterministic kernel workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Workload {
+    pub width: u16,
+    pub height: u16,
+    /// Offered load as a fraction of network capacity (uniform random).
+    pub load: f64,
+    /// Simulated cycles per design.
+    pub cycles: u64,
+}
+
+/// Timing result for one design under a [`Workload`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfResult {
+    /// Stable design key (see [`key_of`]).
+    pub design: String,
+    pub cycles: u64,
+    pub elapsed_s: f64,
+    pub cycles_per_sec: f64,
+    /// Cycles/sec of the same design in the baseline this report was
+    /// checked against (0 = never checked; NaN when parsed from a report
+    /// that predates the field — the vendored serde maps absent keys to
+    /// null). `perf_gate --check` copies the baseline's number in, so a
+    /// committed artifact records its own before/after pair.
+    pub baseline_cycles_per_sec: f64,
+    /// Flit ejections over the run — a cheap cross-check that two runs of
+    /// the same workload simulated the same traffic.
+    pub flits_delivered: u64,
+}
+
+/// The `BENCH_5.json` artifact: one [`PerfResult`] per design plus the
+/// process peak RSS after all runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateReport {
+    /// PR number that introduced the artifact schema.
+    pub bench: u32,
+    pub workload: Workload,
+    pub peak_rss_kb: u64,
+    pub results: Vec<PerfResult>,
+}
+
+/// One design that fell outside the allowed regression window.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub design: String,
+    pub current: f64,
+    pub baseline: f64,
+}
+
+impl GateReport {
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("serialize GateReport");
+        s.push('\n');
+        s
+    }
+
+    pub fn from_json(text: &str) -> Result<GateReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Copy each design's baseline cycles/sec into this report's results,
+    /// so the serialized artifact carries its own before/after comparison.
+    pub fn annotate_baseline(&mut self, baseline: &GateReport) {
+        for r in &mut self.results {
+            if let Some(b) = baseline.results.iter().find(|b| b.design == r.design) {
+                r.baseline_cycles_per_sec = b.cycles_per_sec;
+            }
+        }
+    }
+
+    /// Designs whose cycles/sec fell below `baseline / max_factor`.
+    /// Designs absent from the baseline (or never run here) are skipped —
+    /// the gate only compares what both reports measured.
+    pub fn regressions_vs(&self, baseline: &GateReport, max_factor: f64) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for r in &self.results {
+            let Some(b) = baseline.results.iter().find(|b| b.design == r.design) else {
+                continue;
+            };
+            if b.cycles_per_sec > 0.0 && r.cycles_per_sec * max_factor < b.cycles_per_sec {
+                out.push(Regression {
+                    design: r.design.clone(),
+                    current: r.cycles_per_sec,
+                    baseline: b.cycles_per_sec,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Time one design over the workload: fault-free network, uniform-random
+/// open-loop traffic at the paper's default seed, observers disabled.
+pub fn measure(design: Design, w: &Workload) -> PerfResult {
+    let cfg = SimConfig {
+        width: w.width,
+        height: w.height,
+        warmup_cycles: 0,
+        measure_cycles: w.cycles,
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
+    let mut model = SyntheticTraffic::new(
+        Pattern::UniformRandom,
+        mesh,
+        cfg.injection_rate(w.load),
+        cfg.packet_len,
+        cfg.seed,
+    );
+    let start = Instant::now();
+    net.run_cycles(&mut model, w.cycles);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    PerfResult {
+        design: key_of(design).to_string(),
+        cycles: w.cycles,
+        elapsed_s,
+        cycles_per_sec: w.cycles as f64 / elapsed_s.max(1e-9),
+        baseline_cycles_per_sec: 0.0,
+        flits_delivered: net.stats().events.ejections,
+    }
+}
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`; 0 when
+/// unavailable).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_keys_round_trip() {
+        for d in Design::ALL {
+            assert_eq!(design_for_key(key_of(d)), Some(d));
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_and_gates() {
+        let w = Workload {
+            width: 4,
+            height: 4,
+            load: 0.3,
+            cycles: 100,
+        };
+        let mk = |cps: f64| GateReport {
+            bench: 5,
+            workload: w,
+            peak_rss_kb: 1234,
+            results: vec![PerfResult {
+                design: "dxbar-dor".into(),
+                cycles: 100,
+                elapsed_s: 100.0 / cps,
+                cycles_per_sec: cps,
+                baseline_cycles_per_sec: 0.0,
+                flits_delivered: 42,
+            }],
+        };
+        let baseline = mk(1000.0);
+        let parsed = GateReport::from_json(&baseline.to_json()).expect("round trip");
+        assert_eq!(parsed.results[0].design, "dxbar-dor");
+        assert_eq!(parsed.peak_rss_kb, 1234);
+        // 2.5x slower than baseline trips a 2x gate...
+        assert_eq!(mk(400.0).regressions_vs(&baseline, 2.0).len(), 1);
+        // ...1.5x slower does not, and faster never does.
+        assert!(mk(700.0).regressions_vs(&baseline, 2.0).is_empty());
+        assert!(mk(4000.0).regressions_vs(&baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn measure_runs_a_tiny_workload() {
+        let w = Workload {
+            width: 4,
+            height: 4,
+            load: 0.2,
+            cycles: 200,
+        };
+        let r = measure(Design::DXbarDor, &w);
+        assert_eq!(r.design, "dxbar-dor");
+        assert!(r.flits_delivered > 0, "nothing delivered");
+        assert!(r.cycles_per_sec > 0.0);
+    }
+}

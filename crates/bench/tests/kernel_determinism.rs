@@ -1,0 +1,59 @@
+//! The cycle kernel must produce byte-identical results across internal
+//! rewrites (arena storage, static dispatch, scratch reuse): this test
+//! pins the `verify_smoke` campaign — every design, two loads, plus the
+//! DXbar fault points, all under the runtime-oracle suite — to a committed
+//! content hash of its serialized per-point results.
+//!
+//! If a change is *supposed* to alter results (a behavioural fix, a new
+//! stat), re-bless with:
+//!
+//! ```text
+//! DXBAR_BLESS=1 cargo test -p bench --test kernel_determinism
+//! ```
+//!
+//! and justify the new hash in the commit message. A kernel-only change
+//! must never need that.
+
+use noc_campaign::{fnv1a64, run_campaign, ExecOptions};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/verify_smoke.hash"
+);
+
+#[test]
+fn verify_smoke_results_match_golden_hash() {
+    let spec = bench::specs::preset("verify_smoke").expect("verify_smoke preset exists");
+    let opts = ExecOptions {
+        cache_dir: None,
+        progress: false,
+        verify: true,
+        ..ExecOptions::default()
+    };
+    let report = run_campaign(&spec, &opts).expect("valid spec");
+    assert_eq!(report.failed_count(), 0, "campaign lost points");
+    assert_eq!(report.total_violations(), 0, "oracle violations");
+
+    // The figure renderers consume aggregates, and aggregates are a pure
+    // fold of the per-point results in spec order — hashing the serialized
+    // results therefore pins every downstream byte.
+    let json = serde_json::to_string(&report.results()).expect("serialize results");
+    let hash = format!("{:016x}", fnv1a64(json.as_bytes()));
+
+    if std::env::var("DXBAR_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        std::fs::write(GOLDEN_PATH, format!("{hash}\n")).expect("write golden hash");
+        eprintln!("blessed {GOLDEN_PATH} = {hash}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden hash committed (run once with DXBAR_BLESS=1)");
+    assert_eq!(
+        hash,
+        golden.trim(),
+        "verify_smoke results diverged from the committed golden hash — \
+         the kernel changed behaviour"
+    );
+}

@@ -57,11 +57,26 @@ pub fn allocate_with<K: Ord + Copy>(
     outputs: usize,
     choose: impl Fn(usize, usize, u8) -> usize,
 ) -> Vec<Grant> {
+    let mut grants = Vec::new();
+    allocate_with_into(inputs, outputs, choose, &mut grants);
+    grants
+}
+
+/// [`allocate_with`], appending grants into a caller-owned sink instead of
+/// allocating — the routers pass a stack-backed `InlineVec` so the per-cycle
+/// allocation path stays heap-free.
+pub fn allocate_with_into<K: Ord + Copy>(
+    inputs: &[InputRequests<K>],
+    outputs: usize,
+    choose: impl Fn(usize, usize, u8) -> usize,
+    grants: &mut impl Extend<Grant>,
+) {
     assert!(outputs <= 8, "bitmask is u8");
 
     // Stage 1+2 (paper's first stage): each output's P:1 arbiter picks the
     // requesting input whose best flit has the highest priority.
-    let mut out_grant: Vec<Option<usize>> = vec![None; outputs];
+    let mut out_grant = [None::<usize>; 8];
+    let out_grant = &mut out_grant[..outputs];
     for (o, grant) in out_grant.iter_mut().enumerate() {
         let bit = 1u8 << o;
         *grant = inputs
@@ -83,7 +98,6 @@ pub fn allocate_with<K: Ord + Copy>(
     }
 
     // Input side: two serial V:1 arbiters per input.
-    let mut grants = Vec::new();
     for (p, req) in inputs.iter().enumerate() {
         // Outputs granted to this input by the output arbiters.
         let granted_mask: u8 = (0..outputs)
@@ -110,11 +124,11 @@ pub fn allocate_with<K: Ord + Copy>(
             usable1 & (1 << o1) != 0,
             "choose() picked a non-usable output"
         );
-        grants.push(Grant {
+        grants.extend(std::iter::once(Grant {
             input: p,
             v: v1,
             output: o1,
-        });
+        }));
 
         // Second V:1 arbiter in series: the first winner's slot is masked
         // out of its selection vector, and the chosen output must differ.
@@ -134,14 +148,13 @@ pub fn allocate_with<K: Ord + Copy>(
                 usable2 & (1 << o2) != 0,
                 "choose() picked a non-usable output"
             );
-            grants.push(Grant {
+            grants.extend(std::iter::once(Grant {
                 input: p,
                 v: v2,
                 output: o2,
-            });
+            }));
         }
     }
-    grants
 }
 
 #[cfg(test)]

@@ -8,15 +8,21 @@
 
 use noc_core::types::Cycle;
 
+/// Hard upper bound on crossbar ports: the largest matrix in the design is
+/// the 5x5 secondary (4 links + injection/ejection). Keeping the connection
+/// state in fixed arrays instead of heap `Vec`s keeps the per-cycle
+/// reset/connect path free of pointer chasing.
+const MAX_PORTS: usize = 5;
+
 /// Per-cycle connection state of an `inputs x outputs` matrix crossbar.
 #[derive(Debug, Clone)]
 pub struct Crossbar {
     inputs: usize,
     outputs: usize,
     /// `in_to_out[i] = Some(o)` while input `i` drives output `o`.
-    in_to_out: Vec<Option<usize>>,
+    in_to_out: [Option<u8>; MAX_PORTS],
     /// `out_from[o] = Some(i)` while output `o` listens to input `i`.
-    out_from: Vec<Option<usize>>,
+    out_from: [Option<u8>; MAX_PORTS],
     /// Whole-crossbar permanent failure (the paper's fault unit) and its
     /// onset cycle.
     failed_at: Option<Cycle>,
@@ -42,11 +48,15 @@ pub enum ConnectError {
 impl Crossbar {
     pub fn new(inputs: usize, outputs: usize) -> Crossbar {
         assert!(inputs > 0 && outputs > 0);
+        assert!(
+            inputs <= MAX_PORTS && outputs <= MAX_PORTS,
+            "crossbar larger than {MAX_PORTS}x{MAX_PORTS}"
+        );
         Crossbar {
             inputs,
             outputs,
-            in_to_out: vec![None; inputs],
-            out_from: vec![None; outputs],
+            in_to_out: [None; MAX_PORTS],
+            out_from: [None; MAX_PORTS],
             failed_at: None,
             crosspoint_faults: Vec::new(),
             traversals: 0,
@@ -114,16 +124,16 @@ impl Crossbar {
         if self.out_from[output].is_some() {
             return Err(ConnectError::OutputBusy);
         }
-        self.in_to_out[input] = Some(output);
-        self.out_from[output] = Some(input);
+        self.in_to_out[input] = Some(output as u8);
+        self.out_from[output] = Some(input as u8);
         self.traversals += 1;
         Ok(())
     }
 
     /// Release all connections at the end of the cycle.
     pub fn reset(&mut self) {
-        self.in_to_out.fill(None);
-        self.out_from.fill(None);
+        self.in_to_out = [None; MAX_PORTS];
+        self.out_from = [None; MAX_PORTS];
     }
 
     /// Connections currently established.

@@ -33,6 +33,7 @@
 use crate::crossbar::{ConnectError, Crossbar};
 use crate::fairness::FairnessCounter;
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::queue::FixedQueue;
 use noc_core::types::{
     Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS,
@@ -93,6 +94,13 @@ pub fn best_output(
     target
 }
 
+/// Sort key for age-ordered arbitration (see `Flit::age_key`).
+type AgeKey = (u64, u64, u8);
+
+/// One arbitration requester: who it is, its age key, and its flit's
+/// destination — everything allocation needs short of a grant.
+type Candidate = (Who, AgeKey, NodeId);
+
 /// Who requests an output port this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Who {
@@ -111,10 +119,13 @@ pub struct DXbarRouter {
     algorithm: Algorithm,
     depth: usize,
     /// One FIFO per link input, in front of the secondary crossbar.
-    buffers: Vec<FixedQueue<Flit>>,
+    buffers: [FixedQueue<Flit>; 4],
     /// Entry cycle of each buffered flit, parallel to `buffers` (strict
     /// FIFO keeps them aligned) — gives exact residency for trace events.
-    entered: Vec<VecDeque<u64>>,
+    /// Maintained only while tracing is enabled (`waited` falls back to 0
+    /// for flits buffered before a mid-run enable, which never happens in
+    /// practice: sinks attach before the run starts).
+    entered: [VecDeque<u64>; 4],
     /// Credits toward each downstream neighbour's FIFO.
     credits: [u32; 4],
     fairness: FairnessCounter,
@@ -125,6 +136,9 @@ pub struct DXbarRouter {
     fault: Option<FaultClock>,
     /// Dead output links, published by the engine's resilience layer.
     link_down: [bool; NUM_LINK_PORTS],
+    /// Whether any entry of `link_down` is set — lets the fault-free
+    /// common case skip route pruning and credit masking entirely.
+    any_link_down: bool,
 }
 
 impl DXbarRouter {
@@ -157,8 +171,8 @@ impl DXbarRouter {
             mesh,
             algorithm,
             depth,
-            buffers: (0..4).map(|_| FixedQueue::new(depth)).collect(),
-            entered: (0..4).map(|_| VecDeque::new()).collect(),
+            buffers: std::array::from_fn(|_| FixedQueue::new(depth)),
+            entered: std::array::from_fn(|_| VecDeque::new()),
             credits,
             fairness: FairnessCounter::new(fairness_threshold),
             fairness_flips: 0,
@@ -166,6 +180,7 @@ impl DXbarRouter {
             secondary,
             fault: fault.map(|f| FaultClock::new(f, detection_delay)),
             link_down: [false; NUM_LINK_PORTS],
+            any_link_down: false,
         }
     }
 
@@ -203,17 +218,28 @@ impl DXbarRouter {
         }
     }
 
-    fn age_sorted(mut reqs: Vec<(Who, Flit)>) -> Vec<(Who, Flit)> {
-        reqs.sort_by_key(|(_, f)| f.age_key());
-        reqs
-    }
-
     /// Route set with dead output links pruned — unless every productive
     /// port is dead, in which case the original set is kept: the flit exits
     /// into the dead link and the engine accounts the loss. An adaptive
     /// (WF) flit reroutes within its minimal choices; a DOR flit never
     /// reroutes — graceful degradation, not rescue.
+    /// The flit a requester refers to: the arrival latch, FIFO head or
+    /// injection port it occupies until granted or diverted. Candidates
+    /// are resolved lazily so the sorted candidate lists carry only
+    /// age keys, not 80-byte flit copies.
+    #[inline]
+    fn resolve_flit(&self, who: Who, ctx: &StepCtx) -> Flit {
+        match who {
+            Who::Incoming(i) => ctx.arrivals[i].expect("arrival latch empty"),
+            Who::Buffered(i) => *self.buffers[i].front().expect("FIFO head empty"),
+            Who::Injection => ctx.injection.expect("injection port empty"),
+        }
+    }
+
     fn usable_route(&self, route: PortSet) -> PortSet {
+        if !self.any_link_down {
+            return route;
+        }
         let mut live = route;
         for d in LINK_DIRECTIONS {
             if self.link_down[d.index()] {
@@ -254,9 +280,11 @@ impl RouterModel for DXbarRouter {
         // accounts) anything sent into it, so allocation sees it as a
         // one-credit sink instead of draining real credits to zero.
         let mut eff_credits = self.credits;
-        for d in LINK_DIRECTIONS {
-            if self.link_down[d.index()] {
-                eff_credits[d.index()] = 1;
+        if self.any_link_down {
+            for d in LINK_DIRECTIONS {
+                if self.link_down[d.index()] {
+                    eff_credits[d.index()] = 1;
+                }
             }
         }
 
@@ -270,45 +298,55 @@ impl RouterModel for DXbarRouter {
             .as_ref()
             .is_some_and(|f| f.fault.target == CrossbarId::Secondary && f.detected(t));
 
-        // Build the two priority classes.
-        let mut incoming: Vec<(Who, Flit)> = Vec::new();
-        let mut waiting: Vec<(Who, Flit)> = Vec::new();
+        // Build the two priority classes as `(who, age_key, dst)` tuples;
+        // the flits themselves stay where they already are (arrival latch,
+        // FIFO head, injection port) and are only copied out on a grant,
+        // so the sorts and the allocation walk below move 32-byte records
+        // instead of 80-byte flits — and an arbitration loser never
+        // touches its flit at all. Capacities are architectural: at most
+        // 4 arrivals, 4 FIFO heads + 1 injection.
+        let mut incoming: InlineVec<Candidate, 4> = InlineVec::new();
+        let mut waiting: InlineVec<Candidate, 5> = InlineVec::new();
         for d in LINK_DIRECTIONS {
-            if let Some(f) = ctx.arrivals[d.index()] {
-                if primary_detected {
-                    // Demuxes are pinned to the buffers: the router has
-                    // degraded to a buffered design.
-                    ctx.arrivals[d.index()] = None;
-                    ctx.events.buffer_writes += 1;
-                    self.buffers[d.index()].push(f).unwrap_or_else(|_| {
-                        panic!("credit violation at {} (fault mode)", self.node)
-                    });
+            if primary_detected {
+                let Some(f) = ctx.arrivals[d.index()].take() else {
+                    continue;
+                };
+                // Demuxes are pinned to the buffers: the router has
+                // degraded to a buffered design.
+                ctx.events.buffer_writes += 1;
+                self.buffers[d.index()]
+                    .push(f)
+                    .unwrap_or_else(|_| panic!("credit violation at {} (fault mode)", self.node));
+                if ctx.trace.is_enabled() {
                     self.entered[d.index()].push_back(t);
-                    let occupancy = self.buffers[d.index()].len() as u32;
-                    ctx.trace.emit(|| TraceEvent::BufferEnter {
-                        cycle: t,
-                        node: self.node,
-                        packet: f.packet,
-                        flit_index: f.flit_index as u16,
-                        occupancy,
-                    });
-                } else {
-                    incoming.push((Who::Incoming(d.index()), f));
                 }
+                let occupancy = self.buffers[d.index()].len() as u32;
+                ctx.trace.emit(|| TraceEvent::BufferEnter {
+                    cycle: t,
+                    node: self.node,
+                    packet: f.packet,
+                    flit_index: f.flit_index as u16,
+                    occupancy,
+                });
+            } else if let Some(f) = &ctx.arrivals[d.index()] {
+                incoming.push((Who::Incoming(d.index()), f.age_key(), f.dst));
             }
         }
         for (i, b) in self.buffers.iter().enumerate() {
             if let Some(f) = b.front() {
-                waiting.push((Who::Buffered(i), *f));
+                waiting.push((Who::Buffered(i), f.age_key(), f.dst));
             }
         }
-        if let Some(f) = ctx.injection {
-            waiting.push((Who::Injection, f));
+        if let Some(f) = &ctx.injection {
+            waiting.push((Who::Injection, f.age_key(), f.dst));
         }
         let waiters_exist = !waiting.is_empty();
 
-        let incoming = Self::age_sorted(incoming);
-        let waiting = Self::age_sorted(waiting);
+        // Oldest-first within each class. Unstable sort is deterministic
+        // here: `age_key` is unique across coexisting flits.
+        incoming.sort_unstable_by_key(|&(_, k, _)| k);
+        waiting.sort_unstable_by_key(|&(_, k, _)| k);
         let flipped = self.fairness.flipped();
         if flipped {
             self.fairness_flips += 1;
@@ -324,14 +362,16 @@ impl RouterModel for DXbarRouter {
         // clears it below (legal non-service).
         let waiter_eligible = flipped
             && ctx.probe.is_enabled()
-            && waiting.iter().any(|(_, f)| {
-                let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, f.dst));
+            && waiting.iter().any(|(_, _, dst)| {
+                let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, dst));
                 best_output(route, &[false; 5], &eff_credits, |_| 0).is_some()
             });
-        let order: Vec<(Who, Flit)> = if flipped {
-            waiting.into_iter().chain(incoming).collect()
+        // Walk the winners-first order without materializing it: flipped
+        // cycles serve waiters before incoming, normal cycles the reverse.
+        let (first, second): (&[Candidate], &[Candidate]) = if flipped {
+            (&waiting, &incoming)
         } else {
-            incoming.into_iter().chain(waiting).collect()
+            (&incoming, &waiting)
         };
 
         // Allocation state.
@@ -340,16 +380,15 @@ impl RouterModel for DXbarRouter {
         let mut incoming_won = false;
         let mut waiter_won = false;
         let mut faulty_wasted = false;
-        let mut granted_buffers: Vec<usize> = Vec::new();
-        let mut diverted: Vec<usize> = Vec::new(); // inputs whose arrival lost
+        let mut diverted: InlineVec<usize, 4> = InlineVec::new(); // inputs whose arrival lost
 
-        for (who, flit) in order {
-            let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, flit.dst));
+        for &(who, _, dst) in first.iter().chain(second.iter()) {
+            let route = self.usable_route(self.algorithm.route(&self.mesh, self.node, dst));
             // Best free, credit-backed output: the adaptive selection that
             // makes WF competitive instead of piling onto the lowest port
             // index (see `best_output`).
             let target = best_output(route, &out_used, &eff_credits, |dir| {
-                remaining_leg(&self.mesh, self.node, flit.dst, dir)
+                remaining_leg(&self.mesh, self.node, dst, dir)
             });
             let Some(dir) = target else {
                 // Lost arbitration.
@@ -420,7 +459,7 @@ impl RouterModel for DXbarRouter {
                         slot: probe_slot,
                         output: out_idx as u8,
                     });
-                    let mut flit = flit;
+                    let mut flit = self.resolve_flit(who, ctx);
                     match who {
                         Who::Incoming(i) => {
                             incoming_won = true;
@@ -434,22 +473,23 @@ impl RouterModel for DXbarRouter {
                             debug_assert!(popped.is_some());
                             ctx.events.buffer_reads += 1;
                             ctx.credits_out[i] += 1;
-                            granted_buffers.push(i);
-                            let entered_at = self.entered[i].pop_front().unwrap_or(t);
-                            ctx.trace.emit(|| TraceEvent::BufferExit {
-                                cycle: t,
-                                node: self.node,
-                                packet: flit.packet,
-                                flit_index: flit.flit_index as u16,
-                                waited: t.saturating_sub(entered_at),
-                            });
-                            if !secondary_detected {
-                                ctx.trace.emit(|| TraceEvent::DivertSecondary {
+                            if ctx.trace.is_enabled() {
+                                let entered_at = self.entered[i].pop_front().unwrap_or(t);
+                                ctx.trace.emit(|| TraceEvent::BufferExit {
                                     cycle: t,
                                     node: self.node,
                                     packet: flit.packet,
                                     flit_index: flit.flit_index as u16,
+                                    waited: t.saturating_sub(entered_at),
                                 });
+                                if !secondary_detected {
+                                    ctx.trace.emit(|| TraceEvent::DivertSecondary {
+                                        cycle: t,
+                                        node: self.node,
+                                        packet: flit.packet,
+                                        flit_index: flit.flit_index as u16,
+                                    });
+                                }
                             }
                         }
                         Who::Injection => {
@@ -497,13 +537,15 @@ impl RouterModel for DXbarRouter {
 
         // Losers among incoming flits are steered into their FIFO by the
         // de-multiplexer. Credit flow control guarantees space.
-        for i in diverted {
+        for i in diverted.iter() {
             let f = ctx.arrivals[i].take().expect("diverted arrival present");
             ctx.events.buffer_writes += 1;
             self.buffers[i]
                 .push(f)
                 .unwrap_or_else(|_| panic!("credit violation at {}: FIFO {i} full", self.node));
-            self.entered[i].push_back(t);
+            if ctx.trace.is_enabled() {
+                self.entered[i].push_back(t);
+            }
             let occupancy = self.buffers[i].len() as u32;
             ctx.trace.emit(|| TraceEvent::BufferEnter {
                 cycle: t,
@@ -535,7 +577,6 @@ impl RouterModel for DXbarRouter {
 
         self.fairness
             .update(waiters_exist, incoming_won, waiter_won);
-        let _ = granted_buffers;
     }
 
     fn is_idle(&self) -> bool {
@@ -548,6 +589,7 @@ impl RouterModel for DXbarRouter {
 
     fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
         self.link_down = down;
+        self.any_link_down = down.iter().any(|&b| b);
     }
 
     fn design_name(&self) -> &'static str {

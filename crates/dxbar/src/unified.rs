@@ -19,10 +19,11 @@
 //! to the dual-crossbar design ("we limit our studies to understand the
 //! effect of failure of one crossbar within the router").
 
-use crate::allocator::{allocate_with, Grant, InputRequests};
+use crate::allocator::{allocate_with_into, Grant, InputRequests};
 use crate::conflict_free::{resolve, RowSelection};
 use crate::fairness::FairnessCounter;
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::queue::FixedQueue;
 use noc_core::types::{
     Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS,
@@ -143,7 +144,7 @@ impl RouterModel for UnifiedRouter {
         // Build the request matrix: inputs 0..3 carry (incoming, buffered),
         // input 4 carries the injection flit in slot 0.
         let flipped_at_start = self.fairness.flipped();
-        let mut inputs: Vec<InputRequests<Prio>> = vec![InputRequests::default(); 5];
+        let mut inputs = [InputRequests::<Prio>::default(); 5];
         let mut waiters_exist = false;
         let mut waiter_requested = false;
         for d in LINK_DIRECTIONS {
@@ -202,14 +203,17 @@ impl RouterModel for UnifiedRouter {
                 })
                 .expect("usable mask is non-empty")
         };
-        let mut grants = allocate_with(&inputs, 5, choose);
+        // At most one grant per output: <= 5 per allocation round, and the
+        // second round only sees outputs the first left unused.
+        let mut grants: InlineVec<Grant, 10> = InlineVec::new();
+        allocate_with_into(&inputs, 5, choose, &mut grants);
 
         // Second allocation iteration: the output-first stage can
         // concentrate several output grants on one input port, stranding
         // other requesters. Re-run the allocator over the flits and outputs
         // left unmatched (standard multi-iteration separable allocation).
         let used_outputs: u8 = grants.iter().fold(0, |m, g| m | (1 << g.output));
-        let mut leftovers = inputs.clone();
+        let mut leftovers = inputs;
         for req in leftovers.iter_mut() {
             for slot in req.slots.iter_mut() {
                 if let Some((mask, _)) = slot {
@@ -220,25 +224,23 @@ impl RouterModel for UnifiedRouter {
                 }
             }
         }
-        for g in &grants {
+        for g in grants.iter() {
             leftovers[g.input].slots[g.v] = None;
         }
-        grants.extend(allocate_with(&leftovers, 5, choose));
+        allocate_with_into(&leftovers, 5, choose, &mut grants);
 
         // Conflict-free allocator: rows with two grants run the detection +
         // swap logic (the outputs themselves are already legal; the swap
         // only changes which entry point drives which column).
-        let mut per_row: [Vec<&Grant>; 5] = Default::default();
-        for g in &grants {
-            per_row[g.input].push(g);
+        let mut per_row = [[None::<usize>; 2]; 5];
+        for g in grants.iter() {
+            per_row[g.input][g.v] = Some(g.output);
         }
         for row in &per_row {
-            if row.len() == 2 {
-                let bufferless = row.iter().find(|g| g.v == 0).expect("slot 0 grant");
-                let buffered = row.iter().find(|g| g.v == 1).expect("slot 1 grant");
+            if let [Some(bufferless_out), Some(buffered_out)] = *row {
                 let r = resolve(RowSelection {
-                    bufferless_out: bufferless.output,
-                    buffered_out: buffered.output,
+                    bufferless_out,
+                    buffered_out,
                 });
                 if r.swapped {
                     self.swaps += 1;
@@ -249,14 +251,14 @@ impl RouterModel for UnifiedRouter {
         // Commit grants.
         let mut incoming_won = false;
         let mut waiter_won = false;
-        for g in &grants {
+        for g in grants.iter() {
             ctx.probe.emit(|| ProbeEvent::Grant {
                 input: g.input as u8,
                 slot: g.v as u8,
                 output: g.output as u8,
             });
         }
-        for g in grants {
+        for g in grants.iter() {
             let (mut flit, is_incoming) = match (g.input, g.v) {
                 (4, 0) => {
                     let f = ctx.injection.take().expect("injection grant");

@@ -19,10 +19,11 @@
 //!   drained (AFC's drain phase).
 
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::queue::FixedQueue;
 use noc_core::types::Cycle;
 use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
-use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports};
+use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports_inline};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
@@ -104,9 +105,9 @@ impl AfcRouter {
 
     /// BLESS-style allocation of `flits` (age-sorted by the caller) to free
     /// ports, deflecting when necessary. `used` tracks taken link outputs.
-    fn deflection_assign(&self, flits: Vec<Flit>, used: &mut [bool; 4], ctx: &mut StepCtx) {
-        for mut f in flits {
-            let ranking = rank_ports(&self.mesh, self.node, f.dst);
+    fn deflection_assign(&self, flits: &[Flit], used: &mut [bool; 4], ctx: &mut StepCtx) {
+        for &(mut f) in flits {
+            let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
             // Prefer live ports (a dead one guarantees the flit's loss); a
             // flit whose productive ports are all dead spins its escape
@@ -164,7 +165,8 @@ impl RouterModel for AfcRouter {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        let mut arrivals: Vec<Flit> = ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
+        let mut arrivals: InlineVec<Flit, 5> =
+            ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
         self.update_mode(arrivals.len());
 
         let mut used = [false; 4];
@@ -194,15 +196,17 @@ impl RouterModel for AfcRouter {
                         ctx.injected = true;
                     }
                 }
-                arrivals.sort_by_key(|f| f.age_key());
-                self.deflection_assign(arrivals, &mut used, ctx);
+                // Unstable sort is deterministic: `age_key` is unique per
+                // coexisting flit.
+                arrivals.sort_unstable_by_key(|f| f.age_key());
+                self.deflection_assign(&arrivals, &mut used, ctx);
             }
             AfcMode::Buffered => {
                 // Arrivals park in the least-full FIFO (AFC's buffers act
                 // as a local pool); a full pool falls back to deflection
                 // for that arrival.
-                let mut overflow: Vec<Flit> = Vec::new();
-                for flit in arrivals {
+                let mut overflow: InlineVec<Flit, 4> = InlineVec::new();
+                for flit in arrivals.iter() {
                     let q = self
                         .buffers
                         .iter_mut()
@@ -232,12 +236,12 @@ impl RouterModel for AfcRouter {
                 // assign them first so they are guaranteed a port (their
                 // count never exceeds the link count), before FIFO heads
                 // take the leftovers.
-                overflow.sort_by_key(|f| f.age_key());
-                self.deflection_assign(overflow, &mut used, ctx);
+                overflow.sort_unstable_by_key(|f| f.age_key());
+                self.deflection_assign(&overflow, &mut used, ctx);
 
                 // Ready FIFO heads compete for productive ports, oldest
                 // first (heads written this cycle wait until the next one).
-                let mut heads: Vec<(usize, Flit)> = self
+                let mut heads: InlineVec<(usize, Flit), 4> = self
                     .buffers
                     .iter()
                     .enumerate()
@@ -247,8 +251,8 @@ impl RouterModel for AfcRouter {
                             .map(|p| (i, p.flit))
                     })
                     .collect();
-                heads.sort_by_key(|(_, f)| f.age_key());
-                for (i, f) in heads {
+                heads.sort_unstable_by_key(|(_, f)| f.age_key());
+                for (i, f) in heads.iter() {
                     if f.dst == self.node {
                         if !ejected {
                             let popped = self.buffers[i].pop().expect("head exists");
@@ -268,7 +272,7 @@ impl RouterModel for AfcRouter {
                         }
                         continue;
                     }
-                    let ranking = rank_ports(&self.mesh, self.node, f.dst);
+                    let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
                     let productive = productive_count(&self.mesh, self.node, f.dst);
                     if let Some(dir) = self.pick_productive(&ranking, productive, &used) {
                         used[dir.index()] = true;
@@ -298,7 +302,7 @@ impl RouterModel for AfcRouter {
                                 ctx.injected = true;
                             }
                         } else {
-                            let ranking = rank_ports(&self.mesh, self.node, inj.dst);
+                            let ranking = rank_ports_inline(&self.mesh, self.node, inj.dst);
                             let productive = productive_count(&self.mesh, self.node, inj.dst);
                             if let Some(dir) = self.pick_productive(&ranking, productive, &used) {
                                 ctx.events.xbar_traversals += 1;

@@ -14,8 +14,9 @@
 //! routing).
 
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
-use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports};
+use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports_inline};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
 use noc_trace::TraceEvent;
@@ -48,8 +49,9 @@ impl RouterModel for BlessRouter {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        // Gather arrivals.
-        let mut flits: Vec<Flit> = ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
+        // Gather arrivals (at most 4; +1 injection slot below).
+        let mut flits: InlineVec<Flit, 5> =
+            ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
 
         // Ejection: the oldest flit addressed here leaves the network; any
         // other flit for this node is deflected onward this cycle.
@@ -79,10 +81,12 @@ impl RouterModel for BlessRouter {
         // Age-ordered port allocation: oldest first; each flit takes its
         // most-preferred free port, deflecting if no productive port is
         // left.
-        flits.sort_by_key(|f| f.age_key());
+        // Unstable sort is deterministic here: `age_key` is unique per
+        // coexisting flit.
+        flits.sort_unstable_by_key(|f| f.age_key());
         let mut used = [false; 4];
-        for mut f in flits {
-            let ranking = rank_ports(&self.mesh, self.node, f.dst);
+        for mut f in flits.iter() {
+            let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
             // Prefer live ports — deflecting onto a live link keeps the
             // flit alive, a dead productive port guarantees its loss. A

@@ -15,6 +15,7 @@
 //!   comparison by removing Head-of-Line blocking").
 
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::queue::FixedQueue;
 use noc_core::types::{
     Cycle, Direction, NodeId, PortSet, ALL_DIRECTIONS, LINK_DIRECTIONS, NUM_LINK_PORTS, NUM_PORTS,
@@ -232,7 +233,8 @@ impl RouterModel for BufferedRouter {
         // 3. a nominee granted several outputs uses one; the other grants
         //    are wasted for this cycle, exactly as in a single-iteration
         //    separable allocator.
-        let mut grants: Vec<(usize, usize, Direction, Option<usize>)> = Vec::new();
+        let mut grants: InlineVec<(usize, usize, Direction, Option<usize>), NUM_INPUTS> =
+            InlineVec::new();
 
         // Stage 1: nominations. The nomination is *speculative*: the
         // round-robin pointer picks a ready VC before credit state is
@@ -310,7 +312,7 @@ impl RouterModel for BufferedRouter {
         }
 
         // --- Switch traversal (ST) for the winners.
-        for (input, vc, dir, dvc) in grants {
+        for (input, vc, dir, dvc) in grants.iter() {
             let w = self.vcs[input][vc].pop().expect("granted head exists");
             let mut flit = w.flit;
             ctx.events.buffer_reads += 1;

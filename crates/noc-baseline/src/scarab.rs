@@ -12,8 +12,9 @@
 //! Pipeline: SA/ST + LT (2 stages, look-ahead routing), like DXbar/BLESS.
 
 use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
 use noc_core::types::{Direction, NodeId, NUM_LINK_PORTS};
-use noc_routing::deflection::{productive_count, rank_ports};
+use noc_routing::deflection::{productive_count, rank_ports_inline};
 use noc_sim::router::{RouterModel, StepCtx};
 use noc_topology::Mesh;
 
@@ -58,16 +59,19 @@ impl RouterModel for ScarabRouter {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        let mut flits: Vec<Flit> = ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
+        let mut flits: InlineVec<Flit, 4> =
+            ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
 
         // Ejection: oldest flit for this node leaves; additional flits for
         // this node lose the ejection port and are dropped + NACKed.
-        flits.sort_by_key(|f| f.age_key());
+        // Unstable sort is deterministic: `age_key` is unique per
+        // coexisting flit.
+        flits.sort_unstable_by_key(|f| f.age_key());
         let mut ejected_one = false;
         let mut used = [false; 4];
 
-        let mut remaining = Vec::with_capacity(flits.len());
-        for f in flits {
+        let mut remaining: InlineVec<Flit, 4> = InlineVec::new();
+        for f in flits.iter() {
             if f.dst == self.node {
                 if !ejected_one {
                     ejected_one = true;
@@ -84,8 +88,8 @@ impl RouterModel for ScarabRouter {
         // Minimal adaptive port allocation, oldest first: only the
         // productive prefix of the ranking is eligible — SCARAB never
         // deflects.
-        for f in remaining {
-            let ranking = rank_ports(&self.mesh, self.node, f.dst);
+        for f in remaining.iter() {
+            let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
             let productive = productive_count(&self.mesh, self.node, f.dst);
             match self.free_productive(&ranking, productive, &used) {
                 Some(dir) => {
@@ -111,7 +115,7 @@ impl RouterModel for ScarabRouter {
                     ctx.injected = true;
                 }
             } else {
-                let ranking = rank_ports(&self.mesh, self.node, inj.dst);
+                let ranking = rank_ports_inline(&self.mesh, self.node, inj.dst);
                 let productive = productive_count(&self.mesh, self.node, inj.dst);
                 if let Some(dir) = self.free_productive(&ranking, productive, &used) {
                     ctx.events.xbar_traversals += 1;

@@ -5,21 +5,44 @@
 //! datapath — a standard assumption, since header bits feed control logic —
 //! while the 128-bit payload is covered end-to-end by a CRC-16 computed at
 //! the source NI and checked at every ejection port. We use CRC-16/CCITT-FALSE
-//! (polynomial 0x1021, init 0xFFFF), bitwise — this runs once per flit
-//! creation and once per ejection, far off the simulator's hot path.
+//! (polynomial 0x1021, init 0xFFFF). Sealing runs once per flit *creation*,
+//! which at high offered load is on the simulator's hot path, so the
+//! byte-at-a-time table form is used instead of the serial bitwise loop —
+//! same polynomial, same values, ~8x fewer dependent operations.
+
+/// Byte-indexed step table for CRC-16/CCITT-FALSE (MSB-first, poly 0x1021),
+/// built at compile time.
+const CRC16_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Fold one byte into a running CRC-16/CCITT-FALSE value.
+#[inline]
+fn crc16_step(crc: u16, byte: u8) -> u16 {
+    (crc << 8) ^ CRC16_TABLE[((crc >> 8) ^ byte as u16) as usize]
+}
 
 /// CRC-16/CCITT-FALSE over a byte slice.
 pub fn crc16(bytes: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &b in bytes {
-        crc ^= (b as u16) << 8;
-        for _ in 0..8 {
-            if crc & 0x8000 != 0 {
-                crc = (crc << 1) ^ 0x1021;
-            } else {
-                crc <<= 1;
-            }
-        }
+        crc = crc16_step(crc, b);
     }
     crc
 }
@@ -30,14 +53,7 @@ pub fn crc16_words(words: &[u64]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &w in words {
         for b in w.to_le_bytes() {
-            crc ^= (b as u16) << 8;
-            for _ in 0..8 {
-                if crc & 0x8000 != 0 {
-                    crc = (crc << 1) ^ 0x1021;
-                } else {
-                    crc <<= 1;
-                }
-            }
+            crc = crc16_step(crc, b);
         }
     }
     crc

@@ -1,0 +1,213 @@
+//! Fixed-capacity, stack-allocated vector for the per-cycle hot path.
+//!
+//! Router switch allocation gathers a handful of requesters every cycle —
+//! at most four arrivals, a few buffer heads and one injection — sorts them
+//! by age and walks them. Collecting into a `Vec` put several heap
+//! allocations on every router step; [`InlineVec`] keeps the same
+//! collect/sort/drain idiom entirely on the stack. Capacity is a
+//! compile-time bound chosen per call site from the architectural maximum
+//! (e.g. 4 ports + 4 buffers + 1 injection = 9); overflowing it panics,
+//! which would indicate a router bug, not a traffic condition.
+//!
+//! `T: Copy` keeps the implementation trivially sound (no drops to run) —
+//! everything the hot path stores is a small POD.
+
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A `Vec`-like container backed by a fixed-size stack array.
+pub struct InlineVec<T: Copy, const N: usize> {
+    len: usize,
+    buf: [MaybeUninit<T>; N],
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    #[inline]
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec {
+            len: 0,
+            buf: [MaybeUninit::uninit(); N],
+        }
+    }
+
+    /// Append an element.
+    ///
+    /// # Panics
+    /// Panics when the fixed capacity `N` is exceeded.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!(self.len < N, "InlineVec capacity {N} exceeded");
+        self.buf[self.len].write(value);
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: indices < len were initialized by `push`.
+        Some(unsafe { self.buf[self.len].assume_init() })
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all elements (no destructors: `T: Copy`).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: the first `len` slots were initialized by `push`.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<T>(), self.len) }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: the first `len` slots were initialized by `push`.
+        unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr().cast::<T>(), self.len) }
+    }
+
+    /// Remove the element at `index`, shifting the tail left (order-
+    /// preserving, like `Vec::remove`).
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> T {
+        assert!(index < self.len, "InlineVec remove out of bounds");
+        let value = self.as_slice()[index];
+        self.as_mut_slice().copy_within(index + 1.., index);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterate by value (elements are `Copy`).
+    #[inline]
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, T>> {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = InlineVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_len() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn slice_views_and_sort() {
+        let mut v: InlineVec<u32, 8> = [5u32, 1, 4, 2].into_iter().collect();
+        v.sort_unstable();
+        assert_eq!(v.as_slice(), &[1, 2, 4, 5]);
+        v[0] = 9;
+        assert_eq!(v.iter().max(), Some(9));
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut v: InlineVec<u32, 4> = [10u32, 20, 30, 40].into_iter().collect();
+        assert_eq!(v.remove(1), 20);
+        assert_eq!(v.as_slice(), &[10, 30, 40]);
+        assert_eq!(v.remove(2), 40);
+        assert_eq!(v.as_slice(), &[10, 30]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn extend_and_debug() {
+        let mut v: InlineVec<u8, 6> = InlineVec::new();
+        v.extend([1u8, 2, 3]);
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`types`] — node identifiers, cardinal directions, port indices;
 //! * [`flit`] — the unit of switching ([`Flit`]) and packet descriptors;
 //! * [`queue`] — a fixed-capacity ring-buffer FIFO used for input buffers;
+//! * [`pool`] — slab arena for flits parked in engine-side queues ([`FlitId`]
+//!   handles, free-list reuse);
+//! * [`inline`] — fixed-capacity stack vector for per-cycle router scratch;
 //! * [`rng`] — a small deterministic PRNG (SplitMix64 / xoshiro256**) so
 //!   every experiment is reproducible from a single seed;
 //! * [`stats`] — event counters and latency accounting shared by all router
@@ -16,6 +19,8 @@
 pub mod config;
 pub mod crc;
 pub mod flit;
+pub mod inline;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -23,6 +28,8 @@ pub mod types;
 
 pub use config::SimConfig;
 pub use flit::{Flit, FlitKind, PacketDesc, PacketId};
+pub use inline::InlineVec;
+pub use pool::{FlitId, FlitPool};
 pub use queue::FixedQueue;
 pub use rng::Rng;
 pub use stats::{EventCounts, LatencyStats, NetStats};

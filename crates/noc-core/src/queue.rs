@@ -78,7 +78,12 @@ impl<T> FixedQueue<T> {
         if self.is_full() {
             return Err(value);
         }
-        let tail = (self.head + self.len) % self.capacity();
+        // `head < capacity` and `len <= capacity`, so one conditional
+        // subtract wraps the ring — no hardware division on the hot path.
+        let mut tail = self.head + self.len;
+        if tail >= self.capacity() {
+            tail -= self.capacity();
+        }
         debug_assert!(self.slots[tail].is_none());
         self.slots[tail] = Some(value);
         self.len += 1;
@@ -92,7 +97,10 @@ impl<T> FixedQueue<T> {
         }
         let value = self.slots[self.head].take();
         debug_assert!(value.is_some());
-        self.head = (self.head + 1) % self.capacity();
+        self.head += 1;
+        if self.head == self.capacity() {
+            self.head = 0;
+        }
         self.len -= 1;
         value
     }

@@ -8,24 +8,30 @@
 //! deflecting).
 
 use crate::productive_ports;
+use noc_core::inline::InlineVec;
 use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
 use noc_topology::Mesh;
 
-/// Preference-ordered link directions for a flit at `current` toward `dst`.
+/// Preference-ordered link directions for a flit at `current` toward `dst`,
+/// on the stack (no allocation — this runs per flit per cycle in every
+/// bufferless router).
 ///
 /// Order: productive directions first (the dimension with the larger
 /// remaining offset leads, so flits prefer to reduce their longest leg —
 /// this mirrors BLESS's "most-beneficial port first" heuristic), then
 /// non-productive directions that still have a link, in port-index order.
 /// Directions without a link at this node (mesh edge) are excluded.
-pub fn rank_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> Vec<Direction> {
+pub fn rank_ports_inline(mesh: &Mesh, current: NodeId, dst: NodeId) -> InlineVec<Direction, 4> {
     let c = mesh.coord_of(current);
     let d = mesh.coord_of(dst);
     let dx = d.x as i32 - c.x as i32;
     let dy = d.y as i32 - c.y as i32;
     let productive = productive_ports(mesh, current, dst);
 
-    let mut prod: Vec<Direction> = Vec::with_capacity(2);
+    // A productive direction on a mesh always has a link (the destination
+    // lies inside the grid), so nothing pushed here needs a reachability
+    // filter.
+    let mut out: InlineVec<Direction, 4> = InlineVec::new();
     let x_dir = if dx > 0 {
         Direction::East
     } else {
@@ -38,32 +44,33 @@ pub fn rank_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> Vec<Direction> {
     };
     if dx.abs() >= dy.abs() {
         if dx != 0 {
-            prod.push(x_dir);
+            out.push(x_dir);
         }
         if dy != 0 {
-            prod.push(y_dir);
+            out.push(y_dir);
         }
     } else {
         if dy != 0 {
-            prod.push(y_dir);
+            out.push(y_dir);
         }
         if dx != 0 {
-            prod.push(x_dir);
+            out.push(x_dir);
         }
     }
-    debug_assert!(prod.iter().all(|&p| productive.contains(p)));
+    debug_assert!(out.iter().all(|p| productive.contains(p)));
+    debug_assert!(out.iter().all(|p| mesh.neighbor(current, p).is_some()));
 
-    let mut out = prod;
     for dir in LINK_DIRECTIONS {
         if !out.contains(&dir) && mesh.neighbor(current, dir).is_some() {
             out.push(dir);
         }
     }
-    // Productive directions that ended up unreachable can't occur on a mesh
-    // (a productive dir always has a link), but edge nodes lose some
-    // deflection candidates.
-    out.retain(|&dir| mesh.neighbor(current, dir).is_some());
     out
+}
+
+/// Heap-allocating convenience wrapper around [`rank_ports_inline`].
+pub fn rank_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> Vec<Direction> {
+    rank_ports_inline(mesh, current, dst).iter().collect()
 }
 
 /// Deflection port assignment under dead links: the chosen direction plus

@@ -4,6 +4,7 @@
 //! (NUR hot spots, SPLASH directory pressure, fault-induced buffering).
 
 use crate::network::Network;
+use crate::router::RouterModel;
 use noc_core::types::NodeId;
 use noc_topology::Mesh;
 use serde::{Deserialize, Serialize};
@@ -110,7 +111,7 @@ pub struct Snapshot {
 
 /// Capture a spatial snapshot of `net` (cheap; no simulation state is
 /// modified).
-pub fn snapshot(net: &Network) -> Snapshot {
+pub fn snapshot<R: RouterModel>(net: &Network<R>) -> Snapshot {
     let mesh = *net.mesh();
     Snapshot {
         occupancy: NodeField::sample("router occupancy (flits)", &mesh, |n| {

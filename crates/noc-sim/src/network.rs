@@ -1,13 +1,25 @@
 //! The network: routers + links + injection queues + ejection/reassembly +
 //! SCARAB drop/NACK bookkeeping.
+//!
+//! # Hot-path storage
+//!
+//! Every flit parked inside the engine — waiting in a source queue, flying
+//! on a link delay line, or travelling back as a SCARAB NACK — lives in one
+//! slab [`FlitPool`]; the queues and channels themselves move only 4-byte
+//! [`FlitId`] handles. Together with the persistent [`StepCtx`] and the
+//! scratch buffers below, a warmed-up run with tracing, verification and
+//! resilience disabled performs **zero heap allocations per cycle** (pinned
+//! by `tests/zero_alloc.rs` and the root crate's allocation-regression
+//! test).
 
 use crate::reassembly::Reassembler;
 use crate::resilience::{AckMsg, ResilienceState};
 use crate::router::{RouterModel, StepCtx};
 use crate::verify::{NullVerifier, RunObserver, StepInputs};
 use crate::{CREDIT_LATENCY, LINK_LATENCY};
-use noc_core::flit::Flit;
-use noc_core::stats::NetStats;
+use noc_core::flit::PacketDesc;
+use noc_core::pool::{FlitId, FlitPool};
+use noc_core::stats::{EventCounts, NetStats};
 use noc_core::types::{Cycle, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
 use noc_core::SimConfig;
 use noc_resilience::{ResiliencePlan, TimeoutAction, TransientEffect};
@@ -18,22 +30,34 @@ use noc_traffic::generator::{DeliveredPacket, TrafficModel};
 use std::collections::VecDeque;
 
 /// A complete simulated network of one router design.
-pub struct Network {
+///
+/// `R` is the router type stepped at every node. The paper's designs run
+/// statically dispatched (`Network<RouterKind>` via `Design::build`);
+/// external implementors keep the dynamic form, which is the default
+/// (`Network` = `Network<Box<dyn RouterModel>>`).
+pub struct Network<R: RouterModel = Box<dyn RouterModel>> {
     mesh: Mesh,
     cfg: SimConfig,
-    routers: Vec<Box<dyn RouterModel>>,
+    routers: Vec<R>,
+    /// `neighbors[node][d]`: the node across the output link in direction
+    /// `d` (`None` at mesh edges). Precomputed once — the send and credit
+    /// loops look this up per flit-hop, and the table replaces a
+    /// coordinate round-trip with one indexed load.
+    neighbors: Vec<[Option<NodeId>; NUM_LINK_PORTS]>,
+    /// Slab arena for every flit parked in the engine-side queues below.
+    pool: FlitPool,
     /// `in_links[node][d]`: flits arriving at `node` on input port `d`
     /// (fed by the neighbour in direction `d`). `None` at mesh edges.
-    in_links: Vec<[Option<DelayLine<Flit>>; NUM_LINK_PORTS]>,
+    in_links: Vec<[Option<DelayLine<FlitId>>; NUM_LINK_PORTS]>,
     /// `in_credits[node][d]`: credits returning to `node` for its *output*
     /// link in direction `d`.
     in_credits: Vec<[Option<DelayLine<u32>>; NUM_LINK_PORTS]>,
     /// Per-node injection queues (source side of the PE).
-    source_queues: Vec<VecDeque<Flit>>,
+    source_queues: Vec<VecDeque<FlitId>>,
     reassembler: Reassembler,
     /// SCARAB NACK/retransmission channel: dropped flits travel back to the
     /// source (as a NACK) and are re-enqueued at the head of its queue.
-    retransmits: TimedChannel<Flit>,
+    retransmits: TimedChannel<FlitId>,
     stats: NetStats,
     cycle: Cycle,
     /// Flits that could not be queued because the source queue was full
@@ -50,39 +74,62 @@ pub struct Network {
     /// Resilience layer (fault injection + CRC/ARQ recovery). `None` keeps
     /// the engine byte-identical to a fault-free build.
     resilience: Option<ResilienceState>,
+    /// Persistent per-step context, cleared in place each router step so
+    /// its buffers (ejected/dropped/trace/probe) are allocated once.
+    ctx: StepCtx,
+    /// Scratch for `TrafficModel::poll_into` (one use per cycle).
+    poll_scratch: Vec<PacketDesc>,
+    /// Scratch for draining the retransmission channel.
+    retx_scratch: Vec<FlitId>,
+    /// Scratch for the per-router occupancy snapshot — filled only when a
+    /// recording trace sink is attached.
+    occ_scratch: Vec<usize>,
+    /// Scratch for the resilience cycle prologue.
+    degraded_scratch: Vec<NodeId>,
+    action_scratch: Vec<TimeoutAction>,
 }
 
-impl Network {
+impl<R: RouterModel> Network<R> {
     /// Build a network: one router per node from `factory`.
-    pub fn new(cfg: &SimConfig, factory: &dyn Fn(NodeId) -> Box<dyn RouterModel>) -> Network {
+    pub fn new(cfg: &SimConfig, factory: &dyn Fn(NodeId) -> R) -> Network<R> {
         cfg.validate().expect("invalid SimConfig");
         let mesh = Mesh::new(cfg.width, cfg.height);
         let n = mesh.num_nodes();
-        let routers: Vec<Box<dyn RouterModel>> = mesh.nodes().map(factory).collect();
+        let routers: Vec<R> = mesh.nodes().map(factory).collect();
         for (i, r) in routers.iter().enumerate() {
             assert_eq!(r.node(), NodeId(i as u16), "factory returned wrong node id");
         }
         let mut in_links = Vec::with_capacity(n);
         let mut in_credits = Vec::with_capacity(n);
+        let mut neighbors = Vec::with_capacity(n);
         for node in mesh.nodes() {
-            let mut links: [Option<DelayLine<Flit>>; NUM_LINK_PORTS] = [None, None, None, None];
+            let mut links: [Option<DelayLine<FlitId>>; NUM_LINK_PORTS] = [None, None, None, None];
             let mut credits: [Option<DelayLine<u32>>; NUM_LINK_PORTS] = [None, None, None, None];
+            let mut nbrs: [Option<NodeId>; NUM_LINK_PORTS] = [None; NUM_LINK_PORTS];
             for d in LINK_DIRECTIONS {
-                if mesh.neighbor(node, d).is_some() {
+                if let Some(nbr) = mesh.neighbor(node, d) {
                     links[d.index()] = Some(DelayLine::new(LINK_LATENCY));
                     credits[d.index()] = Some(DelayLine::new(CREDIT_LATENCY));
+                    nbrs[d.index()] = Some(nbr);
                 }
             }
             in_links.push(links);
             in_credits.push(credits);
+            neighbors.push(nbrs);
         }
         Network {
             mesh,
             cfg: cfg.clone(),
             routers,
+            neighbors,
+            pool: FlitPool::new(),
             in_links,
             in_credits,
-            source_queues: vec![VecDeque::new(); n],
+            // Reserve the cap up front: queue growth never shows up as a
+            // mid-run allocation (the cap is small — u32 handles only).
+            source_queues: (0..n)
+                .map(|_| VecDeque::with_capacity(cfg.source_queue_cap))
+                .collect(),
             reassembler: Reassembler::new(),
             retransmits: TimedChannel::new(),
             stats: NetStats::default(),
@@ -91,6 +138,12 @@ impl Network {
             sink: Box::new(NullSink),
             observer: Box::new(NullVerifier),
             resilience: None,
+            ctx: StepCtx::default(),
+            poll_scratch: Vec::new(),
+            retx_scratch: Vec::new(),
+            occ_scratch: Vec::new(),
+            degraded_scratch: Vec::new(),
+            action_scratch: Vec::new(),
         }
     }
 
@@ -181,9 +234,14 @@ impl Network {
 
         // 1. Retransmissions due this cycle rejoin their source queue at the
         //    head (SCARAB's source retransmit buffer has priority).
-        for flit in self.retransmits.recv_due(t) {
-            self.source_queues[flit.src.index()].push_front(flit);
+        let mut retx = std::mem::take(&mut self.retx_scratch);
+        retx.clear();
+        self.retransmits.recv_due_into(t, &mut retx);
+        for &id in &retx {
+            self.source_queues[self.pool.get(id).src.index()].push_front(id);
         }
+        retx.clear();
+        self.retx_scratch = retx;
 
         // 2. New packets from the traffic model. Open-loop models tolerate
         //    source-side loss beyond the queue cap (the surplus still counts
@@ -204,17 +262,22 @@ impl Network {
             return;
         }
         let lossless = model.lossless();
-        for desc in model.poll(t) {
+        let mut polled = std::mem::take(&mut self.poll_scratch);
+        polled.clear();
+        model.poll_into(t, &mut polled);
+        for desc in &polled {
             let q = &mut self.source_queues[desc.src.index()];
             for flit in desc.flits() {
                 self.stats.record_offered(offered_now);
                 if !lossless && q.len() >= self.cfg.source_queue_cap {
                     self.source_overflow += 1;
                 } else {
-                    q.push_back(flit);
+                    q.push_back(self.pool.alloc(flit));
                 }
             }
         }
+        polled.clear();
+        self.poll_scratch = polled;
 
         self.cycle_routers(t, model);
         self.cycle += 1;
@@ -227,16 +290,18 @@ impl Network {
         let Some(res) = self.resilience.as_mut() else {
             return;
         };
-        let mut degraded = Vec::new();
-        res.apply_onsets(t, &mut degraded);
-        for node in degraded {
+        let degraded = &mut self.degraded_scratch;
+        degraded.clear();
+        res.apply_onsets(t, degraded);
+        for node in degraded.drain(..) {
             let mask = res.link_down[node.index()];
             self.routers[node.index()].set_faulty_links(mask);
         }
 
         res.arm_strikes(t);
 
-        let mut actions = Vec::new();
+        let actions = &mut self.action_scratch;
+        actions.clear();
         for msg in res.acks.recv_due(t) {
             let ni = &mut res.senders[msg.to.index()];
             if msg.nack {
@@ -248,9 +313,9 @@ impl Network {
             }
         }
         for ni in res.senders.iter_mut() {
-            ni.poll(t, &mut actions);
+            ni.poll(t, actions);
         }
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 TimeoutAction::Retransmit(flit) => {
                     self.stats.events.ni_retransmits += 1;
@@ -258,7 +323,7 @@ impl Network {
                         self.observer.on_retransmit_queued(&flit);
                     }
                     // The retransmit buffer has priority over fresh traffic.
-                    self.source_queues[flit.src.index()].push_front(flit);
+                    self.source_queues[flit.src.index()].push_front(self.pool.alloc(flit));
                 }
                 TimeoutAction::GiveUp(flit) => {
                     self.stats.events.flits_lost += 1;
@@ -281,15 +346,21 @@ impl Network {
         }
         self.resilience_begin_cycle(t, verifying);
         let traversals_before = self.stats.events.link_traversals;
+        // The persistent context is moved out for the loop (it borrows
+        // mutably alongside routers/links/pool) and restored at the end;
+        // its buffers keep their capacity across cycles.
+        let mut ctx = std::mem::take(&mut self.ctx);
         for i in 0..self.routers.len() {
             let node = NodeId(i as u16);
-            let mut ctx = StepCtx::new(t);
+            ctx.reset(t);
             ctx.trace.set_enabled(tracing);
             ctx.probe.set_enabled(verifying);
 
             for d in LINK_DIRECTIONS {
                 if let Some(line) = self.in_links[i][d.index()].as_mut() {
-                    ctx.arrivals[d.index()] = line.recv(t);
+                    if let Some(id) = line.recv(t) {
+                        ctx.arrivals[d.index()] = Some(self.pool.take(id));
+                    }
                 }
                 if let Some(line) = self.in_credits[i][d.index()].as_mut() {
                     if let Some(c) = line.recv(t) {
@@ -301,12 +372,12 @@ impl Network {
             // offer, so the sequence number survives the eventual pop (a
             // no-op for already-sequenced retransmissions).
             if let Some(res) = self.resilience.as_mut() {
-                if let Some(front) = self.source_queues[i].front_mut() {
-                    res.senders[i].sequence(front);
+                if let Some(&front) = self.source_queues[i].front() {
+                    res.senders[i].sequence(self.pool.get_mut(front));
                 }
             }
-            ctx.injection = self.source_queues[i].front().map(|f| {
-                let mut f = *f;
+            ctx.injection = self.source_queues[i].front().map(|&id| {
+                let mut f = *self.pool.get(id);
                 f.injected = t;
                 f
             });
@@ -321,10 +392,26 @@ impl Network {
             } else {
                 None
             };
-            let arrivals_offered = ctx.arrivals.iter().flatten().count();
-            let occ_before = self.routers[i].occupancy();
+            // Conservation inputs feed only the debug assert below and the
+            // verification observer; skip the occupancy scans on the
+            // unobserved release fast path.
+            let conserving = verifying || cfg!(debug_assertions);
+            let arrivals_offered = if conserving {
+                ctx.arrivals.iter().flatten().count()
+            } else {
+                0
+            };
+            let occ_before = if conserving {
+                self.routers[i].occupancy()
+            } else {
+                0
+            };
             self.routers[i].step(&mut ctx);
-            let occ_after = self.routers[i].occupancy();
+            let occ_after = if conserving {
+                self.routers[i].occupancy()
+            } else {
+                0
+            };
             // With an active observer attached, conservation violations are
             // its to report (structured, non-fatal); the hard assert guards
             // unobserved runs only.
@@ -343,9 +430,7 @@ impl Network {
             // Outgoing flits onto the links.
             for d in LINK_DIRECTIONS {
                 if let Some(mut flit) = ctx.out_links[d.index()].take() {
-                    let nbr = self
-                        .mesh
-                        .neighbor(node, d)
+                    let nbr = self.neighbors[i][d.index()]
                         .unwrap_or_else(|| panic!("{node} routed {flit:?} off-mesh via {d}"));
                     // Resilience link phase: a dead link swallows the flit,
                     // a transient strike corrupts or drops it. Flits already
@@ -386,10 +471,11 @@ impl Network {
                         flit_index: flit.flit_index as u16,
                         dir: d,
                     });
+                    let id = self.pool.alloc(flit);
                     self.in_links[nbr.index()][d.opposite().index()]
                         .as_mut()
                         .expect("reverse link exists")
-                        .send(t, flit);
+                        .send(t, id);
                 }
             }
 
@@ -397,7 +483,7 @@ impl Network {
             for d in LINK_DIRECTIONS {
                 let c = ctx.credits_out[d.index()];
                 if c > 0 {
-                    if let Some(upstream) = self.mesh.neighbor(node, d) {
+                    if let Some(upstream) = self.neighbors[i][d.index()] {
                         self.in_credits[upstream.index()][d.opposite().index()]
                             .as_mut()
                             .expect("reverse credit wire exists")
@@ -411,7 +497,8 @@ impl Network {
                 let popped = self.source_queues[i].pop_front();
                 debug_assert!(popped.is_some(), "router injected a phantom flit");
                 ctx.events.injections += 1;
-                if let Some(flit) = popped {
+                if let Some(id) = popped {
+                    let flit = self.pool.take(id);
                     // Arm (or re-arm, for a retransmission) the ARQ timer at
                     // the actual network entry, so source queueing never
                     // burns the retry budget.
@@ -523,12 +610,23 @@ impl Network {
                 ctx.events.nack_hops += nack_hops;
                 ctx.events.retransmissions += 1;
                 flit.retransmits += 1;
-                self.retransmits.send(t, nack_hops, flit);
+                let id = self.pool.alloc(flit);
+                self.retransmits.send(t, nack_hops, id);
             }
 
-            self.stats.events.merge(&ctx.events);
+            if verifying {
+                // The observer consumed this node's per-step event deltas;
+                // harvest them now so the next router starts from zero.
+                self.stats.events.merge(&ctx.events);
+                ctx.events = EventCounts::default();
+            }
             ctx.trace.drain_into(self.sink.as_mut());
         }
+        // Unobserved runs let the counters accumulate across the whole node
+        // sweep; one harvest per cycle instead of one per router.
+        self.stats.events.merge(&ctx.events);
+        ctx.events = EventCounts::default();
+        self.ctx = ctx;
 
         if verifying {
             let in_flight = self.flits_in_flight();
@@ -536,7 +634,10 @@ impl Network {
         }
 
         if tracing {
-            let occupancy: Vec<usize> = self.routers.iter().map(|r| r.occupancy()).collect();
+            self.occ_scratch.clear();
+            for r in &self.routers {
+                self.occ_scratch.push(r.occupancy());
+            }
             let backlog: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
             let in_flight = self.flits_in_flight() as u64;
             let link_traversals = self.stats.events.link_traversals - traversals_before;
@@ -545,7 +646,7 @@ impl Network {
                 in_flight,
                 backlog,
                 link_traversals,
-                per_router_occupancy: &occupancy,
+                per_router_occupancy: &self.occ_scratch,
             });
         }
     }
@@ -575,15 +676,9 @@ impl Network {
     /// Flits currently inside the network (diagnostics).
     pub fn flits_in_flight(&self) -> usize {
         let in_routers: usize = self.routers.iter().map(|r| r.occupancy()).sum();
-        let on_links: usize = self
-            .in_links
-            .iter()
-            .flatten()
-            .flatten()
-            .map(|l| l.in_flight())
-            .sum();
-        let queued: usize = self.source_queues.iter().map(|q| q.len()).sum();
-        in_routers + on_links + queued + self.retransmits.len()
+        // Everything outside the routers is parked in the pool: source
+        // queues, link delay lines and the retransmission channel.
+        in_routers + self.pool.live()
     }
 
     /// Duplicate flits seen at reassembly (must be 0; exposed for tests).

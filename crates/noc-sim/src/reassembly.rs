@@ -60,6 +60,21 @@ impl Reassembler {
             flit.packet_len as usize <= 64,
             "packet too long for bitmask"
         );
+        // Single-flit packets (request/ACK traffic — the common case at the
+        // paper's default packet length) complete immediately and never
+        // touch the table; this keeps the steady-state ejection path free
+        // of hash-map traffic.
+        if flit.packet_len == 1 {
+            debug_assert_eq!(flit.flit_index, 0);
+            return Some(CompletedPacket {
+                id: flit.packet,
+                src: flit.src,
+                dst: flit.dst,
+                kind: flit.kind,
+                created: flit.created,
+                completed: now,
+            });
+        }
         let e = self.pending.entry(flit.packet).or_insert(Entry {
             src: flit.src,
             dst: flit.dst,

@@ -62,6 +62,44 @@ impl StepCtx {
         }
     }
 
+    /// Clear the context in place for the next router step, keeping the
+    /// capacity of every buffer. The engine holds one persistent `StepCtx`
+    /// and resets it per router, so the per-cycle path allocates nothing.
+    pub fn reset(&mut self, cycle: Cycle) {
+        self.cycle = cycle;
+        // `arrivals` and `out_links` are already all-`None` here: the router
+        // contract requires every arrival to be consumed (switched or
+        // buffered — flit conservation would fail otherwise) and the engine
+        // drains every output after each step. Skipping the ~600-byte
+        // rewrite of `Option<Flit>` arrays is a measurable win at 64+ nodes;
+        // the debug build still clears them and asserts the contract.
+        debug_assert!(
+            self.arrivals.iter().all(|a| a.is_none()),
+            "router left an arrival unconsumed"
+        );
+        debug_assert!(
+            self.out_links.iter().all(|o| o.is_none()),
+            "engine left an output undrained"
+        );
+        #[cfg(debug_assertions)]
+        {
+            self.arrivals = [None; NUM_LINK_PORTS];
+            self.out_links = [None; NUM_LINK_PORTS];
+        }
+        self.credits_in = [0; NUM_LINK_PORTS];
+        self.injection = None;
+        self.ejected.clear();
+        self.credits_out = [0; NUM_LINK_PORTS];
+        self.injected = false;
+        self.dropped.clear();
+        // `events` is NOT cleared here: the counters are pure accumulators
+        // (routers and engine only ever add), so the engine lets them run
+        // across a whole node sweep and harvests them once per cycle —
+        // or per router step when an observer needs per-node deltas.
+        // trace/probe are cleared by the engine's set_enabled calls, which
+        // immediately follow every reset.
+    }
+
     /// Total flits handed to the engine this cycle (outputs + ejections +
     /// drops) — used by conservation checks.
     pub fn flits_out(&self) -> usize {
@@ -99,6 +137,36 @@ pub trait RouterModel: Send {
     /// rely on the NI retransmission layer to account the loss. Default:
     /// no-op.
     fn set_faulty_links(&mut self, _down: [bool; NUM_LINK_PORTS]) {}
+}
+
+/// Adapter: a boxed router model is itself a router model, so the default
+/// `Network<Box<dyn RouterModel>>` (dynamic dispatch) keeps working through
+/// the generic engine. Statically dispatched networks skip this entirely.
+impl RouterModel for Box<dyn RouterModel> {
+    #[inline]
+    fn node(&self) -> NodeId {
+        (**self).node()
+    }
+    #[inline]
+    fn step(&mut self, ctx: &mut StepCtx) {
+        (**self).step(ctx)
+    }
+    #[inline]
+    fn is_idle(&self) -> bool {
+        (**self).is_idle()
+    }
+    #[inline]
+    fn occupancy(&self) -> usize {
+        (**self).occupancy()
+    }
+    #[inline]
+    fn design_name(&self) -> &'static str {
+        (**self).design_name()
+    }
+    #[inline]
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        (**self).set_faulty_links(down)
+    }
 }
 
 /// Builds one router per node; the engine calls it for every node id.

@@ -3,6 +3,7 @@
 
 use crate::network::Network;
 use crate::report::RunResult;
+use crate::router::RouterModel;
 use noc_power::energy::EnergyModel;
 use noc_trace::RecordingSink;
 use noc_traffic::generator::TrafficModel;
@@ -20,8 +21,8 @@ pub enum RunMode {
 }
 
 /// Execute a run and summarize it.
-pub fn run(
-    net: &mut Network,
+pub fn run<R: RouterModel>(
+    net: &mut Network<R>,
     model: &mut dyn TrafficModel,
     mode: RunMode,
     energy: &EnergyModel,
@@ -51,8 +52,8 @@ pub fn run(
 /// Execute a run with a recording trace sink attached, then detach it and
 /// hand the recording back. Works for any [`RunMode`] — tracing is a
 /// property of the network, not of the termination policy.
-pub fn run_traced(
-    net: &mut Network,
+pub fn run_traced<R: RouterModel>(
+    net: &mut Network<R>,
     model: &mut dyn TrafficModel,
     mode: RunMode,
     energy: &EnergyModel,
@@ -67,8 +68,8 @@ pub fn run_traced(
     (result, sink)
 }
 
-fn summarize(
-    net: &Network,
+fn summarize<R: RouterModel>(
+    net: &Network<R>,
     model: &dyn TrafficModel,
     energy: &EnergyModel,
     finish_cycle: Option<u64>,

@@ -16,8 +16,56 @@ use noc_core::types::Cycle;
 #[derive(Debug, Clone)]
 pub struct DelayLine<T> {
     latency: u64,
-    /// Ring of in-flight items indexed by delivery cycle modulo `latency`.
-    slots: Box<[Option<(Cycle, T)>]>,
+    /// Ring of in-flight items indexed by delivery cycle modulo the ring
+    /// period (`latency + 1`).
+    slots: Slots<T>,
+}
+
+/// Ring storage for a [`DelayLine`]. The engine polls every line every
+/// cycle, and its lines are all short (flit links period 3, credit wires
+/// period 2) — keeping those rings inline in the line itself removes a
+/// pointer chase per poll and lets a `Vec` of lines sit contiguously in
+/// cache. Longer latencies (tests, future topologies) fall back to the
+/// heap.
+#[derive(Debug, Clone)]
+enum Slots<T> {
+    /// Periods up to 4 (latency <= 3).
+    Inline([Option<(Cycle, T)>; 4]),
+    Heap(Box<[Option<(Cycle, T)>]>),
+}
+
+impl<T> Slots<T> {
+    #[inline]
+    fn get(&self, idx: usize) -> &Option<(Cycle, T)> {
+        match self {
+            Slots::Inline(a) => &a[idx],
+            Slots::Heap(b) => &b[idx],
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, idx: usize) -> &mut Option<(Cycle, T)> {
+        match self {
+            Slots::Inline(a) => &mut a[idx],
+            Slots::Heap(b) => &mut b[idx],
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Option<(Cycle, T)>] {
+        match self {
+            Slots::Inline(a) => a,
+            Slots::Heap(b) => b,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Option<(Cycle, T)>] {
+        match self {
+            Slots::Inline(a) => a,
+            Slots::Heap(b) => b,
+        }
+    }
 }
 
 impl<T> DelayLine<T> {
@@ -30,17 +78,33 @@ impl<T> DelayLine<T> {
         // send (delivery t + latency) before the downstream router has
         // received this cycle's item, so latency + 1 items transiently
         // coexist.
-        let mut slots = Vec::with_capacity(latency as usize + 1);
-        slots.resize_with(latency as usize + 1, || None);
-        DelayLine {
-            latency,
-            slots: slots.into_boxed_slice(),
-        }
+        let period = latency as usize + 1;
+        let slots = if period <= 4 {
+            Slots::Inline([None, None, None, None])
+        } else {
+            let mut v = Vec::with_capacity(period);
+            v.resize_with(period, || None);
+            Slots::Heap(v.into_boxed_slice())
+        };
+        DelayLine { latency, slots }
     }
 
     #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
+    }
+
+    /// Slot index for a delivery cycle. The engine polls every line every
+    /// cycle, so the ring modulus runs hot; dispatching the common periods
+    /// to literal divisors lets the compiler strength-reduce the division
+    /// (flit links have period 3, credit wires period 2).
+    #[inline]
+    fn slot_index(&self, cycle: Cycle) -> usize {
+        (match self.latency + 1 {
+            2 => cycle & 1,
+            3 => cycle % 3,
+            p => cycle % p,
+        }) as usize
     }
 
     /// Enqueue `item` at `cycle`; it becomes receivable at
@@ -52,8 +116,8 @@ impl<T> DelayLine<T> {
     /// both are engine bugs, not network conditions).
     pub fn send(&mut self, cycle: Cycle, item: T) {
         let deliver = cycle + self.latency;
-        let idx = (deliver % (self.latency + 1)) as usize;
-        let slot = &mut self.slots[idx];
+        let idx = self.slot_index(deliver);
+        let slot = self.slots.get_mut(idx);
         if let Some((existing, _)) = slot {
             panic!(
                 "DelayLine overrun: slot for cycle {deliver} still holds item from cycle {existing}"
@@ -64,17 +128,19 @@ impl<T> DelayLine<T> {
 
     /// Take the item that becomes available at `cycle`, if any.
     pub fn recv(&mut self, cycle: Cycle) -> Option<T> {
-        let idx = (cycle % (self.latency + 1)) as usize;
-        match &self.slots[idx] {
-            Some((deliver, _)) if *deliver == cycle => self.slots[idx].take().map(|(_, t)| t),
+        let idx = self.slot_index(cycle);
+        match self.slots.get(idx) {
+            Some((deliver, _)) if *deliver == cycle => {
+                self.slots.get_mut(idx).take().map(|(_, t)| t)
+            }
             _ => None,
         }
     }
 
     /// Peek at the item that becomes available at `cycle` without taking it.
     pub fn peek(&self, cycle: Cycle) -> Option<&T> {
-        let idx = (cycle % (self.latency + 1)) as usize;
-        match &self.slots[idx] {
+        let idx = self.slot_index(cycle);
+        match self.slots.get(idx) {
             Some((deliver, t)) if *deliver == cycle => Some(t),
             _ => None,
         }
@@ -82,17 +148,17 @@ impl<T> DelayLine<T> {
 
     /// Whether anything is in flight.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
+        self.slots.as_slice().iter().all(|s| s.is_none())
     }
 
     /// Number of in-flight items.
     pub fn in_flight(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.as_slice().iter().filter(|s| s.is_some()).count()
     }
 
     /// Drop everything in flight (used when a link is declared faulty).
     pub fn clear(&mut self) {
-        for s in self.slots.iter_mut() {
+        for s in self.slots.as_mut_slice().iter_mut() {
             *s = None;
         }
     }
@@ -166,13 +232,20 @@ impl<T> TimedChannel<T> {
     /// order.
     pub fn recv_due(&mut self, cycle: Cycle) -> Vec<T> {
         let mut out = Vec::new();
+        self.recv_due_into(cycle, &mut out);
+        out
+    }
+
+    /// Like [`recv_due`](Self::recv_due), appending into a caller-owned
+    /// buffer — the engine reuses one scratch `Vec` across cycles so the
+    /// steady-state path performs no allocation.
+    pub fn recv_due_into(&mut self, cycle: Cycle, out: &mut Vec<T>) {
         while let Some(top) = self.heap.peek() {
             if top.deliver > cycle {
                 break;
             }
             out.push(self.heap.pop().expect("peeked").item);
         }
-        out
     }
 
     pub fn is_empty(&self) -> bool {

@@ -54,12 +54,25 @@ impl Mesh {
     }
 
     /// Coordinate of a node id.
+    ///
+    /// Every routing decision decomposes node ids, so this is one of the
+    /// hottest functions in the simulator; the power-of-two fast path
+    /// replaces two hardware divisions with mask/shift for the common
+    /// 4x4/8x8/16x16 meshes.
     #[inline]
     pub fn coord_of(&self, n: NodeId) -> Coord {
         debug_assert!((n.0 as usize) < self.num_nodes());
-        Coord {
-            x: n.0 % self.width,
-            y: n.0 / self.width,
+        let w = self.width;
+        if w.is_power_of_two() {
+            Coord {
+                x: n.0 & (w - 1),
+                y: n.0 >> w.trailing_zeros(),
+            }
+        } else {
+            Coord {
+                x: n.0 % w,
+                y: n.0 / w,
+            }
         }
     }
 

@@ -32,6 +32,15 @@ pub trait TrafficModel {
     /// Packets created at `cycle`.
     fn poll(&mut self, cycle: Cycle) -> Vec<PacketDesc>;
 
+    /// Like [`poll`](Self::poll), appending into a caller-owned buffer.
+    /// The engine calls this with one scratch `Vec` reused across cycles,
+    /// so models that override it (the built-in generators do) keep the
+    /// steady-state injection path allocation-free. The default delegates
+    /// to `poll`, so external models only need the one method.
+    fn poll_into(&mut self, cycle: Cycle, out: &mut Vec<PacketDesc>) {
+        out.extend(self.poll(cycle));
+    }
+
     /// Callback when a packet completes.
     fn on_delivered(&mut self, delivered: &DeliveredPacket) {
         let _ = delivered;
@@ -105,6 +114,11 @@ impl SyntheticTraffic {
 impl TrafficModel for SyntheticTraffic {
     fn poll(&mut self, cycle: Cycle) -> Vec<PacketDesc> {
         let mut out = Vec::new();
+        self.poll_into(cycle, &mut out);
+        out
+    }
+
+    fn poll_into(&mut self, cycle: Cycle, out: &mut Vec<PacketDesc>) {
         for i in 0..self.rngs.len() {
             let rng = &mut self.rngs[i];
             if !rng.gen_bool(self.injection_prob) {
@@ -123,7 +137,6 @@ impl TrafficModel for SyntheticTraffic {
                 self.next_seq += 1;
             }
         }
-        out
     }
 
     fn label(&self) -> String {

@@ -394,7 +394,7 @@ impl Verifier {
 
     /// Close out the run: end-of-run ledger checks (only when the network
     /// has drained), reassembly-duplicate check, and report assembly.
-    pub fn finalize(mut self, net: &Network) -> VerifyReport {
+    pub fn finalize<R: noc_sim::RouterModel>(mut self, net: &Network<R>) -> VerifyReport {
         let cycle = net.cycle();
         if net.reassembly_duplicates() > 0 {
             self.push(Violation {

@@ -9,7 +9,7 @@ use noc_power::energy::EnergyModel;
 use noc_sim::noc_trace::RecordingSink;
 use noc_sim::report::RunResult;
 use noc_sim::runner::RunMode;
-use noc_sim::Network;
+use noc_sim::{Network, RouterModel};
 use noc_traffic::generator::TrafficModel;
 
 /// A verified run that observed at least one invariant violation. Carries
@@ -38,8 +38,8 @@ impl std::error::Error for VerifyError {}
 /// Execute a run with the full runtime-oracle suite attached (default
 /// [`VerifyOptions`]). Returns the run result together with the (clean)
 /// verification report, or [`VerifyError`] if any invariant was violated.
-pub fn run_verified(
-    net: &mut Network,
+pub fn run_verified<R: RouterModel>(
+    net: &mut Network<R>,
     model: &mut dyn TrafficModel,
     mode: RunMode,
     energy: &EnergyModel,
@@ -54,8 +54,8 @@ pub fn run_verified(
 /// [`run_verified`], the report comes back unconditionally — callers that
 /// also want the trace on a violating run check [`VerifyReport::is_clean`]
 /// themselves.
-pub fn run_traced_verified(
-    net: &mut Network,
+pub fn run_traced_verified<R: RouterModel>(
+    net: &mut Network<R>,
     model: &mut dyn TrafficModel,
     mode: RunMode,
     energy: &EnergyModel,
@@ -78,8 +78,8 @@ pub fn run_traced_verified(
     (result, sink, report)
 }
 
-pub fn run_verified_with(
-    net: &mut Network,
+pub fn run_verified_with<R: RouterModel>(
+    net: &mut Network<R>,
     model: &mut dyn TrafficModel,
     mode: RunMode,
     energy: &EnergyModel,

@@ -2,6 +2,7 @@
 //! micro-architectures (DXbar and the unified crossbar each under DOR and
 //! West-First routing) plus the AFC extension.
 
+use crate::kind::RouterKind;
 use dxbar::{DXbarRouter, UnifiedRouter};
 use noc_baseline::{AfcRouter, BlessRouter, BufferedRouter, BufferedVariant, ScarabRouter};
 use noc_core::types::NodeId;
@@ -12,7 +13,6 @@ use noc_power::energy::EnergyModel;
 use noc_resilience::{ReachReport, ResiliencePlan};
 use noc_routing::Algorithm;
 use noc_sim::noc_trace::RecordingSink;
-use noc_sim::router::RouterModel;
 use noc_sim::runner::{run, run_traced, RunMode};
 use noc_sim::{Network, RunResult};
 use noc_topology::Mesh;
@@ -97,65 +97,95 @@ impl Design {
         matches!(self, Design::DXbarDor | Design::DXbarWf)
     }
 
+    /// The routing algorithm a design variant uses (the paper evaluates
+    /// DOR everywhere plus West-First on the two proposed designs).
+    fn algorithm(self) -> Algorithm {
+        match self {
+            Design::DXbarWf | Design::UnifiedWf => Algorithm::WestFirst,
+            _ => Algorithm::Dor,
+        }
+    }
+
+    /// Build one router of this design for `node` (the factory behind
+    /// [`Design::build`], exposed for micro-benchmarks).
+    pub fn build_router(self, cfg: &SimConfig, faults: &FaultPlan, node: NodeId) -> RouterKind {
+        let mesh = Mesh::new(cfg.width, cfg.height);
+        let depth = cfg.buffer_depth;
+        match self {
+            Design::FlitBless => RouterKind::Bless(BlessRouter::new(node, mesh)),
+            Design::Scarab => RouterKind::Scarab(ScarabRouter::new(node, mesh)),
+            Design::Buffered4 => RouterKind::Buffered(BufferedRouter::new(
+                node,
+                mesh,
+                BufferedVariant::Buffered4,
+                Algorithm::Dor,
+                depth,
+            )),
+            Design::Buffered8 => RouterKind::Buffered(BufferedRouter::new(
+                node,
+                mesh,
+                BufferedVariant::Buffered8,
+                Algorithm::Dor,
+                depth,
+            )),
+            Design::DXbarDor | Design::DXbarWf => RouterKind::DXbar(DXbarRouter::new(
+                node,
+                mesh,
+                self.algorithm(),
+                depth,
+                cfg.fairness_threshold,
+                faults.fault_at(node),
+                cfg.fault_detection_delay,
+            )),
+            Design::UnifiedDor | Design::UnifiedWf => RouterKind::Unified(UnifiedRouter::new(
+                node,
+                mesh,
+                self.algorithm(),
+                depth,
+                cfg.fairness_threshold,
+            )),
+            Design::Afc => RouterKind::Afc(AfcRouter::new(node, mesh, depth)),
+        }
+    }
+
     /// Build a network of this design. `faults` is honoured by the DXbar
     /// variants and ignored by the others (which the paper's fault study
     /// does not cover).
-    pub fn build(self, cfg: &SimConfig, faults: &FaultPlan) -> Network {
-        let mesh = Mesh::new(cfg.width, cfg.height);
-        let depth = cfg.buffer_depth;
-        let thresh = cfg.fairness_threshold;
-        let delay = cfg.fault_detection_delay;
-        let faults = faults.clone();
-        let factory: Box<dyn Fn(NodeId) -> Box<dyn RouterModel>> = match self {
-            Design::FlitBless => Box::new(move |n| Box::new(BlessRouter::new(n, mesh))),
-            Design::Scarab => Box::new(move |n| Box::new(ScarabRouter::new(n, mesh))),
-            Design::Buffered4 => Box::new(move |n| {
-                Box::new(BufferedRouter::new(
-                    n,
-                    mesh,
-                    BufferedVariant::Buffered4,
-                    Algorithm::Dor,
-                    depth,
-                ))
-            }),
-            Design::Buffered8 => Box::new(move |n| {
-                Box::new(BufferedRouter::new(
-                    n,
-                    mesh,
-                    BufferedVariant::Buffered8,
-                    Algorithm::Dor,
-                    depth,
-                ))
-            }),
-            Design::DXbarDor | Design::DXbarWf => {
-                let alg = if self == Design::DXbarDor {
-                    Algorithm::Dor
-                } else {
-                    Algorithm::WestFirst
-                };
-                Box::new(move |n| {
-                    Box::new(DXbarRouter::new(
-                        n,
-                        mesh,
-                        alg,
-                        depth,
-                        thresh,
-                        faults.fault_at(n),
-                        delay,
-                    ))
-                })
-            }
-            Design::UnifiedDor | Design::UnifiedWf => {
-                let alg = if self == Design::UnifiedDor {
-                    Algorithm::Dor
-                } else {
-                    Algorithm::WestFirst
-                };
-                Box::new(move |n| Box::new(UnifiedRouter::new(n, mesh, alg, depth, thresh)))
-            }
-            Design::Afc => Box::new(move |n| Box::new(AfcRouter::new(n, mesh, depth))),
-        };
-        Network::new(cfg, factory.as_ref())
+    ///
+    /// The returned network dispatches its routers statically (see
+    /// [`RouterKind`]); it accepts the same traffic models, observers and
+    /// trace sinks as the dynamically dispatched default `Network`.
+    pub fn build(self, cfg: &SimConfig, faults: &FaultPlan) -> Network<RouterKind> {
+        Network::new(cfg, &|n| self.build_router(cfg, faults, n))
+    }
+}
+
+/// The synthetic open-loop traffic source every facade below shares:
+/// `offered_load` (fraction of capacity) converted through the config's
+/// injection-rate model, with the config's packet length and seed.
+fn synthetic_model(
+    cfg: &SimConfig,
+    mesh: Mesh,
+    pattern: Pattern,
+    offered_load: f64,
+) -> SyntheticTraffic {
+    SyntheticTraffic::new(
+        pattern,
+        mesh,
+        cfg.injection_rate(offered_load),
+        cfg.packet_len,
+        cfg.seed,
+    )
+}
+
+/// Closed-loop window override shared by the SPLASH facades: no warmup or
+/// drain, measure until `max_cycles`.
+fn closed_loop_cfg(cfg: &SimConfig, max_cycles: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: max_cycles.max(1),
+        drain_cycles: 0,
+        ..cfg.clone()
     }
 }
 
@@ -186,13 +216,7 @@ pub fn run_synthetic_with_faults(
 ) -> RunResult {
     let mesh = Mesh::new(cfg.width, cfg.height);
     let mut net = design.build(cfg, faults);
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let mut result = run(
         &mut net,
         &mut model,
@@ -215,13 +239,7 @@ pub fn run_synthetic_traced(
 ) -> (RunResult, RecordingSink) {
     let mesh = Mesh::new(cfg.width, cfg.height);
     let mut net = design.build(cfg, &FaultPlan::none(&mesh));
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, sink) = run_traced(
         &mut net,
         &mut model,
@@ -245,13 +263,7 @@ pub fn run_synthetic_traced_verified(
 ) -> (RunResult, RecordingSink, noc_verify::VerifyReport) {
     let mesh = Mesh::new(cfg.width, cfg.height);
     let mut net = design.build(cfg, &FaultPlan::none(&mesh));
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, sink, report) = noc_verify::run_traced_verified(
         &mut net,
         &mut model,
@@ -277,13 +289,7 @@ pub fn run_synthetic_verified(
 ) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
     let mesh = Mesh::new(cfg.width, cfg.height);
     let mut net = design.build(cfg, faults);
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, report) = noc_verify::run_verified(
         &mut net,
         &mut model,
@@ -311,13 +317,7 @@ pub fn run_synthetic_resilient(
     let reach = plan.reachability(&mesh);
     let mut net = design.build(cfg, &plan.crossbar);
     net.set_resilience(plan.clone());
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let mut result = run(
         &mut net,
         &mut model,
@@ -343,13 +343,7 @@ pub fn run_synthetic_resilient_verified(
     let reach = plan.reachability(&mesh);
     let mut net = design.build(cfg, &plan.crossbar);
     net.set_resilience(plan.clone());
-    let mut model = SyntheticTraffic::new(
-        pattern,
-        mesh,
-        cfg.injection_rate(offered_load),
-        cfg.packet_len,
-        cfg.seed,
-    );
+    let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, report) = noc_verify::run_verified(
         &mut net,
         &mut model,
@@ -365,12 +359,7 @@ pub fn run_synthetic_resilient_verified(
 /// `completed = false`).
 pub fn run_splash(design: Design, cfg: &SimConfig, app: SplashApp, max_cycles: u64) -> RunResult {
     let mesh = Mesh::new(cfg.width, cfg.height);
-    let cfg = SimConfig {
-        warmup_cycles: 0,
-        measure_cycles: max_cycles.max(1),
-        drain_cycles: 0,
-        ..cfg.clone()
-    };
+    let cfg = closed_loop_cfg(cfg, max_cycles);
     let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
     let mut model = SplashTraffic::new(app, mesh, cfg.seed);
     run(
@@ -389,12 +378,7 @@ pub fn run_splash_verified(
     max_cycles: u64,
 ) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
     let mesh = Mesh::new(cfg.width, cfg.height);
-    let cfg = SimConfig {
-        warmup_cycles: 0,
-        measure_cycles: max_cycles.max(1),
-        drain_cycles: 0,
-        ..cfg.clone()
-    };
+    let cfg = closed_loop_cfg(cfg, max_cycles);
     let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
     let mut model = SplashTraffic::new(app, mesh, cfg.seed);
     noc_verify::run_verified(

@@ -28,12 +28,14 @@
 //! regenerators of every table and figure in the paper.
 
 pub mod designs;
+pub mod kind;
 
 pub use designs::{
     run_splash, run_splash_verified, run_synthetic, run_synthetic_resilient,
     run_synthetic_resilient_verified, run_synthetic_traced, run_synthetic_traced_verified,
     run_synthetic_verified, run_synthetic_with_faults, Design,
 };
+pub use kind::RouterKind;
 pub use noc_core::SimConfig;
 pub use noc_sim::{Network, RunResult};
 

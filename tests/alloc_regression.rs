@@ -1,0 +1,80 @@
+//! Allocation regression pin for the full DXbar stack.
+//!
+//! Same harness as `noc-sim/tests/zero_alloc.rs`, but over the real
+//! statically-dispatched DXbar router: a warmed-up 8x8 uniform-random run
+//! with tracing, verification and resilience disabled must execute 1 000
+//! steady-state cycles with **zero** heap allocations — engine and router
+//! together. A new allocation anywhere on the per-cycle path (engine
+//! scratch, pool growth, router-internal collections) turns this red.
+
+use dxbar_noc::{Design, SimConfig};
+use noc_faults::FaultPlan;
+use noc_topology::Mesh;
+use noc_traffic::generator::SyntheticTraffic;
+use noc_traffic::patterns::Pattern;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn dxbar_steady_state_cycles_do_not_allocate() {
+    let cfg = SimConfig {
+        width: 8,
+        height: 8,
+        warmup_cycles: 0,
+        measure_cycles: u64::MAX / 2, // whole run in-window: stats paths hot
+        drain_cycles: 0,
+        ..SimConfig::default()
+    };
+    let mesh = Mesh::new(8, 8);
+    let mut net = Design::DXbarDor.build(&cfg, &FaultPlan::none(&mesh));
+    let mut model = SyntheticTraffic::new(Pattern::UniformRandom, mesh, 0.1, 1, 42);
+
+    // Warmup: reach the pool/queue/stats high-water marks.
+    net.run_cycles(&mut model, 20_000);
+
+    COUNTING.store(true, Ordering::SeqCst);
+    net.run_cycles(&mut model, 1_000);
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert!(
+        net.stats().accepted_flits > 0,
+        "run must actually move traffic"
+    );
+    assert_eq!(
+        allocs, 0,
+        "DXbar run allocated {allocs} times across 1000 steady-state cycles"
+    );
+}
