@@ -18,6 +18,10 @@
 //!   --verify              run every point under the runtime-oracle suite
 //!                         (also enabled by DXBAR_VERIFY=1); results land
 //!                         in a disjoint +verify cache namespace
+//!   --coop                claim points through advisory file locks in the
+//!                         cache directory so several campaign_run (or
+//!                         noc-daemon) processes shard one sweep without
+//!                         duplicate simulation (requires --cache)
 //!
 //! Exits 0 when every point completed (and, with --verify, no invariant
 //! was violated), 1 when any point failed or violated an invariant, 2 on
@@ -38,13 +42,14 @@ struct Args {
     manifest: Option<PathBuf>,
     emit_spec: Option<PathBuf>,
     verify: bool,
+    coop: bool,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: campaign_run [SPEC.json] [--preset NAME] [--seeds N] [--cache DIR] \
-         [--jobs N] [--manifest PATH] [--emit-spec PATH] [--verify]"
+         [--jobs N] [--manifest PATH] [--emit-spec PATH] [--verify] [--coop]"
     );
     eprintln!("presets: {}", bench::specs::PRESETS.join(", "));
     exit(2);
@@ -60,6 +65,7 @@ fn parse_args() -> Args {
         manifest: None,
         emit_spec: None,
         verify: false,
+        coop: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,6 +93,7 @@ fn parse_args() -> Args {
             "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest"))),
             "--emit-spec" => args.emit_spec = Some(PathBuf::from(value("--emit-spec"))),
             "--verify" => args.verify = true,
+            "--coop" => args.coop = true,
             "--help" | "-h" => usage("help requested"),
             flag if flag.starts_with("--") => usage(&format!("unknown option {flag}")),
             file => {
@@ -144,6 +151,12 @@ fn main() {
     if args.verify {
         opts.verify = true;
     }
+    if args.coop {
+        if opts.cache_dir.is_none() {
+            usage("--coop requires --cache (or DXBAR_CACHE)");
+        }
+        opts.cooperative = true;
+    }
     let report = match run_campaign(&spec, &opts) {
         Ok(r) => r,
         Err(e) => usage(&format!("invalid campaign: {e}")),
@@ -160,25 +173,7 @@ fn main() {
     }
 
     // Aggregated one-line summary per point group (mean ± CI when n > 1).
-    for a in report.aggregates() {
-        let acc = a.summary(|r| r.accepted_fraction);
-        let lat = a.summary(|r| r.avg_packet_latency);
-        let mut line = format!(
-            "{:<24} {:<14} {:<6} x={:<5.2} acc={:.3}",
-            a.group, a.design, a.workload, a.x, acc.mean
-        );
-        if acc.n > 1 {
-            line.push_str(&format!("±{:.3}", acc.ci95));
-        }
-        line.push_str(&format!(" lat={:.1}", lat.mean));
-        if lat.n > 1 {
-            line.push_str(&format!("±{:.1}", lat.ci95));
-        }
-        if a.failed > 0 {
-            line.push_str(&format!(" [{} replicate(s) FAILED]", a.failed));
-        }
-        println!("{line}");
-    }
+    print!("{}", noc_campaign::render_table(&report.aggregates()));
 
     if report.failed_count() > 0 {
         eprintln!(

@@ -89,6 +89,35 @@ impl Aggregate {
     }
 }
 
+/// Render aggregates as the one-line-per-point summary table that
+/// `campaign_run` prints and the daemon's `/jobs/<id>/results` endpoint
+/// serves. One function, two owners — so a daemon-sharded campaign can be
+/// diffed byte-for-byte against the single-process baseline.
+pub fn render_table(aggs: &[Aggregate]) -> String {
+    let mut out = String::new();
+    for a in aggs {
+        let acc = a.summary(|r| r.accepted_fraction);
+        let lat = a.summary(|r| r.avg_packet_latency);
+        let mut line = format!(
+            "{:<24} {:<14} {:<6} x={:<5.2} acc={:.3}",
+            a.group, a.design, a.workload, a.x, acc.mean
+        );
+        if acc.n > 1 {
+            line.push_str(&format!("±{:.3}", acc.ci95));
+        }
+        line.push_str(&format!(" lat={:.1}", lat.mean));
+        if lat.n > 1 {
+            line.push_str(&format!("±{:.1}", lat.ci95));
+        }
+        if a.failed > 0 {
+            line.push_str(&format!(" [{} replicate(s) FAILED]", a.failed));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Mean, spread and 95 % confidence half-width of one metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricSummary {

@@ -1,0 +1,132 @@
+//! Cooperative cache sharding: advisory per-point locks over one shared
+//! cache directory.
+//!
+//! The content-addressed cache already makes concurrent writers *safe*
+//! (atomic rename, identity check on load) — but not *efficient*: two
+//! executors handed the same campaign would each simulate every point and
+//! race to store identical entries. This module adds the missing claim
+//! protocol so N workers (threads or whole processes) shard one sweep with
+//! zero duplicate computation:
+//!
+//! * a worker that wants to simulate point `K` first takes the advisory
+//!   lock `<cache>/locks/<K>.lock` via [`CacheLocks::try_claim`];
+//! * a claim that fails ([`Claim::Busy`]) means some other worker is
+//!   already simulating `K` — the caller defers the point and steals other
+//!   unclaimed work in the meantime, polling the cache until the owner's
+//!   result appears;
+//! * locks are OS advisory file locks (`flock`-style, via
+//!   `std::fs::File::try_lock`), so a crashed or killed owner releases its
+//!   claims automatically — the point becomes claimable again and a
+//!   surviving worker re-runs it. No lock-file janitoring, no stale-PID
+//!   heuristics.
+//!
+//! Lock files are tiny, append-only breadcrumbs (`pid` of the last owner,
+//! for debugging); they are never deleted while workers may be active
+//! because unlink-while-locked races would let two workers hold "the same"
+//! lock on different inodes.
+
+use std::fs::{File, OpenOptions, TryLockError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a claim attempt on one point.
+#[derive(Debug)]
+pub enum Claim {
+    /// The caller now owns the point; the lock is held until the
+    /// [`PointClaim`] is dropped.
+    Owned(PointClaim),
+    /// Another worker (thread or process) holds the point's lock.
+    Busy,
+}
+
+impl Claim {
+    pub fn is_owned(&self) -> bool {
+        matches!(self, Claim::Owned(_))
+    }
+}
+
+/// An exclusive advisory lock on one point, released on drop (or on owner
+/// death — the OS releases advisory locks with the process).
+#[derive(Debug)]
+pub struct PointClaim {
+    file: File,
+}
+
+impl Drop for PointClaim {
+    fn drop(&mut self) {
+        // Dropping the File would release the lock anyway; the explicit
+        // unlock documents the intent and surfaces nothing on failure (the
+        // OS-level release on close is the real guarantee).
+        let _ = self.file.unlock();
+    }
+}
+
+/// The lock directory of one shared cache.
+#[derive(Debug, Clone)]
+pub struct CacheLocks {
+    dir: PathBuf,
+}
+
+impl CacheLocks {
+    /// Open (creating if needed) the `locks/` subdirectory of a cache
+    /// directory.
+    pub fn open(cache_dir: impl AsRef<Path>) -> std::io::Result<CacheLocks> {
+        let dir = cache_dir.as_ref().join("locks");
+        std::fs::create_dir_all(&dir)?;
+        Ok(CacheLocks { dir })
+    }
+
+    fn lock_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.lock"))
+    }
+
+    /// Try to claim a point by cache key. Returns [`Claim::Busy`] when any
+    /// other worker holds the lock. I/O errors creating the lock file are
+    /// treated as `Busy` — the caller falls back to polling the cache, so a
+    /// read-only or full lock directory degrades to duplicated work, never
+    /// to a wrong result or a crash.
+    pub fn try_claim(&self, key: &str) -> Claim {
+        let file = match OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.lock_path(key))
+        {
+            Ok(f) => f,
+            Err(_) => return Claim::Busy,
+        };
+        match file.try_lock() {
+            Ok(()) => {
+                // Breadcrumb for humans inspecting a shared cache; failure
+                // to write it is irrelevant to correctness.
+                let mut f = &file;
+                let _ = writeln!(f, "{}", std::process::id());
+                Claim::Owned(PointClaim { file })
+            }
+            Err(TryLockError::WouldBlock) => Claim::Busy,
+            Err(TryLockError::Error(_)) => Claim::Busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_is_exclusive_and_released_on_drop() {
+        let dir = std::env::temp_dir().join(format!("coop-lock-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let locks = CacheLocks::open(&dir).unwrap();
+        let first = locks.try_claim("deadbeef");
+        assert!(first.is_owned());
+        // A second handle to the same lock directory cannot claim the key.
+        let other = CacheLocks::open(&dir).unwrap();
+        assert!(!other.try_claim("deadbeef").is_owned());
+        // A different key is independent.
+        assert!(other.try_claim("cafef00d").is_owned());
+        // Dropping the claim frees the key.
+        drop(first);
+        assert!(other.try_claim("deadbeef").is_owned());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

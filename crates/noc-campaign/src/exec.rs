@@ -1,7 +1,23 @@
 //! Campaign executor: parallel, panic-isolated, cached, resumable.
+//!
+//! Two lifecycles share one point-level engine:
+//!
+//! * **batch** — [`run_campaign`] expands a spec, fans the unique points
+//!   out over worker threads and returns one [`CampaignReport`] (the
+//!   historical CLI shape);
+//! * **service** — a long-running owner (the `noc-daemon` scheduler) calls
+//!   [`execute_point`] one point at a time, interleaving points of many
+//!   campaigns, deferring [`ExecPoint::Busy`] points and re-polling later.
+//!
+//! With [`ExecOptions::cooperative`] set (or a [`CacheLocks`] handle passed
+//! to [`execute_point`]), executors in different threads *and different
+//! processes* shard one cache directory: each point is simulated by exactly
+//! one claim holder while everyone else steals other work and finally
+//! adopts the owner's cached result.
 
 use crate::agg::Aggregate;
 use crate::cache::ResultCache;
+use crate::coop::{CacheLocks, Claim, PointClaim};
 use crate::manifest::{CampaignManifest, PointRecord, VerifyBlock};
 use crate::spec::{CampaignSpec, PointSpec, Workload};
 use crate::CODE_VERSION;
@@ -12,12 +28,13 @@ use dxbar_noc::{
     run_splash, run_splash_verified, run_synthetic, run_synthetic_resilient,
     run_synthetic_resilient_verified, run_synthetic_verified, run_synthetic_with_faults, RunResult,
 };
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Executor knobs. Everything not in the spec itself: where the cache
 /// lives, how wide to fan out, and how chatty to be.
@@ -39,6 +56,11 @@ pub struct ExecOptions {
     /// results use a `+verify`-salted cache namespace so they never mix
     /// with unverified ones.
     pub verify: bool,
+    /// Claim each point through an advisory file lock in the cache
+    /// directory before simulating it, and steal other work while a sibling
+    /// executor (thread or separate process) holds a claim. Requires
+    /// `cache_dir`. See [`crate::coop`].
+    pub cooperative: bool,
 }
 
 impl Default for ExecOptions {
@@ -49,6 +71,7 @@ impl Default for ExecOptions {
             code_salt: CODE_VERSION.to_string(),
             progress: false,
             verify: verify_from_env(),
+            cooperative: false,
         }
     }
 }
@@ -57,14 +80,12 @@ impl Default for ExecOptions {
 pub use dxbar_noc::noc_verify::verify_from_env;
 
 impl ExecOptions {
-    /// Cache salt actually in effect: `+verify` keeps verified and
-    /// unverified results in disjoint cache namespaces.
-    fn effective_salt(&self) -> String {
-        if self.verify {
-            format!("{}+verify", self.code_salt)
-        } else {
-            self.code_salt.clone()
-        }
+    /// Cache salt actually in effect: verified runs live in the disjoint
+    /// namespace chosen by [`noc_verify::cache_namespace`]. Public so
+    /// service owners (the daemon's figure registry) can compute the same
+    /// point keys the executor will use.
+    pub fn cache_salt(&self) -> String {
+        dxbar_noc::noc_verify::cache_namespace(&self.code_salt, self.verify)
     }
 }
 
@@ -87,7 +108,22 @@ pub enum PointStatus {
     /// sibling point).
     Done(RunResult),
     /// Every attempt panicked; the campaign continued without this point.
-    Failed { reason: String },
+    Failed(PointFailure),
+}
+
+/// Everything a failed point's owner needs to reproduce it: the per-attempt
+/// panic payloads (not just "failed") plus the seed and a one-line repro
+/// descriptor. Serialized into the manifest and the daemon's job status.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointFailure {
+    /// Summary line ("panicked after N attempt(s): <last payload>").
+    pub reason: String,
+    /// Raw panic payload of every attempt, in order.
+    pub panics: Vec<String>,
+    /// Replicate seed of the failing point (repro handle).
+    pub seed: u64,
+    /// One-line point descriptor ("DXbar DOR UR@0.30 seed=0x...").
+    pub repro: String,
 }
 
 /// One point's outcome plus provenance.
@@ -115,7 +151,15 @@ impl PointOutcome {
     pub fn result(&self) -> Option<&RunResult> {
         match &self.status {
             PointStatus::Done(r) => Some(r),
-            PointStatus::Failed { .. } => None,
+            PointStatus::Failed(_) => None,
+        }
+    }
+
+    /// Failure detail when the point failed.
+    pub fn failure(&self) -> Option<&PointFailure> {
+        match &self.status {
+            PointStatus::Done(_) => None,
+            PointStatus::Failed(f) => Some(f),
         }
     }
 
@@ -222,10 +266,9 @@ impl CampaignReport {
                     link_fault_count: o.point.link_fault_count,
                     seed: o.point.seed,
                     status: if o.is_failed() { "failed" } else { "ok" }.to_string(),
-                    reason: match &o.status {
-                        PointStatus::Failed { reason } => reason.clone(),
-                        PointStatus::Done(_) => String::new(),
-                    },
+                    reason: o.failure().map_or(String::new(), |f| f.reason.clone()),
+                    panics: o.failure().map_or(Vec::new(), |f| f.panics.clone()),
+                    repro: o.failure().map_or(String::new(), |f| f.repro.clone()),
                     cache_hit: o.cache_hit,
                     deduped: o.deduped,
                     wall_ms: o.wall_ms,
@@ -379,7 +422,7 @@ fn run_campaign_inner(
 ) -> Result<CampaignReport, String> {
     spec.validate()?;
     let start = Instant::now();
-    let salt = opts.effective_salt();
+    let salt = opts.cache_salt();
     let points = spec.points();
     let n = points.len();
     let cache = match &opts.cache_dir {
@@ -388,6 +431,16 @@ fn run_campaign_inner(
                 .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
         ),
         None => None,
+    };
+    let locks = match (opts.cooperative, &cache) {
+        (false, _) => None,
+        (true, None) => {
+            return Err("cooperative execution requires a cache directory".to_string());
+        }
+        (true, Some(c)) => Some(
+            CacheLocks::open(c.dir())
+                .map_err(|e| format!("cannot open lock dir under {}: {e}", c.dir().display()))?,
+        ),
     };
 
     // In-run deduplication: identical points (same cache identity) are
@@ -435,22 +488,44 @@ fn run_campaign_inner(
         start,
     };
 
-    let next = AtomicUsize::new(0);
+    // Shared work queue: indices of unique points. A point found claimed by
+    // a sibling executor (cooperative mode) is pushed back and re-polled
+    // after other work — work-stealing over unclaimed points, with the
+    // claimed ones eventually adopted from the cache.
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(work.iter().copied().collect());
+    let outstanding = AtomicUsize::new(work.len());
     let collected: Mutex<Vec<(usize, PointOutcome)>> = Mutex::new(Vec::with_capacity(work.len()));
     let execute_worker = || {
         let mut local: Vec<(usize, PointOutcome)> = Vec::new();
         loop {
-            let w = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&idx) = work.get(w) else { break };
-            let outcome = run_one(
+            let Some(idx) = ({ queue.lock().unwrap().pop_front() }) else {
+                // Nothing dispatchable; other workers may still resolve
+                // points (or re-queue busy ones). Done when all resolved.
+                if outstanding.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            };
+            match execute_point(
                 &points[idx],
-                keys[idx].clone(),
+                &keys[idx],
                 cache.as_ref(),
+                locks.as_ref(),
                 spec.retry.max_retries,
                 runner,
-            );
-            progress.tick(&outcome);
-            local.push((idx, outcome));
+            ) {
+                ExecPoint::Done(outcome) => {
+                    progress.tick(&outcome);
+                    local.push((idx, outcome));
+                    outstanding.fetch_sub(1, Ordering::Release);
+                }
+                ExecPoint::Busy => {
+                    queue.lock().unwrap().push_back(idx);
+                    // The owner is mid-simulation; don't spin on its lock.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
         }
         collected.lock().unwrap().extend(local);
     };
@@ -529,30 +604,75 @@ fn jobs_from_env() -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
-fn run_one(
+/// Outcome of one [`execute_point`] call.
+// Same trade-off as `PointStatus`: `Done` is the overwhelmingly common
+// variant, so boxing it to shrink `Busy` would pessimize the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ExecPoint {
+    /// The point is resolved (simulated, served from the cache, or failed
+    /// terminally).
+    Done(PointOutcome),
+    /// Cooperative mode only: a sibling executor holds the point's claim.
+    /// Defer the point, do other work, and call again later — the sibling's
+    /// result will appear in the cache (or its claim will be released if it
+    /// dies, making the point runnable here).
+    Busy,
+}
+
+/// Execute (or adopt) exactly one point: the service-owned entry into the
+/// campaign engine. Probes the cache, takes the advisory claim when `locks`
+/// is given, runs the point under panic isolation with `max_retries`, and
+/// stores clean results back to the cache.
+///
+/// The batch executor ([`run_campaign`]) and the daemon's scheduler both
+/// drive their lifecycles through this one function, so caching, claiming
+/// and failure capture behave identically in both.
+pub fn execute_point(
     point: &PointSpec,
-    key: String,
+    key: &str,
     cache: Option<&ResultCache>,
+    locks: Option<&CacheLocks>,
     max_retries: u32,
     runner: &(dyn Fn(&PointSpec) -> (RunResult, Option<PointVerify>) + Sync),
-) -> PointOutcome {
+) -> ExecPoint {
     let t0 = Instant::now();
+    let cached_outcome = |result: RunResult, t0: Instant| PointOutcome {
+        point: point.clone(),
+        key: key.to_string(),
+        status: PointStatus::Done(result),
+        cache_hit: true,
+        deduped: false,
+        wall_ms: t0.elapsed().as_millis() as u64,
+        attempts: 0,
+        verify: None,
+    };
     if let Some(c) = cache {
         if let Some(result) = c.load(point) {
-            return PointOutcome {
-                point: point.clone(),
-                key,
-                status: PointStatus::Done(result),
-                cache_hit: true,
-                deduped: false,
-                wall_ms: t0.elapsed().as_millis() as u64,
-                attempts: 0,
-                verify: None,
-            };
+            return ExecPoint::Done(cached_outcome(result, t0));
         }
     }
+    // Claim the point before simulating it. Holding `_claim` for the rest
+    // of this call is what makes one shared cache directory shardable: no
+    // sibling will simulate this point while we do, and if we die the OS
+    // releases the claim so a sibling can.
+    let _claim: Option<PointClaim> = match locks {
+        Some(l) => match l.try_claim(key) {
+            Claim::Owned(c) => {
+                // The previous owner may have stored its result between our
+                // cache probe and this claim; adopt it instead of re-running.
+                if let Some(result) = cache.and_then(|c| c.load(point)) {
+                    return ExecPoint::Done(cached_outcome(result, t0));
+                }
+                Some(c)
+            }
+            Claim::Busy => return ExecPoint::Busy,
+        },
+        None => None,
+    };
     let mut attempts = 0u32;
     let mut verify = None;
+    let mut panics: Vec<String> = Vec::new();
     let status = loop {
         attempts += 1;
         match catch_unwind(AssertUnwindSafe(|| runner(point))) {
@@ -568,24 +688,31 @@ fn run_one(
             }
             Err(payload) => {
                 let reason = panic_message(payload.as_ref());
+                panics.push(reason);
                 if attempts > max_retries {
-                    break PointStatus::Failed {
-                        reason: format!("panicked after {attempts} attempt(s): {reason}"),
-                    };
+                    break PointStatus::Failed(PointFailure {
+                        reason: format!(
+                            "panicked after {attempts} attempt(s): {}",
+                            panics.last().map(String::as_str).unwrap_or("?")
+                        ),
+                        panics: std::mem::take(&mut panics),
+                        seed: point.seed,
+                        repro: point.describe(),
+                    });
                 }
             }
         }
     };
-    PointOutcome {
+    ExecPoint::Done(PointOutcome {
         point: point.clone(),
-        key,
+        key: key.to_string(),
         status,
         cache_hit: false,
         deduped: false,
         wall_ms: t0.elapsed().as_millis() as u64,
         attempts,
         verify,
-    }
+    })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -619,10 +746,7 @@ impl Progress<'_> {
                     "[campaign {}] FAILED {}: {}",
                     self.name,
                     outcome.point.describe(),
-                    match &outcome.status {
-                        PointStatus::Failed { reason } => reason.as_str(),
-                        PointStatus::Done(_) => unreachable!(),
-                    }
+                    outcome.failure().map_or("?", |f| f.reason.as_str()),
                 );
             }
         }

@@ -58,15 +58,17 @@
 
 pub mod agg;
 pub mod cache;
+pub mod coop;
 pub mod exec;
 pub mod manifest;
 pub mod spec;
 
-pub use agg::{Aggregate, MetricSummary};
+pub use agg::{render_table, Aggregate, MetricSummary};
 pub use cache::ResultCache;
+pub use coop::{CacheLocks, Claim, PointClaim};
 pub use exec::{
-    run_campaign, run_campaign_with, run_point, verify_from_env, CampaignReport, ExecOptions,
-    PointOutcome, PointStatus, PointVerify,
+    execute_point, run_campaign, run_campaign_with, run_point, run_point_verified, verify_from_env,
+    CampaignReport, ExecOptions, ExecPoint, PointFailure, PointOutcome, PointStatus, PointVerify,
 };
 pub use manifest::{CampaignManifest, PointRecord, VerifyBlock};
 pub use spec::{CampaignSpec, PointGroup, PointSpec, RetryPolicy, Workload, WorkloadAxis};

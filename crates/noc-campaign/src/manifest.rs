@@ -69,6 +69,12 @@ pub struct PointRecord {
     pub status: String,
     /// Panic message for failed points; empty otherwise.
     pub reason: String,
+    /// Raw panic payload of every attempt of a failed point, in attempt
+    /// order; empty for completed points.
+    pub panics: Vec<String>,
+    /// One-line repro descriptor (design, workload, fault axes, seed) for
+    /// failed points; empty otherwise.
+    pub repro: String,
     pub cache_hit: bool,
     /// Shared an identical sibling point's result within the same run.
     pub deduped: bool,
@@ -113,6 +119,8 @@ mod tests {
                 seed: 7,
                 status: "failed".into(),
                 reason: "panicked: boom".into(),
+                panics: vec!["boom".into(), "boom again".into()],
+                repro: "DXbar DOR UR@0.30 seed=0x7".into(),
                 cache_hit: false,
                 deduped: false,
                 wall_ms: 17,
@@ -124,6 +132,8 @@ mod tests {
         assert_eq!(back.campaign, "fig05");
         assert_eq!(back.points.len(), 1);
         assert_eq!(back.points[0].reason, "panicked: boom");
+        assert_eq!(back.points[0].panics, vec!["boom", "boom again"]);
+        assert_eq!(back.points[0].repro, "DXbar DOR UR@0.30 seed=0x7");
         assert_eq!(back.points[0].attempts, 2);
         assert_eq!(back.points[0].transient_rate, 1e-4);
         assert_eq!(back.points[0].link_fault_count, 2);

@@ -1,0 +1,163 @@
+//! Cooperative cache sharding: two executors racing on one cache
+//! directory must split the work — every point simulated exactly once
+//! across both — and still produce byte-identical aggregate tables.
+
+use dxbar_noc::noc_traffic::patterns::Pattern;
+use dxbar_noc::{Design, RunResult, SimConfig};
+use noc_campaign::{
+    render_table, run_campaign_with, CampaignSpec, ExecOptions, PointGroup, PointSpec,
+    WorkloadAxis, CODE_VERSION,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "noc-coop-test-{}-{tag}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 2 designs x 3 loads x 2 seeds = 12 unique points.
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("coop").with_group(PointGroup {
+        label: "coop".into(),
+        config: SimConfig {
+            width: 4,
+            height: 4,
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            drain_cycles: 100,
+            ..SimConfig::default()
+        },
+        designs: vec![Design::DXbarDor, Design::FlitBless],
+        workload: WorkloadAxis::Synthetic {
+            patterns: vec![Pattern::UniformRandom],
+            loads: vec![0.1, 0.2, 0.3],
+        },
+        fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
+        seeds: vec![1, 2],
+        tag: None,
+    })
+}
+
+fn fake_result(p: &PointSpec) -> RunResult {
+    RunResult {
+        design: p.design.name().into(),
+        traffic: p.workload.describe(),
+        offered_load: Some(p.workload.x()),
+        accepted_rate: p.workload.x() * 0.9,
+        accepted_fraction: p.workload.x() * 0.9,
+        avg_packet_latency: 10.0 + p.seed as f64,
+        avg_flit_latency: 10.0 + p.seed as f64,
+        avg_packet_energy_nj: 0.3,
+        energy: Default::default(),
+        accepted_packets: 100 + p.seed,
+        deflections_per_packet: 0.0,
+        drops_per_packet: 0.0,
+        buffered_fraction: 0.1,
+        max_source_latency: 20.0,
+        latency_spread: 1.2,
+        finish_cycle: None,
+        completed: true,
+        lost_flits: 0,
+        crc_rejects: 0,
+        ni_retransmits: 0,
+        avg_recovery_latency: 0.0,
+        stats: Default::default(),
+    }
+}
+
+fn coop_opts(dir: &Path) -> ExecOptions {
+    ExecOptions {
+        cache_dir: Some(dir.to_path_buf()),
+        jobs: Some(2),
+        code_salt: CODE_VERSION.into(),
+        progress: false,
+        verify: false,
+        cooperative: true,
+    }
+}
+
+#[test]
+fn racing_executors_share_one_cache_without_duplicate_work() {
+    let shared = scratch("race");
+    let spec = spec();
+    let unique = spec.points().len(); // all 12 points are distinct
+
+    // Count every runner invocation per cache key, across both executors.
+    let salt = coop_opts(&shared).cache_salt();
+    let calls: Mutex<HashMap<String, usize>> = Mutex::new(HashMap::new());
+    let runner = |p: &PointSpec| {
+        *calls.lock().unwrap().entry(p.cache_key(&salt)).or_insert(0) += 1;
+        // A sliver of wall time widens the race window so claims really
+        // contend (without it one executor can finish before the other
+        // even starts).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        fake_result(p)
+    };
+
+    let (ra, rb) = std::thread::scope(|s| {
+        let a = s.spawn(|| run_campaign_with(&spec, &coop_opts(&shared), &runner).unwrap());
+        let b = s.spawn(|| run_campaign_with(&spec, &coop_opts(&shared), &runner).unwrap());
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    // Zero duplicate computation: every key simulated exactly once across
+    // the two racing executors.
+    let calls = calls.into_inner().unwrap();
+    assert_eq!(calls.len(), unique, "every unique point simulated");
+    for (key, n) in &calls {
+        assert_eq!(*n, 1, "point {key} simulated {n} times");
+    }
+    assert_eq!(ra.cache_misses() + rb.cache_misses(), unique);
+    assert_eq!(ra.failed_count() + rb.failed_count(), 0);
+    // Everything not simulated locally was adopted from the sibling.
+    assert_eq!(ra.cache_hits() + rb.cache_hits(), unique);
+
+    // Byte-identical aggregates: both racing executors, and a fresh
+    // single-process baseline on its own cache, render the same table.
+    let baseline_dir = scratch("baseline");
+    let baseline = run_campaign_with(
+        &spec,
+        &ExecOptions {
+            cooperative: false,
+            cache_dir: Some(baseline_dir.clone()),
+            ..coop_opts(&baseline_dir)
+        },
+        &|p: &PointSpec| fake_result(p),
+    )
+    .unwrap();
+    let table_a = render_table(&ra.aggregates());
+    let table_b = render_table(&rb.aggregates());
+    let table_base = render_table(&baseline.aggregates());
+    assert_eq!(table_a, table_b);
+    assert_eq!(table_a, table_base);
+
+    let _ = std::fs::remove_dir_all(&shared);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+}
+
+#[test]
+fn cooperative_mode_requires_a_cache_dir() {
+    let err = run_campaign_with(
+        &spec(),
+        &ExecOptions {
+            cache_dir: None,
+            cooperative: true,
+            verify: false,
+            ..ExecOptions::default()
+        },
+        &|p: &PointSpec| fake_result(p),
+    )
+    .unwrap_err();
+    assert!(err.contains("cooperative"), "got: {err}");
+}

@@ -1,0 +1,113 @@
+//! `noc-daemon` — the always-on campaign service.
+//!
+//! ```text
+//! noc-daemon --state runs/daemon --cache runs/cache --workers 4
+//! noc-daemon --addr 127.0.0.1:7077 --drop runs/inbox --verify
+//! ```
+//!
+//! Start two daemons with the *same* `--cache` (and different `--state`
+//! and `--addr`) and they shard every submitted campaign cooperatively:
+//! each point is simulated by exactly one worker across both processes.
+//!
+//! SIGTERM/ctrl-c (or `POST /shutdown`) drains in-flight points, journals
+//! the queue under `--state`, and exits; restarting with the same
+//! `--state` resumes unfinished jobs with all completed points served
+//! from the cache.
+
+use noc_daemon::{signals, Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: noc-daemon [options]
+
+  --addr HOST:PORT   listen address (default 127.0.0.1:7077; port 0 = any)
+  --state DIR        journal + endpoint-file directory (default noc-daemon-state)
+  --cache DIR        shared result-cache directory (default <state>/cache;
+                     point several daemons here to shard work)
+  --drop DIR         watch DIR for dropped campaign-spec *.json files
+  --workers N        simulation worker threads (default 2)
+  --verify           verify submitted jobs by default (DXBAR_VERIFY also works)
+  --max-body BYTES   largest accepted HTTP body (default 1048576)
+  --help             this text
+";
+
+fn main() {
+    let mut cfg = DaemonConfig::default();
+    if dxbar_noc::noc_verify::verify_from_env() {
+        cfg.verify_default = true;
+    }
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs a {what}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("HOST:PORT"),
+            "--state" => cfg.state_dir = PathBuf::from(take("directory")),
+            "--cache" => cache_dir = Some(PathBuf::from(take("directory"))),
+            "--drop" => cfg.drop_dir = Some(PathBuf::from(take("directory"))),
+            "--workers" => {
+                cfg.workers = take("count").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers needs a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--verify" => cfg.verify_default = true,
+            "--max-body" => {
+                cfg.max_body = take("byte count").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-body needs a byte count\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.cache_dir = cache_dir.unwrap_or_else(|| cfg.state_dir.join("cache"));
+
+    let stop = signals::install();
+    let state_dir = cfg.state_dir.clone();
+    let handle = match Daemon::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("noc-daemon: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("noc-daemon listening on http://{}", handle.addr);
+    // Endpoint file: lets scripts discover a port-0 daemon's address.
+    let endpoint = state_dir.join("endpoint");
+    if let Err(e) = std::fs::write(&endpoint, format!("{}\n", handle.addr)) {
+        eprintln!(
+            "noc-daemon: warning: cannot write {}: {e}",
+            endpoint.display()
+        );
+    }
+
+    // Translate SIGINT/SIGTERM into the graceful drain; `POST /shutdown`
+    // sets draining directly.
+    let state = handle.state().clone();
+    std::thread::spawn(move || loop {
+        if stop.load(std::sync::atomic::Ordering::Acquire) {
+            state.begin_drain();
+            return;
+        }
+        if state.is_draining() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
+    handle.wait();
+}

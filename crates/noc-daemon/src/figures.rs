@@ -1,0 +1,143 @@
+//! Incremental figure regeneration over the shared result cache.
+//!
+//! Every paper figure is a fixed point set (its preset spec expanded under
+//! the daemon's default cache namespace). The registry tracks, per figure,
+//! whether any job completion has touched that point set since the last
+//! render; `GET /figures/<name>` re-renders lazily and only when dirty.
+//! Rendering never simulates — it reads whatever subset of the figure's
+//! points the cache already holds and reports the coverage, so a daemon
+//! that has only run `fig05` serves a complete fig05 table and a
+//! 0-coverage stub for the SPLASH figure.
+
+use noc_campaign::{render_table, Aggregate, PointOutcome, PointSpec, PointStatus, ResultCache};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Figures the daemon serves (preset names from `bench::specs`).
+pub const FIGURES: [&str; 7] = [
+    "fig05",
+    "fig06",
+    "fig07_08",
+    "fig09_10",
+    "fig11_12",
+    "ablations",
+    "resilience",
+];
+
+struct FigureEntry {
+    name: &'static str,
+    /// Expanded points, in spec order (drives aggregate ordering).
+    points: Vec<PointSpec>,
+    /// Cache keys of the points, for dirty intersection.
+    keyset: HashSet<String>,
+    dirty: bool,
+    rendered: Option<String>,
+}
+
+/// All figures plus their dirty state. One registry per daemon, bound to
+/// one cache namespace (the daemon's default verify choice) — jobs run in
+/// the other namespace simply never dirty a figure.
+pub struct FigureRegistry {
+    salt: String,
+    entries: Mutex<Vec<FigureEntry>>,
+}
+
+impl FigureRegistry {
+    /// Expand every figure preset under the given cache salt.
+    pub fn new(salt: String) -> FigureRegistry {
+        let entries = FIGURES
+            .iter()
+            .map(|&name| {
+                let spec = bench::specs::preset(name).expect("known preset");
+                let points = spec.points();
+                let keyset = points.iter().map(|p| p.cache_key(&salt)).collect();
+                FigureEntry {
+                    name,
+                    points,
+                    keyset,
+                    dirty: true,
+                    rendered: None,
+                }
+            })
+            .collect();
+        FigureRegistry {
+            salt,
+            entries: Mutex::new(entries),
+        }
+    }
+
+    pub fn salt(&self) -> &str {
+        &self.salt
+    }
+
+    /// A job finished and stored these keys: mark every figure whose point
+    /// set intersects the delta for re-render.
+    pub fn note_completed(&self, completed_keys: &HashSet<String>) {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter_mut() {
+            if !e.dirty && !e.keyset.is_disjoint(completed_keys) {
+                e.dirty = true;
+                e.rendered = None;
+            }
+        }
+    }
+
+    /// `(name, points, dirty, rendered)` summary rows for `GET /figures`.
+    pub fn list(&self) -> Vec<(String, usize, bool, bool)> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|e| {
+                (
+                    e.name.to_string(),
+                    e.points.len(),
+                    e.dirty,
+                    e.rendered.is_some(),
+                )
+            })
+            .collect()
+    }
+
+    /// Render one figure from the cache (lazily; a clean figure returns
+    /// the memoized text). `None` for unknown figure names.
+    pub fn render(&self, name: &str, cache: &ResultCache) -> Option<String> {
+        let mut entries = self.entries.lock().unwrap();
+        let e = entries.iter_mut().find(|e| e.name == name)?;
+        if !e.dirty {
+            if let Some(text) = &e.rendered {
+                return Some(text.clone());
+            }
+        }
+        let mut outcomes: Vec<PointOutcome> = Vec::new();
+        for p in &e.points {
+            let key = p.cache_key(&self.salt);
+            if let Some(result) = cache.load(p) {
+                outcomes.push(PointOutcome {
+                    point: p.clone(),
+                    key,
+                    status: PointStatus::Done(result),
+                    cache_hit: true,
+                    deduped: false,
+                    wall_ms: 0,
+                    attempts: 0,
+                    verify: None,
+                });
+            }
+        }
+        let mut text = format!(
+            "# figure {} — coverage {}/{} cached points (namespace {})\n",
+            e.name,
+            outcomes.len(),
+            e.points.len(),
+            self.salt,
+        );
+        if outcomes.is_empty() {
+            text.push_str("# no cached points yet — submit the preset as a job first\n");
+        } else {
+            text.push_str(&render_table(&Aggregate::collect(&outcomes)));
+        }
+        e.rendered = Some(text.clone());
+        e.dirty = false;
+        Some(text)
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimal hand-rolled HTTP/1.1 layer over `std::net` — no registry deps.
+//!
+//! Scope: exactly what the daemon's control plane needs. `GET`/`POST`/
+//! `DELETE` with `Content-Length` bodies, keep-alive and pipelining (the
+//! read loop simply parses the next request off the same buffered stream),
+//! bounded header and body sizes, and a tiny response writer. Chunked
+//! transfer encoding is rejected with `501`. Every parse failure maps to a
+//! status code and a clean connection close — never a panic: the server
+//! additionally wraps the route handler in `catch_unwind` so a handler bug
+//! degrades to a `500` response instead of a dead daemon.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw query string ("" when absent).
+    pub query: String,
+    pub body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// One response to serialize.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    pub fn json(status: u16, v: &Value) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: (v.to_json_pretty() + "\n").into_bytes(),
+        }
+    }
+
+    /// The standard error shape: `{"error": "..."}`.
+    pub fn error(status: u16, msg: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Value::Object(vec![("error".into(), Value::Str(msg.into()))]),
+        )
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Why request parsing stopped.
+enum ParseEnd {
+    /// A complete request was read.
+    Ok(Request),
+    /// Peer closed (or timed out) between requests — normal keep-alive end.
+    Eof,
+    /// Protocol error: answer with this response, then close.
+    Bad(Response),
+}
+
+fn read_line_limited(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseEnd> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Err(ParseEnd::Eof)
+                } else {
+                    Err(ParseEnd::Bad(Response::error(400, "truncated request")))
+                }
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(ParseEnd::Bad(Response::error(
+                        413,
+                        "request head too large",
+                    )));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(s) => Ok(s),
+                        Err(_) => Err(ParseEnd::Bad(Response::error(400, "non-UTF-8 header"))),
+                    };
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Err(ParseEnd::Eof),
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => return Err(ParseEnd::Eof),
+            Err(_) => return Err(ParseEnd::Eof),
+        }
+    }
+}
+
+fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd {
+    let mut budget = MAX_HEAD;
+    let request_line = match read_line_limited(reader, &mut budget) {
+        Ok(l) => l,
+        Err(end) => return end,
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return ParseEnd::Bad(Response::error(400, "malformed request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return ParseEnd::Bad(Response::error(400, "unsupported HTTP version"));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length: usize = 0;
+    let mut chunked = false;
+    loop {
+        let line = match read_line_limited(reader, &mut budget) {
+            Ok(l) => l,
+            Err(ParseEnd::Eof) => return ParseEnd::Bad(Response::error(400, "truncated headers")),
+            Err(end) => return end,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseEnd::Bad(Response::error(400, "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ParseEnd::Bad(Response::error(400, "bad Content-Length")),
+            },
+            "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => chunked = true,
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if chunked {
+        return ParseEnd::Bad(Response::error(501, "chunked bodies not supported"));
+    }
+    if content_length > max_body {
+        return ParseEnd::Bad(Response::error(
+            413,
+            format!("body exceeds {max_body} byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = reader.read_exact(&mut body) {
+            let _ = e;
+            return ParseEnd::Bad(Response::error(400, "truncated body"));
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    ParseEnd::Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// The route handler type: pure request → response.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+fn handle_connection(stream: TcpStream, handler: Handler, max_body: usize) {
+    // Bound how long an idle keep-alive connection can pin its thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        match parse_request(&mut reader, max_body) {
+            ParseEnd::Ok(req) => {
+                let resp = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+                    Ok(r) => r,
+                    Err(_) => Response::error(500, "internal handler panic"),
+                };
+                if resp.write_to(&mut stream, req.keep_alive).is_err() || !req.keep_alive {
+                    return;
+                }
+            }
+            ParseEnd::Eof => return,
+            ParseEnd::Bad(resp) => {
+                let _ = resp.write_to(&mut stream, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Accept loop: serves until `stop` turns true. The listener is polled
+/// non-blocking so shutdown is honoured within ~50 ms without platform
+/// magic. Each connection gets its own thread (control-plane traffic is
+/// low-rate; simulation work lives on the scheduler's worker threads).
+pub fn serve(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>, max_body: usize) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = stream.set_nonblocking(false);
+                let h = handler.clone();
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, h, max_body)
+                }));
+                conns.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    // Drain: let in-flight request handlers finish writing their responses.
+    for c in conns {
+        let _ = c.join();
+    }
+}

@@ -1,0 +1,583 @@
+//! # noc-daemon — the always-on campaign service
+//!
+//! Where `campaign_run` is a batch tool (expand → simulate → print →
+//! exit), this crate owns campaigns as long-lived **jobs**:
+//!
+//! * an HTTP/1.1 control plane ([`http`], hand-rolled over `std::net`)
+//!   accepts [`noc_campaign::CampaignSpec`] JSON (or a preset name) on
+//!   `POST /jobs` and serves status, progress/ETA, aggregated results and
+//!   rendered figure text on `GET` endpoints;
+//! * a priority queue ([`queue`]) lets small interactive jobs preempt big
+//!   sweeps *between points* — no point is ever aborted, but the next free
+//!   worker always serves the most urgent job;
+//! * worker threads ([`scheduler`]) drive the campaign engine one point at
+//!   a time through [`noc_campaign::execute_point`], claiming each point
+//!   with an advisory file lock in the shared cache directory — several
+//!   daemon processes pointed at one cache shard a sweep with zero
+//!   duplicate computation (cooperative cache sharding, see
+//!   `noc_campaign::coop`);
+//! * the queue is journaled ([`queue::Journal`]): SIGTERM/ctrl-c drains
+//!   in-flight points and persists the queue, and a restarted daemon
+//!   resumes unfinished jobs, re-using every already-cached point;
+//! * figure text ([`figures`]) is regenerated incrementally — a finished
+//!   job marks exactly the figures whose point sets its cache delta
+//!   touches.
+//!
+//! A spec-drop directory is watched as a second ingestion path: drop a
+//! `*.json` campaign spec into it and the daemon queues it as a job.
+
+pub mod api;
+pub mod figures;
+pub mod http;
+pub mod queue;
+pub mod scheduler;
+pub mod signals;
+
+use crate::figures::FigureRegistry;
+use crate::queue::{Job, JobId, JobState, Journal, Priority};
+use dxbar_noc::noc_verify::cache_namespace;
+use noc_campaign::{CacheLocks, CampaignSpec, ResultCache, CODE_VERSION};
+use serde::{Serialize, Value};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything a daemon instance needs to know at startup.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Journal + endpoint file directory.
+    pub state_dir: PathBuf,
+    /// Shared content-addressed result cache (may be shared with other
+    /// daemon processes and with `campaign_run --coop`).
+    pub cache_dir: PathBuf,
+    /// Optional spec-drop directory to watch for `*.json` campaign specs.
+    pub drop_dir: Option<PathBuf>,
+    /// Worker threads simulating points.
+    pub workers: usize,
+    /// Default verify mode for jobs that do not choose (`"verify"` field).
+    pub verify_default: bool,
+    /// Largest accepted HTTP request body in bytes.
+    pub max_body: usize,
+    /// Code-version cache salt (tests override; production uses
+    /// [`noc_campaign::CODE_VERSION`]).
+    pub code_salt: String,
+    /// Spec-drop directory poll interval.
+    pub drop_poll_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:7077".into(),
+            state_dir: PathBuf::from("noc-daemon-state"),
+            cache_dir: PathBuf::from("noc-daemon-state/cache"),
+            drop_dir: None,
+            workers: 2,
+            verify_default: false,
+            max_body: 1024 * 1024,
+            code_salt: CODE_VERSION.to_string(),
+            drop_poll_ms: 500,
+        }
+    }
+}
+
+/// Mutable daemon state behind the one mutex.
+pub(crate) struct Inner {
+    pub jobs: Vec<Job>,
+    pub next_id: JobId,
+    pub seq: u64,
+    /// Spec-drop files already ingested (by file name).
+    pub drop_seen: Vec<String>,
+}
+
+/// Shared state of one daemon instance.
+pub struct DaemonState {
+    pub(crate) cfg: DaemonConfig,
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) cv: Condvar,
+    draining: AtomicBool,
+    pub(crate) journal: Journal,
+    pub(crate) locks: CacheLocks,
+    cache_plain: ResultCache,
+    cache_verified: ResultCache,
+    pub(crate) figures: FigureRegistry,
+    started: Instant,
+}
+
+impl DaemonState {
+    /// Open caches/locks/journal and restore the queue.
+    pub fn new(cfg: DaemonConfig) -> std::io::Result<Arc<DaemonState>> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        if let Some(d) = &cfg.drop_dir {
+            std::fs::create_dir_all(d)?;
+        }
+        let cache_plain =
+            ResultCache::open(&cfg.cache_dir, cache_namespace(&cfg.code_salt, false))?;
+        let cache_verified =
+            ResultCache::open(&cfg.cache_dir, cache_namespace(&cfg.code_salt, true))?;
+        let locks = CacheLocks::open(&cfg.cache_dir)?;
+        let journal = Journal::new(&cfg.state_dir);
+        let (mut jobs, next_id, seq, drop_seen) = journal.load(&cfg.code_salt);
+        // Re-number submission order for resumed jobs (journal order is
+        // submission order).
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.seq = i as u64;
+        }
+        let seq = seq.max(jobs.len() as u64);
+        let resumed = jobs.iter().filter(|j| !j.state.is_terminal()).count();
+        if resumed > 0 {
+            eprintln!(
+                "[daemon] resuming {resumed} unfinished job(s) from {}",
+                journal.path().display()
+            );
+        }
+        let figures = FigureRegistry::new(cache_namespace(&cfg.code_salt, cfg.verify_default));
+        Ok(Arc::new(DaemonState {
+            inner: Mutex::new(Inner {
+                jobs,
+                next_id: next_id.max(1),
+                seq,
+                drop_seen,
+            }),
+            cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            journal,
+            locks,
+            cache_plain,
+            cache_verified,
+            figures,
+            started: Instant::now(),
+            cfg,
+        }))
+    }
+
+    pub(crate) fn cache_for(&self, verify: bool) -> &ResultCache {
+        if verify {
+            &self.cache_verified
+        } else {
+            &self.cache_plain
+        }
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Start the graceful drain: workers finish their in-flight points and
+    /// exit; the queue is journaled by [`DaemonHandle::wait`].
+    pub fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            eprintln!("[daemon] draining: finishing in-flight points, journaling the queue");
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn persist_locked(&self, inner: &Inner) {
+        self.journal
+            .store(&inner.jobs, inner.next_id, inner.seq, &inner.drop_seen);
+    }
+
+    /// Queue a new job. Returns the acceptance record served as the `202`
+    /// body. Errors: `409` while draining, `400` for an invalid spec.
+    pub fn submit(
+        &self,
+        spec: CampaignSpec,
+        name: Option<String>,
+        priority: Option<Priority>,
+        verify: bool,
+        source: String,
+    ) -> Result<Value, (u16, String)> {
+        if self.is_draining() {
+            return Err((409, "daemon is draining; not accepting jobs".into()));
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        let seq = inner.seq;
+        let name = name.unwrap_or_else(|| spec.name.clone());
+        let job = Job::new(
+            id,
+            seq,
+            name,
+            spec,
+            priority,
+            verify,
+            source,
+            &self.cfg.code_salt,
+        )
+        .map_err(|e| (400, e))?;
+        inner.next_id += 1;
+        inner.seq += 1;
+        let accepted = Value::Object(vec![
+            ("job".into(), Value::U64(job.id)),
+            ("name".into(), Value::Str(job.name.clone())),
+            ("state".into(), Value::Str(job.state.name().into())),
+            ("priority".into(), Value::Str(job.priority.name().into())),
+            ("verify".into(), Value::Bool(job.verify)),
+            ("salt".into(), Value::Str(job.salt.clone())),
+            ("points".into(), Value::U64(job.points.len() as u64)),
+            ("unique_points".into(), Value::U64(job.unique as u64)),
+        ]);
+        eprintln!(
+            "[daemon] job {} ({}) queued: {} points ({} unique), {}, verify={}, from {}",
+            job.id,
+            job.name,
+            job.points.len(),
+            job.unique,
+            job.priority.name(),
+            job.verify,
+            job.source,
+        );
+        inner.jobs.push(job);
+        self.persist_locked(&inner);
+        drop(inner);
+        self.cv.notify_all();
+        Ok(accepted)
+    }
+
+    /// Cancel a queued or running job. In-flight points finish (they are
+    /// useful cache entries); everything else is dropped.
+    pub fn cancel(&self, id: JobId) -> Result<Value, (u16, String)> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.iter_mut().find(|j| j.id == id) else {
+            return Err((404, format!("no job {id}")));
+        };
+        if job.state.is_terminal() {
+            return Err((409, format!("job {id} is already {}", job.state.name())));
+        }
+        job.state = JobState::Cancelled;
+        job.ready.clear();
+        job.deferred.clear();
+        let v = job_to_value(job);
+        self.persist_locked(&inner);
+        drop(inner);
+        self.cv.notify_all();
+        Ok(v)
+    }
+
+    // ---- status views (the GET endpoints' bodies) ----
+
+    pub fn health_value(&self) -> Value {
+        let inner = self.inner.lock().unwrap();
+        let active = inner.jobs.iter().filter(|j| !j.state.is_terminal()).count();
+        Value::Object(vec![
+            (
+                "status".into(),
+                Value::Str(if self.is_draining() { "draining" } else { "ok" }.into()),
+            ),
+            (
+                "uptime_ms".into(),
+                Value::U64(self.started.elapsed().as_millis() as u64),
+            ),
+            ("workers".into(), Value::U64(self.cfg.workers as u64)),
+            ("jobs".into(), Value::U64(inner.jobs.len() as u64)),
+            ("active_jobs".into(), Value::U64(active as u64)),
+            (
+                "cache_dir".into(),
+                Value::Str(self.cfg.cache_dir.display().to_string()),
+            ),
+            (
+                "cached_results".into(),
+                Value::U64(self.cache_plain.len() as u64),
+            ),
+            ("pid".into(), Value::U64(std::process::id() as u64)),
+        ])
+    }
+
+    pub fn presets_value(&self) -> Value {
+        let rows = bench::specs::PRESETS
+            .iter()
+            .map(|&name| {
+                let spec = bench::specs::preset(name).expect("known preset");
+                Value::Object(vec![
+                    ("name".into(), Value::Str(name.into())),
+                    ("groups".into(), Value::U64(spec.groups.len() as u64)),
+                    ("points".into(), Value::U64(spec.points().len() as u64)),
+                ])
+            })
+            .collect();
+        Value::Array(rows)
+    }
+
+    pub fn jobs_value(&self) -> Value {
+        let inner = self.inner.lock().unwrap();
+        Value::Array(inner.jobs.iter().map(job_brief).collect())
+    }
+
+    pub fn job_value(&self, id: JobId) -> Option<Value> {
+        let inner = self.inner.lock().unwrap();
+        inner.jobs.iter().find(|j| j.id == id).map(job_to_value)
+    }
+
+    /// Rendered aggregate table of a finished job (`render_table` — byte-
+    /// identical to `campaign_run`'s output for the same spec).
+    pub fn job_results(&self, id: JobId) -> Result<String, (u16, String)> {
+        let inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.iter().find(|j| j.id == id) else {
+            return Err((404, format!("no job {id}")));
+        };
+        if !job.state.is_terminal() {
+            return Err((
+                409,
+                format!(
+                    "job {id} is {} ({}/{} unique points)",
+                    job.state.name(),
+                    job.resolved,
+                    job.unique
+                ),
+            ));
+        }
+        job.results_text.clone().ok_or((
+            409,
+            format!("job {id} has no results ({})", job.state.name()),
+        ))
+    }
+
+    pub fn job_manifest(&self, id: JobId) -> Result<String, (u16, String)> {
+        let inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.iter().find(|j| j.id == id) else {
+            return Err((404, format!("no job {id}")));
+        };
+        if !job.state.is_terminal() {
+            return Err((409, format!("job {id} is {}", job.state.name())));
+        }
+        job.manifest_json.clone().ok_or((
+            409,
+            format!("job {id}'s manifest was not retained across a restart"),
+        ))
+    }
+
+    pub fn figures_value(&self) -> Value {
+        let rows = self
+            .figures
+            .list()
+            .into_iter()
+            .map(|(name, points, dirty, rendered)| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(name)),
+                    ("points".into(), Value::U64(points as u64)),
+                    ("dirty".into(), Value::Bool(dirty)),
+                    ("rendered".into(), Value::Bool(rendered)),
+                ])
+            })
+            .collect();
+        Value::Array(rows)
+    }
+
+    pub fn figure_text(&self, name: &str) -> Option<String> {
+        self.figures
+            .render(name, self.cache_for(self.cfg.verify_default))
+    }
+}
+
+/// Compact row for `GET /jobs`.
+fn job_brief(j: &Job) -> Value {
+    Value::Object(vec![
+        ("id".into(), Value::U64(j.id)),
+        ("name".into(), Value::Str(j.name.clone())),
+        ("state".into(), Value::Str(j.state.name().into())),
+        ("priority".into(), Value::Str(j.priority.name().into())),
+        ("verify".into(), Value::Bool(j.verify)),
+        ("progress".into(), Value::F64(j.progress())),
+        (
+            "points".into(),
+            Value::U64(if j.points.is_empty() {
+                j.summary.total_points as u64
+            } else {
+                j.points.len() as u64
+            }),
+        ),
+    ])
+}
+
+/// Full job view for `GET /jobs/<id>`.
+fn job_to_value(j: &Job) -> Value {
+    let mut fields = vec![
+        ("id".into(), Value::U64(j.id)),
+        ("name".into(), Value::Str(j.name.clone())),
+        ("state".into(), Value::Str(j.state.name().into())),
+        ("priority".into(), Value::Str(j.priority.name().into())),
+        ("verify".into(), Value::Bool(j.verify)),
+        ("salt".into(), Value::Str(j.salt.clone())),
+        ("source".into(), Value::Str(j.source.clone())),
+        ("submitted_unix_ms".into(), Value::U64(j.submitted_unix_ms)),
+        (
+            "total_points".into(),
+            Value::U64(if j.points.is_empty() {
+                j.summary.total_points as u64
+            } else {
+                j.points.len() as u64
+            }),
+        ),
+        ("unique_points".into(), Value::U64(j.unique as u64)),
+        ("resolved".into(), Value::U64(j.resolved as u64)),
+        ("in_flight".into(), Value::U64(j.in_flight as u64)),
+        ("deferred".into(), Value::U64(j.deferred.len() as u64)),
+        ("progress".into(), Value::F64(j.progress())),
+        ("eta_ms".into(), j.eta_ms().map_or(Value::Null, Value::U64)),
+        (
+            "cache_hits_so_far".into(),
+            Value::U64(j.outcomes.iter().flatten().filter(|o| o.cache_hit).count() as u64),
+        ),
+        (
+            "results_available".into(),
+            Value::Bool(j.results_text.is_some()),
+        ),
+    ];
+    if j.state.is_terminal() {
+        fields.push(("summary".into(), j.summary.to_value()));
+    }
+    Value::Object(fields)
+}
+
+/// A started daemon: listener address plus the threads to join.
+pub struct DaemonHandle {
+    pub addr: SocketAddr,
+    state: Arc<DaemonState>,
+    http_stop: Arc<AtomicBool>,
+    http: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    pub fn state(&self) -> &Arc<DaemonState> {
+        &self.state
+    }
+
+    pub fn begin_drain(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Block until the daemon is drained: workers exit after their
+    /// in-flight points (once [`DaemonState::begin_drain`] fires), then the
+    /// queue is journaled and the control plane stops.
+    pub fn wait(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        {
+            let inner = self.state.inner.lock().unwrap();
+            self.state.persist_locked(&inner);
+        }
+        self.http_stop.store(true, Ordering::Release);
+        if let Some(h) = self.http.take() {
+            let _ = h.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+        eprintln!(
+            "[daemon] stopped (queue journaled to {})",
+            self.state.journal.path().display()
+        );
+    }
+}
+
+/// Daemon entry point.
+pub struct Daemon;
+
+impl Daemon {
+    /// Bind, restore the journal, and start workers + control plane +
+    /// spec-drop watcher. Returns once everything is running.
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = DaemonState::new(cfg)?;
+        let http_stop = Arc::new(AtomicBool::new(false));
+        let handler = api::handler(state.clone());
+        let max_body = state.cfg.max_body;
+        let hs = http_stop.clone();
+        let http = std::thread::Builder::new()
+            .name("noc-daemon-http".into())
+            .spawn(move || http::serve(listener, handler, hs, max_body))?;
+        let mut workers = Vec::new();
+        for i in 0..state.cfg.workers.max(1) {
+            let s = state.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("noc-daemon-worker-{i}"))
+                    .spawn(move || s.worker_loop())?,
+            );
+        }
+        let watcher = match state.cfg.drop_dir.clone() {
+            Some(dir) => {
+                let s = state.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("noc-daemon-drop-watcher".into())
+                        .spawn(move || drop_watcher(&s, &dir))?,
+                )
+            }
+            None => None,
+        };
+        Ok(DaemonHandle {
+            addr,
+            state,
+            http_stop,
+            http: Some(http),
+            workers,
+            watcher,
+        })
+    }
+}
+
+/// Poll the spec-drop directory for new `*.json` campaign specs. A file is
+/// ingested once it has been quiet for at least one poll interval (so a
+/// spec still being written is not half-read), and remembered by name so a
+/// restart does not resubmit it.
+fn drop_watcher(state: &Arc<DaemonState>, dir: &Path) {
+    let poll = Duration::from_millis(state.cfg.drop_poll_ms.max(50));
+    while !state.is_draining() {
+        let entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for path in entries {
+            let Some(fname) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            if state.inner.lock().unwrap().drop_seen.contains(&fname) {
+                continue;
+            }
+            // Require one quiet poll interval before reading.
+            let settled = path
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= poll);
+            if !settled {
+                continue;
+            }
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[daemon] drop: cannot read {}: {e}", path.display());
+                    continue;
+                }
+            };
+            state.inner.lock().unwrap().drop_seen.push(fname.clone());
+            match CampaignSpec::from_json(&text) {
+                Ok(spec) => {
+                    let verify = state.cfg.verify_default;
+                    if let Err((_, e)) =
+                        state.submit(spec, None, None, verify, format!("drop:{fname}"))
+                    {
+                        eprintln!("[daemon] drop: {fname} rejected: {e}");
+                    }
+                }
+                Err(e) => eprintln!("[daemon] drop: {fname} is not a campaign spec: {e}"),
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}

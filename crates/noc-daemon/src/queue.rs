@@ -1,0 +1,411 @@
+//! Job model and the on-disk queue journal.
+//!
+//! A **job** is one submitted campaign: its spec, its expanded points, and
+//! the scheduling state the workers drain point by point. The journal is
+//! the crash-safety half of the queue: every submission and every terminal
+//! state transition is persisted (atomic tmp + rename), so a daemon killed
+//! at any moment restarts with the same queue. Per-point progress is
+//! deliberately *not* journaled — the content-addressed result cache
+//! already records exactly which points are done, so a resumed job's
+//! completed points come back as cache hits and only the remainder
+//! simulates again.
+
+use dxbar_noc::noc_verify::cache_namespace;
+use noc_campaign::{CampaignSpec, PointFailure, PointOutcome, PointSpec};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+pub type JobId = u64;
+
+/// Scheduling class. `Interactive` jobs preempt `Batch` jobs *between
+/// points*: the next free worker always serves the oldest interactive job
+/// with runnable points before touching any batch sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    Interactive,
+    Batch,
+}
+
+impl Priority {
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// Default class when the submitter does not choose: small jobs are
+    /// interactive, big sweeps are batch.
+    pub fn auto(unique_points: usize) -> Priority {
+        if unique_points <= 64 {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        }
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Headline numbers of a finished (or restarted) job — everything the
+/// status endpoint needs without the full outcome vector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobSummary {
+    pub total_points: usize,
+    pub completed: usize,
+    pub failed: usize,
+    pub cache_hits: usize,
+    /// Points this daemon actually simulated (not cached, not deduped).
+    pub simulated: usize,
+    pub violations: u64,
+    pub checks: u64,
+    pub wall_ms: u64,
+    /// Failure detail per failed point (panic payloads + repro handle).
+    pub failures: Vec<PointFailure>,
+}
+
+/// One submitted campaign and its scheduling state.
+#[derive(Debug)]
+pub struct Job {
+    pub id: JobId,
+    pub name: String,
+    pub priority: Priority,
+    pub verify: bool,
+    /// Where the job came from ("http", "drop:<file>", "journal").
+    pub source: String,
+    pub spec: CampaignSpec,
+    pub state: JobState,
+    /// Submission order tiebreak within a priority class.
+    pub seq: u64,
+    /// Cache salt of this job (per-job verify namespacing).
+    pub salt: String,
+
+    // -- expansion (empty for terminal jobs restored from the journal) --
+    pub points: Vec<PointSpec>,
+    pub keys: Vec<String>,
+    /// In-run dedup: duplicate point index -> index of its original.
+    pub share_from: Vec<Option<usize>>,
+    /// Number of unique points (the work the scheduler dispatches).
+    pub unique: usize,
+
+    // -- scheduling --
+    /// Unique point indices not yet dispatched.
+    pub ready: VecDeque<usize>,
+    /// Points found claimed by a sibling worker, with their retry time.
+    pub deferred: VecDeque<(usize, Instant)>,
+    pub in_flight: usize,
+    /// Unique points resolved (simulated, cached, or failed).
+    pub resolved: usize,
+
+    // -- results --
+    pub outcomes: Vec<Option<PointOutcome>>,
+    pub started: Option<Instant>,
+    pub submitted_unix_ms: u64,
+    pub summary: JobSummary,
+    /// Rendered aggregate table (terminal jobs only; survives restart).
+    pub results_text: Option<String>,
+    /// Full provenance manifest JSON (terminal jobs only; not journaled).
+    pub manifest_json: Option<String>,
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Job {
+    /// Expand a spec into a schedulable job. `code_salt` is the campaign
+    /// engine's code version; the job's effective cache namespace also
+    /// folds in its own `verify` choice.
+    // Every argument is a distinct submission attribute; bundling them in
+    // an options struct would just move the field list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: JobId,
+        seq: u64,
+        name: String,
+        spec: CampaignSpec,
+        priority: Option<Priority>,
+        verify: bool,
+        source: String,
+        code_salt: &str,
+    ) -> Result<Job, String> {
+        spec.validate()?;
+        let salt = cache_namespace(code_salt, verify);
+        let points = spec.points();
+        let keys: Vec<String> = points.iter().map(|p| p.cache_key(&salt)).collect();
+        // In-run dedup, exactly as the batch executor does it: identical
+        // points are dispatched once and the outcome shared at finalize.
+        let mut first_of: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut share_from: Vec<Option<usize>> = vec![None; points.len()];
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        for (i, key) in keys.iter().enumerate() {
+            match first_of.get(key.as_str()) {
+                Some(&orig) => share_from[i] = Some(orig),
+                None => {
+                    first_of.insert(key, i);
+                    ready.push_back(i);
+                }
+            }
+        }
+        let unique = ready.len();
+        let n = points.len();
+        Ok(Job {
+            id,
+            seq,
+            name,
+            priority: priority.unwrap_or_else(|| Priority::auto(unique)),
+            verify,
+            source,
+            spec,
+            state: JobState::Queued,
+            salt,
+            points,
+            keys,
+            share_from,
+            unique,
+            ready,
+            deferred: VecDeque::new(),
+            in_flight: 0,
+            resolved: 0,
+            outcomes: vec![None; n],
+            started: None,
+            submitted_unix_ms: unix_ms(),
+            summary: JobSummary::default(),
+            results_text: None,
+            manifest_json: None,
+        })
+    }
+
+    /// Whether the scheduler still owes this job work.
+    pub fn is_runnable(&self) -> bool {
+        matches!(self.state, JobState::Queued | JobState::Running)
+            && (!self.ready.is_empty() || !self.deferred.is_empty())
+    }
+
+    /// All unique work is resolved and nothing is in flight.
+    pub fn is_drained(&self) -> bool {
+        self.resolved >= self.unique
+            && self.in_flight == 0
+            && self.ready.is_empty()
+            && self.deferred.is_empty()
+    }
+
+    /// Progress fraction over unique points.
+    pub fn progress(&self) -> f64 {
+        if self.unique == 0 {
+            1.0
+        } else {
+            self.resolved as f64 / self.unique as f64
+        }
+    }
+
+    /// Naive elapsed-rate ETA in milliseconds (None before any progress).
+    pub fn eta_ms(&self) -> Option<u64> {
+        let started = self.started?;
+        if self.resolved == 0 || self.resolved >= self.unique {
+            return None;
+        }
+        let elapsed = started.elapsed().as_millis() as f64;
+        let rate = self.resolved as f64 / elapsed.max(1.0);
+        Some(((self.unique - self.resolved) as f64 / rate) as u64)
+    }
+}
+
+/// The serializable journal: queue + terminal-job records.
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    pub fn new(state_dir: &Path) -> Journal {
+        Journal {
+            path: state_dir.join("journal.json"),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persist the queue. Terminal jobs keep their summary and rendered
+    /// results; live jobs keep their spec so a restart re-expands and
+    /// resumes them (completed points return as cache hits).
+    pub fn store(&self, jobs: &[Job], next_id: JobId, seq: u64, drop_seen: &[String]) {
+        let jobs_v: Vec<Value> = jobs
+            .iter()
+            .map(|j| {
+                let mut fields = vec![
+                    ("id".into(), Value::U64(j.id)),
+                    ("name".into(), Value::Str(j.name.clone())),
+                    ("priority".into(), Value::Str(j.priority.name().into())),
+                    ("verify".into(), Value::Bool(j.verify)),
+                    ("source".into(), Value::Str(j.source.clone())),
+                    ("state".into(), Value::Str(j.state.name().into())),
+                    ("submitted_unix_ms".into(), Value::U64(j.submitted_unix_ms)),
+                    ("spec".into(), j.spec.to_value()),
+                ];
+                if j.state.is_terminal() {
+                    fields.push(("summary".into(), j.summary.to_value()));
+                    if let Some(t) = &j.results_text {
+                        fields.push(("results_text".into(), Value::Str(t.clone())));
+                    }
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let root = Value::Object(vec![
+            ("version".into(), Value::U64(1)),
+            ("next_id".into(), Value::U64(next_id)),
+            ("seq".into(), Value::U64(seq)),
+            (
+                "drop_seen".into(),
+                Value::Array(drop_seen.iter().cloned().map(Value::Str).collect()),
+            ),
+            ("jobs".into(), Value::Array(jobs_v)),
+        ]);
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        let write = std::fs::write(&tmp, root.to_json_pretty())
+            .and_then(|()| std::fs::rename(&tmp, &self.path));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!(
+                "[daemon] warning: failed to persist journal {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Restore the queue. Live jobs (queued/running at crash or shutdown)
+    /// come back `Queued` with a fresh expansion; terminal jobs come back
+    /// as summary-only records. Unreadable journals start an empty queue —
+    /// the daemon must come up even if its state was corrupted.
+    pub fn load(&self, code_salt: &str) -> (Vec<Job>, JobId, u64, Vec<String>) {
+        let fallback = (Vec::new(), 1, 0, Vec::new());
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return fallback;
+        };
+        let Ok(root) = serde_json::parse(&text) else {
+            eprintln!(
+                "[daemon] warning: corrupt journal {} ignored",
+                self.path.display()
+            );
+            return fallback;
+        };
+        let next_id = root.field("next_id").as_u64().unwrap_or(1);
+        let seq = root.field("seq").as_u64().unwrap_or(0);
+        let drop_seen: Vec<String> = root
+            .field("drop_seen")
+            .as_array()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.as_str().map(String::from))
+            .collect();
+        let mut jobs = Vec::new();
+        for jv in root.field("jobs").as_array().unwrap_or(&[]) {
+            let Some(job) = Self::load_job(jv, code_salt) else {
+                continue;
+            };
+            jobs.push(job);
+        }
+        (jobs, next_id, seq, drop_seen)
+    }
+
+    fn load_job(jv: &Value, code_salt: &str) -> Option<Job> {
+        let id = jv.field("id").as_u64()?;
+        let name = jv.field("name").as_str()?.to_string();
+        let priority = Priority::parse(jv.field("priority").as_str()?)?;
+        let verify = jv.field("verify").as_bool().unwrap_or(false);
+        let source = jv.field("source").as_str().unwrap_or("journal").to_string();
+        let state = JobState::parse(jv.field("state").as_str()?)?;
+        let submitted = jv.field("submitted_unix_ms").as_u64().unwrap_or(0);
+        let spec = CampaignSpec::from_value(jv.field("spec")).ok()?;
+        if state.is_terminal() {
+            // Summary-only record; points are not re-expanded.
+            let summary = JobSummary::from_value(jv.field("summary")).unwrap_or_default();
+            let results_text = jv.field("results_text").as_str().map(String::from);
+            return Some(Job {
+                id,
+                seq: 0,
+                name,
+                priority,
+                verify,
+                source,
+                salt: cache_namespace(code_salt, verify),
+                spec,
+                state,
+                points: Vec::new(),
+                keys: Vec::new(),
+                share_from: Vec::new(),
+                unique: 0,
+                ready: VecDeque::new(),
+                deferred: VecDeque::new(),
+                in_flight: 0,
+                resolved: 0,
+                outcomes: Vec::new(),
+                started: None,
+                submitted_unix_ms: submitted,
+                summary,
+                results_text,
+                manifest_json: None,
+            });
+        }
+        // Live job: re-expand and resume from the cache.
+        let mut job =
+            Job::new(id, 0, name, spec, Some(priority), verify, source, code_salt).ok()?;
+        job.submitted_unix_ms = submitted;
+        Some(job)
+    }
+}

@@ -1,0 +1,258 @@
+//! The worker side of the daemon: dispatching points out of the priority
+//! queue and folding their outcomes back into jobs.
+//!
+//! Workers are plain threads looping on [`DaemonState::next_task`] →
+//! [`execute_point`] → [`DaemonState::finish_point`]. The scheduling
+//! policy lives entirely in `next_task`:
+//!
+//! * **priority between points** — the next free worker always serves the
+//!   oldest `Interactive` job with dispatchable work before any `Batch`
+//!   job, so a small smoke job submitted mid-sweep starts within one point
+//!   duration;
+//! * **work stealing** — a point whose advisory claim is held by a sibling
+//!   worker (possibly in another process sharing the cache) comes back
+//!   [`ExecPoint::Busy`] and is deferred for a few hundred milliseconds
+//!   while the worker takes other work; when the deferral ripens the point
+//!   is usually a cache hit on the sibling's stored result;
+//! * **graceful drain** — once draining is set, `next_task` returns `None`
+//!   and workers exit after their in-flight point, leaving the queue to
+//!   the journal.
+
+use crate::queue::{JobId, JobState};
+use crate::DaemonState;
+use noc_campaign::{
+    execute_point, run_point, run_point_verified, CampaignReport, ExecPoint, PointOutcome,
+    PointSpec,
+};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// How long a Busy (sibling-claimed) point waits before being re-polled.
+const BUSY_RETRY: Duration = Duration::from_millis(300);
+
+/// Idle wait between queue polls when nothing is dispatchable.
+const IDLE_WAIT: Duration = Duration::from_millis(100);
+
+/// One dispatched unit of work: a cloned point plus its routing info, so
+/// the worker holds no lock while simulating.
+pub struct PointTask {
+    pub job: JobId,
+    pub idx: usize,
+    pub point: PointSpec,
+    pub key: String,
+    pub verify: bool,
+    pub retries: u32,
+}
+
+impl DaemonState {
+    /// Worker thread body: drain the queue until shutdown.
+    pub fn worker_loop(&self) {
+        while let Some(task) = self.next_task() {
+            let cache = self.cache_for(task.verify);
+            let res = if task.verify {
+                execute_point(
+                    &task.point,
+                    &task.key,
+                    Some(cache),
+                    Some(&self.locks),
+                    task.retries,
+                    &|p| {
+                        let (r, v) = run_point_verified(p);
+                        (r, Some(v))
+                    },
+                )
+            } else {
+                execute_point(
+                    &task.point,
+                    &task.key,
+                    Some(cache),
+                    Some(&self.locks),
+                    task.retries,
+                    &|p| (run_point(p), None),
+                )
+            };
+            self.finish_point(&task, res);
+        }
+    }
+
+    /// Block until a point is dispatchable (or `None` once draining).
+    fn next_task(&self) -> Option<PointTask> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if self.is_draining() {
+                return None;
+            }
+            let now = Instant::now();
+            // Best runnable job: priority class first, then submission order.
+            let best = inner
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| {
+                    j.is_runnable()
+                        && (!j.ready.is_empty() || j.deferred.iter().any(|&(_, at)| at <= now))
+                })
+                .min_by_key(|(_, j)| (j.priority, j.seq))
+                .map(|(i, _)| i);
+            if let Some(ji) = best {
+                let job = &mut inner.jobs[ji];
+                if job.state == JobState::Queued {
+                    job.state = JobState::Running;
+                    job.started = Some(now);
+                }
+                let idx = match job.ready.pop_front() {
+                    Some(i) => i,
+                    None => {
+                        let pos = job
+                            .deferred
+                            .iter()
+                            .position(|&(_, at)| at <= now)
+                            .expect("ripe deferred point");
+                        job.deferred.remove(pos).expect("position in range").0
+                    }
+                };
+                job.in_flight += 1;
+                return Some(PointTask {
+                    job: job.id,
+                    idx,
+                    point: job.points[idx].clone(),
+                    key: job.keys[idx].clone(),
+                    verify: job.verify,
+                    retries: job.spec.retry.max_retries,
+                });
+            }
+            // Nothing dispatchable: sleep until the earliest deferral
+            // ripens, or a submit/cancel/drain notification arrives.
+            let wait = inner
+                .jobs
+                .iter()
+                .filter(|j| j.is_runnable())
+                .flat_map(|j| j.deferred.iter().map(|&(_, at)| at))
+                .min()
+                .map(|at| at.saturating_duration_since(now))
+                .unwrap_or(IDLE_WAIT)
+                .min(IDLE_WAIT)
+                .max(Duration::from_millis(1));
+            let (guard, _) = self.cv.wait_timeout(inner, wait).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Fold one executed (or deferred) point back into its job.
+    fn finish_point(&self, task: &PointTask, res: ExecPoint) {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(ji) = inner.jobs.iter().position(|j| j.id == task.job) else {
+            return;
+        };
+        let job = &mut inner.jobs[ji];
+        job.in_flight = job.in_flight.saturating_sub(1);
+        let active = matches!(job.state, JobState::Running | JobState::Queued);
+        match res {
+            ExecPoint::Busy => {
+                if active {
+                    job.deferred
+                        .push_back((task.idx, Instant::now() + BUSY_RETRY));
+                }
+            }
+            ExecPoint::Done(outcome) => {
+                if active && job.outcomes[task.idx].is_none() {
+                    job.outcomes[task.idx] = Some(outcome);
+                    job.resolved += 1;
+                }
+            }
+        }
+        if active && job.is_drained() {
+            self.finalize_job(&mut inner, ji);
+            self.persist_locked(&inner);
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// A job's last unique point resolved: fill deduplicated siblings,
+    /// build the report, render results, record the summary, and mark the
+    /// figures whose point sets the completed keys touch.
+    fn finalize_job(&self, inner: &mut crate::Inner, ji: usize) {
+        let job = &mut inner.jobs[ji];
+        let n = job.points.len();
+        for i in 0..n {
+            if let Some(orig) = job.share_from[i] {
+                let source = job.outcomes[orig].clone().expect("original resolved");
+                job.outcomes[i] = Some(PointOutcome {
+                    point: job.points[i].clone(),
+                    key: job.keys[i].clone(),
+                    status: source.status,
+                    cache_hit: source.cache_hit,
+                    deduped: true,
+                    wall_ms: 0,
+                    attempts: 0,
+                    verify: source.verify,
+                });
+            }
+        }
+        let outcomes: Vec<PointOutcome> = job
+            .outcomes
+            .iter()
+            .cloned()
+            .map(|o| o.expect("all points resolved"))
+            .collect();
+        let wall_ms = job
+            .started
+            .map(|t| t.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        let report = CampaignReport {
+            name: job.spec.name.clone(),
+            spec_hash: job.spec.content_hash(),
+            code_salt: job.salt.clone(),
+            jobs: self.cfg.workers,
+            wall_ms,
+            verify_enabled: job.verify,
+            outcomes,
+        };
+        job.summary.total_points = report.outcomes.len();
+        job.summary.failed = report.failed_count();
+        job.summary.completed = report.outcomes.len() - job.summary.failed;
+        job.summary.cache_hits = report.cache_hits();
+        job.summary.simulated = report.cache_misses();
+        job.summary.violations = report.total_violations();
+        job.summary.checks = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.verify)
+            .map(|v| v.checks)
+            .sum();
+        job.summary.wall_ms = wall_ms;
+        job.summary.failures = report
+            .failed()
+            .filter_map(|o| o.failure().cloned())
+            .collect();
+        job.results_text = Some(noc_campaign::render_table(&report.aggregates()));
+        job.manifest_json = Some(report.manifest().to_json());
+        job.state = if job.summary.failed > 0 {
+            JobState::Failed
+        } else {
+            JobState::Done
+        };
+        // Figure delta: every key this job resolved successfully is now in
+        // the cache (stored by us or adopted from a sibling worker).
+        let completed: HashSet<String> = report
+            .outcomes
+            .iter()
+            .filter(|o| !o.is_failed())
+            .map(|o| o.key.clone())
+            .collect();
+        eprintln!(
+            "[daemon] job {} ({}) {}: {}/{} points, {} cache hits, {} simulated, {} failed, {:.1}s",
+            job.id,
+            job.name,
+            job.state.name(),
+            job.summary.completed,
+            job.summary.total_points,
+            job.summary.cache_hits,
+            job.summary.simulated,
+            job.summary.failed,
+            wall_ms as f64 / 1000.0,
+        );
+        self.figures.note_completed(&completed);
+    }
+}

@@ -1,0 +1,50 @@
+//! SIGINT/SIGTERM → one process-wide stop flag, with no libc dependency.
+//!
+//! The handler only stores to an `AtomicBool` (async-signal-safe); the
+//! daemon's main loop polls the flag and runs the actual graceful drain in
+//! normal context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, STOP};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`. Declared by hand: the workspace is std-only
+        // and this is the single libc symbol the daemon needs.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers and return the stop flag they set.
+pub fn install() -> &'static AtomicBool {
+    imp::install();
+    &STOP
+}
+
+/// Whether a stop signal has been received.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::Acquire)
+}

@@ -1,0 +1,302 @@
+//! End-to-end daemon lifecycle: submit over HTTP, poll to completion,
+//! byte-compare against the batch executor, full cache hit on
+//! resubmission, graceful drain, and journal-based resume after a
+//! restart on the same state directory.
+
+mod common;
+
+use common::{request, tiny_spec, wait_for_job};
+use noc_campaign::{render_table, run_campaign, ExecOptions};
+use noc_daemon::{Daemon, DaemonConfig};
+use std::path::Path;
+use std::time::Duration;
+
+const SALT: &str = "daemon-e2e-test-v1";
+
+fn cfg(state: &Path, cache: &Path) -> DaemonConfig {
+    DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state.to_path_buf(),
+        cache_dir: cache.to_path_buf(),
+        workers: 2,
+        verify_default: false,
+        code_salt: SALT.into(),
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn job_lifecycle_matches_batch_executor_and_survives_restart() {
+    let state = common::scratch("e2e-state");
+    let cache = common::scratch("e2e-cache");
+    let spec = tiny_spec();
+
+    // Batch baseline on its own cache: the reference output the daemon's
+    // results endpoint must reproduce byte for byte.
+    let baseline_cache = common::scratch("e2e-baseline");
+    let baseline = run_campaign(
+        &spec,
+        &ExecOptions {
+            cache_dir: Some(baseline_cache.clone()),
+            jobs: Some(2),
+            code_salt: SALT.into(),
+            progress: false,
+            verify: false,
+            cooperative: false,
+        },
+    )
+    .unwrap();
+    let expected_table = render_table(&baseline.aggregates());
+
+    let handle = Daemon::start(cfg(&state, &cache)).expect("daemon starts");
+    let addr = handle.addr;
+
+    // Submit, poll to done.
+    let body = format!(
+        "{{\"spec\": {}, \"priority\": \"interactive\"}}",
+        spec.to_json()
+    );
+    let (status, resp) = request(addr, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 202, "{resp}");
+    let accepted = serde_json::parse(&resp).unwrap();
+    let id = accepted.field("job").as_u64().unwrap();
+    assert_eq!(accepted.field("points").as_u64(), Some(4));
+
+    // Results endpoint must 409 while the job is unfinished or just-queued.
+    let (status, _) = request(addr, "GET", &format!("/jobs/{id}/results"), None);
+    assert!(status == 409 || status == 200); // may already be done on a fast machine
+
+    let v = wait_for_job(addr, id, Duration::from_secs(120));
+    assert_eq!(v.field("state").as_str(), Some("done"), "{}", v.to_json());
+    let summary = v.field("summary");
+    assert_eq!(summary.field("total_points").as_u64(), Some(4));
+    assert_eq!(summary.field("failed").as_u64(), Some(0));
+
+    // The daemon's aggregate table is byte-identical to the batch run.
+    let (status, table) = request(addr, "GET", &format!("/jobs/{id}/results"), None);
+    assert_eq!(status, 200);
+    assert_eq!(table, expected_table, "daemon and batch tables must agree");
+
+    // Manifest is served and carries per-point provenance.
+    let (status, manifest) = request(addr, "GET", &format!("/jobs/{id}/manifest"), None);
+    assert_eq!(status, 200);
+    let m = serde_json::parse(&manifest).unwrap();
+    assert_eq!(m.field("total_points").as_u64(), Some(4));
+
+    // Resubmission of the same spec is a pure cache replay: zero points
+    // simulated, every point a hit.
+    let (status, resp) = request(addr, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 202, "{resp}");
+    let id2 = serde_json::parse(&resp)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+    let v2 = wait_for_job(addr, id2, Duration::from_secs(60));
+    let s2 = v2.field("summary");
+    assert_eq!(s2.field("cache_hits").as_u64(), Some(4), "{}", v2.to_json());
+    assert_eq!(s2.field("simulated").as_u64(), Some(0));
+    let (_, table2) = request(addr, "GET", &format!("/jobs/{id2}/results"), None);
+    assert_eq!(table2, expected_table);
+
+    // Graceful drain over HTTP, then restart on the same state dir: the
+    // journal restores both finished jobs with their results intact.
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 202);
+    handle.wait();
+
+    let handle2 = Daemon::start(cfg(&state, &cache)).expect("daemon restarts");
+    let addr2 = handle2.addr;
+    let (status, jobs) = request(addr2, "GET", "/jobs", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        serde_json::parse(&jobs).unwrap().as_array().unwrap().len(),
+        2
+    );
+    let (status, table_after) = request(addr2, "GET", &format!("/jobs/{id}/results"), None);
+    assert_eq!(status, 200, "results survive a restart: {table_after}");
+    assert_eq!(table_after, expected_table);
+    handle2.begin_drain();
+    handle2.wait();
+
+    for d in [&state, &cache, &baseline_cache] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn drained_unfinished_job_resumes_from_the_journal_and_cache() {
+    let state = common::scratch("resume-state");
+    let cache = common::scratch("resume-cache");
+    let spec = tiny_spec();
+
+    // Daemon A: submit, then drain immediately — the job is journaled
+    // (likely unfinished; any points already simulated are in the cache).
+    let handle = Daemon::start(DaemonConfig {
+        workers: 1,
+        ..cfg(&state, &cache)
+    })
+    .expect("daemon starts");
+    let body = format!("{{\"spec\": {}}}", spec.to_json());
+    let (status, resp) = request(handle.addr, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 202, "{resp}");
+    let id = serde_json::parse(&resp)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+    handle.begin_drain();
+    // Draining daemons refuse new work.
+    let (status, _) = request(handle.addr, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 409);
+    handle.wait();
+
+    // Daemon B on the same state dir resumes the job and finishes it;
+    // whatever A completed comes back as cache hits, not re-simulation.
+    let handle2 = Daemon::start(DaemonConfig {
+        workers: 1,
+        ..cfg(&state, &cache)
+    })
+    .expect("daemon restarts");
+    let v = wait_for_job(handle2.addr, id, Duration::from_secs(120));
+    assert_eq!(v.field("state").as_str(), Some("done"), "{}", v.to_json());
+    let summary = v.field("summary");
+    assert_eq!(summary.field("total_points").as_u64(), Some(4));
+    assert_eq!(summary.field("failed").as_u64(), Some(0));
+
+    // Its results still match a fresh batch run of the same spec.
+    let baseline_cache = common::scratch("resume-baseline");
+    let baseline = run_campaign(
+        &spec,
+        &ExecOptions {
+            cache_dir: Some(baseline_cache.clone()),
+            jobs: Some(1),
+            code_salt: SALT.into(),
+            progress: false,
+            verify: false,
+            cooperative: false,
+        },
+    )
+    .unwrap();
+    let (status, table) = request(handle2.addr, "GET", &format!("/jobs/{id}/results"), None);
+    assert_eq!(status, 200);
+    assert_eq!(table, render_table(&baseline.aggregates()));
+    handle2.begin_drain();
+    handle2.wait();
+
+    for d in [&state, &cache, &baseline_cache] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn two_daemons_shard_one_cache_with_zero_duplicate_simulation() {
+    let cache = common::scratch("shard-cache");
+    let state_a = common::scratch("shard-a");
+    let state_b = common::scratch("shard-b");
+    let spec = tiny_spec();
+
+    let a = Daemon::start(cfg(&state_a, &cache)).expect("daemon A starts");
+    let b = Daemon::start(cfg(&state_b, &cache)).expect("daemon B starts");
+
+    // The same campaign lands on both daemons at once. Advisory claims in
+    // the shared cache directory split the points between them.
+    let body = format!("{{\"spec\": {}}}", spec.to_json());
+    let (sa, ra) = request(a.addr, "POST", "/jobs", Some(&body));
+    let (sb, rb) = request(b.addr, "POST", "/jobs", Some(&body));
+    assert_eq!((sa, sb), (202, 202), "{ra} / {rb}");
+    let ia = serde_json::parse(&ra)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+    let ib = serde_json::parse(&rb)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+
+    let va = wait_for_job(a.addr, ia, Duration::from_secs(120));
+    let vb = wait_for_job(b.addr, ib, Duration::from_secs(120));
+    assert_eq!(va.field("state").as_str(), Some("done"), "{}", va.to_json());
+    assert_eq!(vb.field("state").as_str(), Some("done"), "{}", vb.to_json());
+
+    // Exactly-once across both processes' worth of workers: the simulated
+    // counts sum to the unique point count, the rest were adopted as
+    // cache hits from the sibling.
+    let sim_a = va.field("summary").field("simulated").as_u64().unwrap();
+    let sim_b = vb.field("summary").field("simulated").as_u64().unwrap();
+    assert_eq!(sim_a + sim_b, 4, "duplicate simulation across daemons");
+
+    // Byte-identical aggregates from both daemons and from a batch run.
+    let baseline_cache = common::scratch("shard-baseline");
+    let baseline = run_campaign(
+        &spec,
+        &ExecOptions {
+            cache_dir: Some(baseline_cache.clone()),
+            jobs: Some(2),
+            code_salt: SALT.into(),
+            progress: false,
+            verify: false,
+            cooperative: false,
+        },
+    )
+    .unwrap();
+    let expected = render_table(&baseline.aggregates());
+    let (_, ta) = request(a.addr, "GET", &format!("/jobs/{ia}/results"), None);
+    let (_, tb) = request(b.addr, "GET", &format!("/jobs/{ib}/results"), None);
+    assert_eq!(ta, expected);
+    assert_eq!(tb, expected);
+
+    a.begin_drain();
+    b.begin_drain();
+    a.wait();
+    b.wait();
+    for d in [&cache, &state_a, &state_b, &baseline_cache] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn spec_drop_directory_queues_jobs() {
+    let state = common::scratch("drop-state");
+    let cache = common::scratch("drop-cache");
+    let drop_dir = common::scratch("drop-inbox");
+    std::fs::create_dir_all(&drop_dir).unwrap();
+
+    // Write the spec BEFORE the daemon starts so its mtime is already
+    // older than one poll interval when the watcher first scans.
+    std::fs::write(drop_dir.join("tiny.json"), tiny_spec().to_json()).unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+
+    let handle = Daemon::start(DaemonConfig {
+        drop_dir: Some(drop_dir.clone()),
+        drop_poll_ms: 100,
+        ..cfg(&state, &cache)
+    })
+    .expect("daemon starts");
+
+    // The watcher ingests the file and the job runs to completion.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let id = loop {
+        let (_, jobs) = request(handle.addr, "GET", "/jobs", None);
+        let rows = serde_json::parse(&jobs).unwrap();
+        if let Some(row) = rows.as_array().unwrap().first() {
+            break row.field("id").as_u64().unwrap();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drop watcher never queued the spec"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let v = wait_for_job(handle.addr, id, Duration::from_secs(120));
+    assert_eq!(v.field("state").as_str(), Some("done"), "{}", v.to_json());
+    assert_eq!(v.field("source").as_str(), Some("drop:tiny.json"));
+
+    handle.begin_drain();
+    handle.wait();
+    for d in [&state, &cache, &drop_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -1,0 +1,167 @@
+//! HTTP-layer edge cases: malformed input of every kind must map to the
+//! right status code — and must never kill the daemon (the final health
+//! check proves the accept loop survived everything).
+
+mod common;
+
+use common::{request, send_raw, status_of, wait_for_job};
+use noc_daemon::{Daemon, DaemonConfig};
+use std::time::Duration;
+
+#[test]
+fn protocol_edges_return_clean_statuses_and_never_kill_the_daemon() {
+    let state_dir = common::scratch("http");
+    let handle = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state_dir.clone(),
+        cache_dir: state_dir.join("cache"),
+        workers: 1,
+        max_body: 4096,
+        code_salt: "daemon-http-test-v1".into(),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr;
+
+    // Unknown route.
+    let (status, body) = request(addr, "GET", "/no/such/route", None);
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("error"));
+
+    // Wrong method on known routes.
+    assert_eq!(request(addr, "DELETE", "/jobs", None).0, 405);
+    assert_eq!(request(addr, "GET", "/shutdown", None).0, 405);
+    assert_eq!(request(addr, "POST", "/healthz", None).0, 405);
+
+    // Bad JSON spec / bad job requests.
+    assert_eq!(request(addr, "POST", "/jobs", Some("{not json")).0, 400);
+    assert_eq!(request(addr, "POST", "/jobs", Some("")).0, 400);
+    assert_eq!(
+        request(addr, "POST", "/jobs", Some("{\"preset\": \"no_such_fig\"}")).0,
+        400
+    );
+    assert_eq!(
+        request(addr, "POST", "/jobs", Some("{\"spec\": {\"name\": \"x\"}}")).0,
+        400
+    );
+    assert_eq!(
+        request(
+            addr,
+            "POST",
+            "/jobs",
+            Some("{\"preset\": \"smoke\", \"priority\": \"urgent\"}")
+        )
+        .0,
+        400
+    );
+
+    // Oversized body (max_body = 4096).
+    let big = format!("{{\"pad\": \"{}\"}}", "x".repeat(5000));
+    assert_eq!(request(addr, "POST", "/jobs", Some(&big)).0, 413);
+
+    // Chunked transfer encoding is refused, not misparsed.
+    let chunked = b"POST /jobs HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n0\r\n\r\n";
+    assert_eq!(status_of(&send_raw(addr, chunked)), 501);
+
+    // Malformed request line and unsupported version.
+    assert_eq!(status_of(&send_raw(addr, b"GARBAGE\r\n\r\n")), 400);
+    assert_eq!(
+        status_of(&send_raw(
+            addr,
+            b"GET / HTTP/0.9\r\nConnection: close\r\n\r\n"
+        )),
+        400
+    );
+
+    // Truncated body: Content-Length promises more than is sent.
+    assert_eq!(
+        status_of(&send_raw(
+            addr,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\nConnection: close\r\n\r\n{}"
+        )),
+        400
+    );
+
+    // Header section larger than the 16 KiB head budget.
+    let huge_head = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\nConnection: close\r\n\r\n",
+        "y".repeat(20_000)
+    );
+    assert_eq!(status_of(&send_raw(addr, huge_head.as_bytes())), 413);
+
+    // Pipelined requests on one connection: both answered, in order.
+    let pipelined = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /presets HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    let stream = send_raw(addr, pipelined);
+    assert_eq!(stream.matches("HTTP/1.1 200 OK").count(), 2, "{stream}");
+    assert!(stream.contains("\"status\""), "first response is /healthz");
+    assert!(
+        stream.contains("verify_smoke"),
+        "second response is /presets"
+    );
+
+    // After all that abuse the daemon still works end to end: submit a
+    // real job over the same control plane and watch it finish.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&format!("{{\"spec\": {}}}", common::tiny_spec().to_json())),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = serde_json::parse(&body)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+    let v = wait_for_job(addr, id, Duration::from_secs(120));
+    assert_eq!(v.field("state").as_str(), Some("done"));
+
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let health = serde_json::parse(&body).unwrap();
+    assert_eq!(health.field("status").as_str(), Some("ok"));
+
+    // Graceful shutdown over HTTP.
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 202);
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn responses_carry_json_errors_not_panics() {
+    let state_dir = common::scratch("http2");
+    let handle = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state_dir.clone(),
+        cache_dir: state_dir.join("cache"),
+        workers: 1,
+        code_salt: "daemon-http-test-v2".into(),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr;
+
+    // Unknown job id, unfinished-results conflict, bad id formats.
+    assert_eq!(request(addr, "GET", "/jobs/999", None).0, 404);
+    assert_eq!(request(addr, "GET", "/jobs/999/results", None).0, 404);
+    assert_eq!(request(addr, "GET", "/jobs/notanumber", None).0, 404);
+    assert_eq!(request(addr, "POST", "/jobs/999/cancel", None).0, 404);
+    assert_eq!(request(addr, "GET", "/figures/no_such_fig", None).0, 404);
+
+    // Every error body is the standard JSON shape.
+    let (_, body) = request(addr, "GET", "/jobs/999", None);
+    let v = serde_json::parse(&body).expect("error body is JSON");
+    assert!(v.field("error").as_str().is_some());
+
+    let (_, figures) = request(addr, "GET", "/figures", None);
+    let rows = serde_json::parse(&figures).unwrap();
+    assert_eq!(
+        rows.as_array().unwrap().len(),
+        noc_daemon::figures::FIGURES.len()
+    );
+
+    handle.begin_drain();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

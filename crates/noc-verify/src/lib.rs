@@ -44,3 +44,35 @@ pub fn verify_from_env() -> bool {
         })
         .unwrap_or(false)
 }
+
+/// Cache namespace for results produced under a given verification mode.
+///
+/// Verified and unverified results must never share cache entries: a
+/// verified hit asserts "this result passed the oracle suite when it was
+/// stored", which an unverified run cannot claim. The campaign engine and
+/// the daemon both derive their cache salt through this single function, so
+/// per-job `--verify` choices (the daemon runs verified and unverified jobs
+/// against one cache directory concurrently) land in disjoint namespaces by
+/// construction.
+pub fn cache_namespace(code_salt: &str, verify: bool) -> String {
+    if verify {
+        format!("{code_salt}+verify")
+    } else {
+        code_salt.to_string()
+    }
+}
+
+#[cfg(test)]
+mod namespace_tests {
+    use super::cache_namespace;
+
+    #[test]
+    fn verified_namespace_is_disjoint_and_stable() {
+        assert_eq!(cache_namespace("v3", false), "v3");
+        assert_eq!(cache_namespace("v3", true), "v3+verify");
+        assert_ne!(cache_namespace("v3", true), cache_namespace("v3", false));
+        // A salt that already names a verified namespace stays stable under
+        // the unverified mapping (no accidental double suffixing elsewhere).
+        assert_eq!(cache_namespace("v3+verify", false), "v3+verify");
+    }
+}
