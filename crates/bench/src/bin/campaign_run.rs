@@ -7,7 +7,9 @@
 //!   SPEC.json             campaign spec file (see EXPERIMENTS.md)
 //!   --preset NAME         use a built-in spec instead of a file
 //!                         (fig05, fig06, fig07_08, fig09_10, fig11_12,
-//!                          ablations, smoke, verify_smoke, repro_all)
+//!                          ablations, resilience, resilience_smoke,
+//!                          smoke, verify_smoke, zoo, zoo_smoke,
+//!                          repro_all)
 //!   --seeds N             replace every group's seeds with N derived
 //!                         replicate seeds (mean ± 95% CI aggregation)
 //!   --cache DIR           result-cache directory (default: $DXBAR_CACHE)
@@ -113,8 +115,13 @@ fn load_spec(args: &Args) -> CampaignSpec {
         (Some(file), None) => {
             let text = std::fs::read_to_string(file)
                 .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", file.display())));
-            CampaignSpec::from_json(&text)
-                .unwrap_or_else(|e| usage(&format!("bad spec {}: {e}", file.display())))
+            CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+                let e = e.to_string();
+                if let Some(hint) = bench::unknown_design_hint(&e) {
+                    eprintln!("{hint}");
+                }
+                usage(&format!("bad spec {}: {e}", file.display()))
+            })
         }
         (None, Some(name)) => {
             bench::specs::preset(name).unwrap_or_else(|| usage(&format!("unknown preset {name:?}")))

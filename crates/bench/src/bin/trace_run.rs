@@ -12,7 +12,7 @@
 //!
 //! * `--design NAME`  — one of `flit-bless`, `scarab`, `buffered4`,
 //!   `buffered8`, `dxbar-dor`, `dxbar-wf`, `unified-dor`, `unified-wf`,
-//!   `afc` (default `dxbar-dor`);
+//!   `afc`, `damq`, `minbd` (default `dxbar-dor`);
 //! * `--pattern NAME` — `uniform`, `nonuniform`, `bitrev`, `butterfly`,
 //!   `complement`, `transpose`, `shuffle`, `neighbor`, `tornado`
 //!   (default `uniform`);
@@ -58,6 +58,8 @@ fn parse_design(s: &str) -> Option<Design> {
         "unified-dor" | "unified" => Design::UnifiedDor,
         "unified-wf" => Design::UnifiedWf,
         "afc" => Design::Afc,
+        "damq" => Design::Damq,
+        "minbd" | "min-bd" => Design::MinBd,
         _ => return None,
     })
 }

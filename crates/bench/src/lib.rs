@@ -210,6 +210,17 @@ fn out_dir() -> Option<PathBuf> {
     std::env::var_os("DXBAR_OUT").map(PathBuf::from)
 }
 
+/// When a spec-file parse error is the deserializer's unknown-[`Design`]
+/// complaint, render a hint listing the accepted variant spellings — a
+/// typo in a hand-written campaign spec should cost one glance, not a
+/// trip to the source. `None` for every other parse error.
+pub fn unknown_design_hint(err: &str) -> Option<String> {
+    err.contains("unknown Design variant").then(|| {
+        let names: Vec<String> = Design::ALL.iter().map(|d| format!("{d:?}")).collect();
+        format!("known designs: {}", names.join(", "))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

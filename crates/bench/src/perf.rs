@@ -27,6 +27,8 @@ pub fn key_of(design: Design) -> &'static str {
         Design::FlitBless => "bless",
         Design::Scarab => "scarab",
         Design::Afc => "afc",
+        Design::Damq => "damq",
+        Design::MinBd => "minbd",
     }
 }
 

@@ -353,6 +353,8 @@ pub fn verify_smoke() -> CampaignSpec {
                 Design::FlitBless,
                 Design::Scarab,
                 Design::Afc,
+                Design::Damq,
+                Design::MinBd,
             ],
             workload: WorkloadAxis::Synthetic {
                 patterns: vec![Pattern::UniformRandom],
@@ -375,6 +377,64 @@ pub fn verify_smoke() -> CampaignSpec {
             seeds: vec![],
             tag: Some("UR faults=50%".into()),
         })
+}
+
+/// The router-zoo cross-architecture study (`fig_zoo`): latency,
+/// throughput and deflection rate vs. offered load for every router
+/// family in the repo — the paper's bufferless (Flit-BLESS, SCARAB),
+/// buffered (Buffered-8) and crossbar (DXbar, unified) designs next to
+/// the zoo's hybrid AFC, shared-buffer DAMQ and minimally-buffered MinBD.
+pub fn zoo() -> CampaignSpec {
+    CampaignSpec::new("zoo").with_group(PointGroup {
+        label: "zoo_ur".into(),
+        config: paper_config(),
+        designs: vec![
+            Design::FlitBless,
+            Design::Scarab,
+            Design::Buffered8,
+            Design::DXbarDor,
+            Design::UnifiedDor,
+            Design::Afc,
+            Design::Damq,
+            Design::MinBd,
+        ],
+        workload: ur_loads(),
+        fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
+        seeds: replicate_seeds(),
+        tag: None,
+    })
+}
+
+/// A small zoo campaign for the CI `zoo-smoke` job: the two new routers
+/// on a 4x4 mesh at a calm and a contended load, intended to run under
+/// `--verify` so the DAMQ/MinBD profiles face the oracle suite end to
+/// end. Seeds are left empty so `campaign_run --seeds N` controls
+/// replication.
+pub fn zoo_smoke() -> CampaignSpec {
+    let cfg = SimConfig {
+        width: 4,
+        height: 4,
+        warmup_cycles: 300,
+        measure_cycles: 1_200,
+        drain_cycles: 500,
+        ..SimConfig::default()
+    };
+    CampaignSpec::new("zoo_smoke").with_group(PointGroup {
+        label: "zoo_smoke".into(),
+        config: cfg,
+        designs: vec![Design::Damq, Design::MinBd],
+        workload: WorkloadAxis::Synthetic {
+            patterns: vec![Pattern::UniformRandom],
+            loads: vec![0.1, 0.4],
+        },
+        fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
+        seeds: vec![],
+        tag: None,
+    })
 }
 
 /// The unified evaluation grid: every figure and ablation in one campaign.
@@ -406,13 +466,15 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
         "resilience_smoke" => Some(resilience_smoke()),
         "smoke" => Some(smoke()),
         "verify_smoke" => Some(verify_smoke()),
+        "zoo" => Some(zoo()),
+        "zoo_smoke" => Some(zoo_smoke()),
         "repro_all" | "all" => Some(repro_all()),
         _ => None,
     }
 }
 
 /// Preset names accepted by [`preset`] (canonical spellings).
-pub const PRESETS: [&str; 11] = [
+pub const PRESETS: [&str; 13] = [
     "fig05",
     "fig06",
     "fig07_08",
@@ -423,6 +485,8 @@ pub const PRESETS: [&str; 11] = [
     "resilience_smoke",
     "smoke",
     "verify_smoke",
+    "zoo",
+    "zoo_smoke",
     "repro_all",
 ];
 

@@ -1,0 +1,58 @@
+//! `campaign_run` CLI error paths: unknown preset and unknown design
+//! names must exit 2 (usage error, distinct from the exit-1 "points
+//! failed" path) and print the accepted spellings.
+
+use std::process::Command;
+
+fn campaign_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign_run"))
+}
+
+#[test]
+fn unknown_preset_exits_2_and_lists_presets() {
+    let out = campaign_run()
+        .args(["--preset", "no_such_preset"])
+        .output()
+        .expect("spawn campaign_run");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown preset"), "stderr: {err}");
+    for name in bench::specs::PRESETS {
+        assert!(err.contains(name), "preset {name} missing from: {err}");
+    }
+}
+
+#[test]
+fn unknown_design_in_spec_exits_2_and_lists_designs() {
+    // A valid spec with one design name misspelled.
+    let json = bench::specs::smoke()
+        .to_json()
+        .replace("\"DXbarDor\"", "\"DXbarDork\"");
+    assert!(json.contains("DXbarDork"), "substitution target changed");
+    let path = std::env::temp_dir().join(format!("dxbar_cli_errors_{}.json", std::process::id()));
+    std::fs::write(&path, json).expect("write temp spec");
+
+    let out = campaign_run()
+        .arg(&path)
+        .output()
+        .expect("spawn campaign_run");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown Design variant"), "stderr: {err}");
+    assert!(err.contains("known designs:"), "stderr: {err}");
+    for d in dxbar_noc::Design::ALL {
+        assert!(
+            err.contains(&format!("{d:?}")),
+            "design {d:?} missing from: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_design_hint_ignores_other_errors() {
+    assert!(bench::unknown_design_hint("bad json at line 3").is_none());
+    let hint = bench::unknown_design_hint("unknown Design variant \"Foo\"").unwrap();
+    assert!(hint.contains("Damq") && hint.contains("MinBd"));
+}

@@ -55,6 +55,17 @@ fn parse_id(s: &str) -> Option<JobId> {
 }
 
 fn route(state: &DaemonState, req: &Request) -> Response {
+    // With a token configured, every mutating (POST) endpoint — submit,
+    // cancel, shutdown — demands the bearer token. Reads stay open: the
+    // daemon's status surface is harmless, the job queue is not.
+    if let Some(token) = &state.cfg.auth_token {
+        if req.method == "POST" {
+            let want = format!("Bearer {token}");
+            if req.authorization.as_deref() != Some(want.as_str()) {
+                return Response::error(401, "missing or invalid bearer token");
+            }
+        }
+    }
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let m = req.method.as_str();
     match segs.as_slice() {

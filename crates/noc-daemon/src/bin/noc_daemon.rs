@@ -29,6 +29,9 @@ usage: noc-daemon [options]
   --workers N        simulation worker threads (default 2)
   --verify           verify submitted jobs by default (DXBAR_VERIFY also works)
   --max-body BYTES   largest accepted HTTP body (default 1048576)
+  --auth-token TOK   require `Authorization: Bearer TOK` on mutating
+                     endpoints (POST /jobs, /jobs/<id>/cancel, /shutdown);
+                     the NOC_DAEMON_TOKEN env var works too
   --help             this text
 ";
 
@@ -36,6 +39,11 @@ fn main() {
     let mut cfg = DaemonConfig::default();
     if dxbar_noc::noc_verify::verify_from_env() {
         cfg.verify_default = true;
+    }
+    if let Ok(token) = std::env::var("NOC_DAEMON_TOKEN") {
+        if !token.is_empty() {
+            cfg.auth_token = Some(token);
+        }
     }
     let mut cache_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -58,6 +66,7 @@ fn main() {
                 })
             }
             "--verify" => cfg.verify_default = true,
+            "--auth-token" => cfg.auth_token = Some(take("token")),
             "--max-body" => {
                 cfg.max_body = take("byte count").parse().unwrap_or_else(|_| {
                     eprintln!("--max-body needs a byte count\n{USAGE}");

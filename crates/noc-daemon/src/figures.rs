@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 
 /// Figures the daemon serves (preset names from `bench::specs`).
-pub const FIGURES: [&str; 7] = [
+pub const FIGURES: [&str; 8] = [
     "fig05",
     "fig06",
     "fig07_08",
@@ -22,6 +22,7 @@ pub const FIGURES: [&str; 7] = [
     "fig11_12",
     "ablations",
     "resilience",
+    "zoo",
 ];
 
 struct FigureEntry {

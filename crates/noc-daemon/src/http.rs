@@ -28,6 +28,8 @@ pub struct Request {
     pub path: String,
     /// Raw query string ("" when absent).
     pub query: String,
+    /// `Authorization` header value, trimmed, when present.
+    pub authorization: Option<String>,
     pub body: Vec<u8>,
     keep_alive: bool,
 }
@@ -70,6 +72,7 @@ impl Response {
             200 => "OK",
             202 => "Accepted",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
@@ -97,8 +100,9 @@ impl Response {
 
 /// Why request parsing stopped.
 enum ParseEnd {
-    /// A complete request was read.
-    Ok(Request),
+    /// A complete request was read (boxed: `Request` dwarfs the other
+    /// variants and this type rides inside `Result` error positions).
+    Ok(Box<Request>),
     /// Peer closed (or timed out) between requests — normal keep-alive end.
     Eof,
     /// Protocol error: answer with this response, then close.
@@ -160,6 +164,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_length: usize = 0;
     let mut chunked = false;
+    let mut authorization: Option<String> = None;
     loop {
         let line = match read_line_limited(reader, &mut budget) {
             Ok(l) => l,
@@ -180,6 +185,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
                 Err(_) => return ParseEnd::Bad(Response::error(400, "bad Content-Length")),
             },
             "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => chunked = true,
+            "authorization" => authorization = Some(value.to_string()),
             "connection" => {
                 if value.eq_ignore_ascii_case("close") {
                     keep_alive = false;
@@ -210,13 +216,14 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    ParseEnd::Ok(Request {
+    ParseEnd::Ok(Box::new(Request {
         method: method.to_string(),
         path,
         query,
+        authorization,
         body,
         keep_alive,
-    })
+    }))
 }
 
 /// The route handler type: pure request → response.

@@ -68,6 +68,10 @@ pub struct DaemonConfig {
     pub code_salt: String,
     /// Spec-drop directory poll interval.
     pub drop_poll_ms: u64,
+    /// When set, mutating endpoints (`POST /jobs`, `POST /jobs/<id>/cancel`,
+    /// `POST /shutdown`) require `Authorization: Bearer <token>`; read-only
+    /// endpoints stay open. `None` (the default) disables authentication.
+    pub auth_token: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -82,6 +86,7 @@ impl Default for DaemonConfig {
             max_body: 1024 * 1024,
             code_salt: CODE_VERSION.to_string(),
             drop_poll_ms: 500,
+            auth_token: None,
         }
     }
 }

@@ -66,6 +66,23 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -
     parse_response(&resp)
 }
 
+/// Like [`request`], but with an `Authorization` header attached.
+pub fn request_auth(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    auth: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nAuthorization: {auth}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    let resp = send_raw(addr, raw.as_bytes());
+    parse_response(&resp)
+}
+
 /// Write raw bytes to the daemon and read until EOF.
 pub fn send_raw(addr: SocketAddr, bytes: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect to daemon");

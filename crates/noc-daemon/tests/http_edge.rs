@@ -4,7 +4,7 @@
 
 mod common;
 
-use common::{request, send_raw, status_of, wait_for_job};
+use common::{request, request_auth, send_raw, status_of, wait_for_job};
 use noc_daemon::{Daemon, DaemonConfig};
 use std::time::Duration;
 
@@ -124,6 +124,70 @@ fn protocol_edges_return_clean_statuses_and_never_kill_the_daemon() {
     // Graceful shutdown over HTTP.
     let (status, _) = request(addr, "POST", "/shutdown", None);
     assert_eq!(status, 202);
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn bearer_token_guards_mutating_endpoints() {
+    let state_dir = common::scratch("auth");
+    let handle = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state_dir.clone(),
+        cache_dir: state_dir.join("cache"),
+        workers: 1,
+        max_body: 4096,
+        code_salt: "daemon-auth-test-v1".into(),
+        auth_token: Some("sesame".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr;
+
+    // Reads stay open without a token.
+    assert_eq!(request(addr, "GET", "/healthz", None).0, 200);
+    assert_eq!(request(addr, "GET", "/jobs", None).0, 200);
+    assert_eq!(request(addr, "GET", "/presets", None).0, 200);
+
+    // Every mutating endpoint rejects a missing or wrong token with 401
+    // before any request parsing happens.
+    let submit = format!("{{\"spec\": {}}}", common::tiny_spec().to_json());
+    let (status, body) = request(addr, "POST", "/jobs", Some(&submit));
+    assert_eq!(status, 401, "{body}");
+    assert!(body.contains("bearer"), "{body}");
+    assert_eq!(
+        request_auth(addr, "POST", "/jobs", "Bearer wrong", Some(&submit)).0,
+        401
+    );
+    assert_eq!(
+        request_auth(addr, "POST", "/jobs", "Basic sesame", Some(&submit)).0,
+        401
+    );
+    assert_eq!(request(addr, "POST", "/jobs/1/cancel", None).0, 401);
+    assert_eq!(request(addr, "POST", "/shutdown", None).0, 401);
+
+    // The right token reaches the real handlers: submit runs a job...
+    let (status, body) = request_auth(addr, "POST", "/jobs", "Bearer sesame", Some(&submit));
+    assert_eq!(status, 202, "{body}");
+    let id = serde_json::parse(&body)
+        .unwrap()
+        .field("job")
+        .as_u64()
+        .unwrap();
+    let v = wait_for_job(addr, id, Duration::from_secs(120));
+    assert_eq!(v.field("state").as_str(), Some("done"));
+
+    // ...cancel of an unknown id gets past auth to its 404...
+    assert_eq!(
+        request_auth(addr, "POST", "/jobs/999/cancel", "Bearer sesame", None).0,
+        404
+    );
+
+    // ...and shutdown drains gracefully.
+    assert_eq!(
+        request_auth(addr, "POST", "/shutdown", "Bearer sesame", None).0,
+        202
+    );
     handle.wait();
     let _ = std::fs::remove_dir_all(&state_dir);
 }

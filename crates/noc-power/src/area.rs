@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-/// The six designs of the paper's evaluation.
+/// The six designs of the paper's evaluation plus the zoo extensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DesignKind {
     /// Flit-BLESS bufferless deflection router \[6\].
@@ -23,16 +23,24 @@ pub enum DesignKind {
     DXbar,
     /// Unified dual-input single-crossbar router.
     UnifiedXbar,
+    /// DAMQ shared-buffer router: one buffer bank shared by all inputs
+    /// through per-output linked-list virtual queues.
+    Damq,
+    /// MinBD minimally-buffered deflection router: deflection switch plus
+    /// one small side buffer.
+    MinBd,
 }
 
 impl DesignKind {
-    pub const ALL: [DesignKind; 6] = [
+    pub const ALL: [DesignKind; 8] = [
         DesignKind::FlitBless,
         DesignKind::Scarab,
         DesignKind::Buffered4,
         DesignKind::Buffered8,
         DesignKind::DXbar,
         DesignKind::UnifiedXbar,
+        DesignKind::Damq,
+        DesignKind::MinBd,
     ];
 
     pub fn name(self) -> &'static str {
@@ -43,6 +51,8 @@ impl DesignKind {
             DesignKind::Buffered8 => "Buffered 8",
             DesignKind::DXbar => "DXbar",
             DesignKind::UnifiedXbar => "Unified Xbar",
+            DesignKind::Damq => "DAMQ",
+            DesignKind::MinBd => "MinBD",
         }
     }
 }
@@ -66,6 +76,12 @@ pub struct AreaConstants {
     pub bypass_switches: f64,
     /// SCARAB's circuit-switched NACK network interface.
     pub nack_interface: f64,
+    /// MinBD's side buffer: one 4-flit FIFO per router (a quarter of a
+    /// full input bank) plus its re-injection muxes.
+    pub side_buffer: f64,
+    /// DAMQ's linked-list virtual-queue management: head/tail/next
+    /// pointer state plus the shared-slot allocator.
+    pub vq_logic: f64,
 }
 
 impl Default for AreaConstants {
@@ -79,6 +95,8 @@ impl Default for AreaConstants {
             vc_logic: 0.0020,
             bypass_switches: 0.0010,
             nack_interface: 0.0015,
+            side_buffer: 0.0035,
+            vq_logic: 0.0040,
         }
     }
 }
@@ -106,6 +124,11 @@ impl AreaModel {
                 c.links + c.xbar4x5 + c.xbar5x5 + c.buffer_bank + c.bypass_switches
             }
             DesignKind::UnifiedXbar => c.links + c.unified_xbar + c.buffer_bank,
+            // Same storage budget as Buffered-4, the VC allocator replaced
+            // by the (larger) linked-list queue management.
+            DesignKind::Damq => c.links + c.xbar5x5 + c.buffer_bank + c.vq_logic,
+            // A deflection router plus one small side buffer.
+            DesignKind::MinBd => c.links + c.xbar5x5 + c.side_buffer,
         }
     }
 
@@ -171,6 +194,20 @@ mod tests {
         let mut names: Vec<&str> = DesignKind::ALL.iter().map(|d| d.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), DesignKind::ALL.len());
+    }
+
+    #[test]
+    fn zoo_designs_bracket_the_buffered_baselines() {
+        let m = AreaModel::default();
+        let a = |d| m.router_area_mm2(d);
+        // MinBD adds only a small side buffer to a deflection router: it
+        // sits just above Flit-BLESS and well below Buffered-4.
+        assert!(a(DesignKind::MinBd) > a(DesignKind::FlitBless));
+        assert!(a(DesignKind::MinBd) < a(DesignKind::Buffered4));
+        // DAMQ keeps Buffered-4's storage but pays for queue management:
+        // between Buffered-4 and Buffered-8.
+        assert!(a(DesignKind::Damq) > a(DesignKind::Buffered4));
+        assert!(a(DesignKind::Damq) < a(DesignKind::Buffered8));
     }
 }

@@ -29,6 +29,10 @@ pub fn buffer_energy_pj(e: &EnergyConstants, d: DesignKind) -> f64 {
         DesignKind::Buffered4 => per_visit,
         DesignKind::Buffered8 => per_visit * 1.2,
         DesignKind::DXbar | DesignKind::UnifiedXbar => per_visit,
+        // DAMQ's shared bank is Buffered-4-sized; MinBD's side buffer is a
+        // quarter bank, so reads/writes drive shorter bitlines.
+        DesignKind::Damq => per_visit,
+        DesignKind::MinBd => per_visit * 0.85,
     }
 }
 
@@ -40,7 +44,7 @@ pub fn xbar_energy_pj(e: &EnergyConstants, d: DesignKind) -> f64 {
     }
 }
 
-/// All six rows of Table III under the given models.
+/// One row per design kind: Table III's six plus the zoo extensions.
 pub fn table3_rows(area: &AreaModel, energy: &EnergyConstants) -> Vec<Table3Row> {
     DesignKind::ALL
         .iter()
@@ -71,9 +75,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn six_rows() {
+    fn one_row_per_design_kind() {
         let rows = table3_rows(&AreaModel::default(), &EnergyConstants::default());
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), DesignKind::ALL.len());
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   design's separable dual-input allocator with two serial V:1 arbiters
 //!   plus the conflict-free swap), asserting no grant conflicts, work
 //!   conservation, and swap-logic correctness. Runs as ordinary
-//!   `cargo test -p noc-verify`.
+//!   `cargo test -p noc-verify`. The [`zoo`] module extends the same
+//!   treatment to the router zoo: differential model-checking of the DAMQ
+//!   shared-slab allocator (no slot double-grant, free-list conservation,
+//!   work conservation at saturation) and of MinBD's ejection/redirection
+//!   priority logic (silver election, single-step invariants).
 //!
 //! Violations carry structured context ([`violation::Violation`]: cycle,
 //! router, flit ids) and surface as `Err` from the verified runner.
@@ -26,6 +30,7 @@ pub mod oracle;
 pub mod profile;
 pub mod runner;
 pub mod violation;
+pub mod zoo;
 
 pub use checker::{CheckError, CheckerReport};
 pub use ledger::FlitLedger;

@@ -121,6 +121,30 @@ impl DesignProfile {
                 fifo_capacity: Some(buffer_depth),
                 fairness_checked: false,
             },
+            // DAMQ: one shared slab of 4 * depth slots; minimal-preference
+            // buffering but shared-pool exhaustion falls back to
+            // deflection, so only structural route checks apply. The
+            // FifoDepth probe reports per-VQ depth against the *slab*
+            // capacity (queues legally outgrow `buffer_depth`), so the
+            // profile leaves fifo_capacity unset.
+            "DAMQ" => DesignProfile {
+                route: RouteRule::Deflecting,
+                router_capacity: Some(4 * buffer_depth),
+                dual_input: false,
+                drops_allowed: false,
+                fifo_capacity: None,
+                fairness_checked: false,
+            },
+            // MinBD: deflection datapath plus one side buffer of
+            // `buffer_depth` slots.
+            "MinBD" => DesignProfile {
+                route: RouteRule::Deflecting,
+                router_capacity: Some(buffer_depth),
+                dual_input: false,
+                drops_allowed: false,
+                fifo_capacity: Some(buffer_depth),
+                fairness_checked: false,
+            },
             _ => DesignProfile {
                 route: RouteRule::Any,
                 router_capacity: None,
@@ -178,6 +202,19 @@ mod tests {
         assert_eq!(p.route, RouteRule::Any);
         assert_eq!(p.router_capacity, None);
         assert!(p.drops_allowed);
+    }
+
+    #[test]
+    fn zoo_profiles_bound_their_buffers() {
+        let damq = DesignProfile::for_design("DAMQ", 4);
+        assert_eq!(damq.route, RouteRule::Deflecting);
+        assert_eq!(damq.router_capacity, Some(16), "shared slab = 4 x depth");
+        assert!(!damq.drops_allowed);
+        let minbd = DesignProfile::for_design("MinBD", 4);
+        assert_eq!(minbd.route, RouteRule::Deflecting);
+        assert_eq!(minbd.router_capacity, Some(4), "one side buffer");
+        assert_eq!(minbd.fifo_capacity, Some(4));
+        assert!(!minbd.drops_allowed);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! DAMQ router: dynamically-allocated multi-queue shared buffering.
+//!
+//! The classic DAMQ organization (Tamir & Frazier; arXiv:0910.1852 applies
+//! it to NoCs) replaces per-input FIFOs with one shared buffer bank per
+//! router. Queues are formed *per output port* by linked lists threaded
+//! through the bank, so buffer space flows to whichever outputs are hot —
+//! the same observation that motivates the paper's unified buffer, taken
+//! to its limit.
+//!
+//! This model:
+//!
+//! * parks every arrival in the [`SharedSlab`] virtual queue of its chosen
+//!   output (dimension-order preference, steered away from dead links when
+//!   the resilience layer marks them);
+//! * serves each output port from its queue head, oldest first, with the
+//!   one-cycle buffer-write latency of the buffered baselines;
+//! * relies on the slab's reserved-slot starvation guard for fairness: a
+//!   queue that holds nothing can always accept, so a hot output cannot
+//!   lock the others out of the bank;
+//! * falls back to *deflection* for an arrival the slab refuses (shared
+//!   pool exhausted) — the arrival must leave this cycle, so it takes a
+//!   free output like an AFC overflow instead of asserting backpressure
+//!   (no cross-router credit handshake needed).
+
+use crate::slab::{SharedSlab, LOCAL_VQ};
+use noc_core::flit::Flit;
+use noc_core::inline::InlineVec;
+use noc_core::types::{Cycle, NodeId, LINK_DIRECTIONS, NUM_LINK_PORTS};
+use noc_routing::deflection::{assign_port_with_faults, productive_count, rank_ports_inline};
+use noc_sim::router::{RouterModel, StepCtx};
+use noc_sim::verify::ProbeEvent;
+use noc_topology::Mesh;
+use noc_trace::TraceEvent;
+
+/// The DAMQ shared-buffer router.
+pub struct DamqRouter {
+    node: NodeId,
+    mesh: Mesh,
+    slab: SharedSlab,
+    /// Dead output links, published by the engine's resilience layer.
+    link_down: [bool; NUM_LINK_PORTS],
+}
+
+impl DamqRouter {
+    /// `depth` is the per-input depth of the buffered baselines; the slab
+    /// gets the same total budget (`4 * depth` slots) shared freely.
+    pub fn new(node: NodeId, mesh: Mesh, depth: usize) -> DamqRouter {
+        DamqRouter {
+            node,
+            mesh,
+            slab: SharedSlab::new(4 * depth),
+            link_down: [false; NUM_LINK_PORTS],
+        }
+    }
+
+    /// Shared slab (verification and diagnostics).
+    pub fn slab(&self) -> &SharedSlab {
+        &self.slab
+    }
+
+    /// Virtual queue for a flit: the ejection queue at its destination,
+    /// otherwise the preferred productive output steered away from dead
+    /// links. `true` when the choice is non-minimal (every productive
+    /// link is dead) — the flit pays a deflection.
+    fn route_vq(&self, f: &Flit) -> (usize, bool) {
+        if f.dst == self.node {
+            return (LOCAL_VQ, false);
+        }
+        let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
+        let productive = productive_count(&self.mesh, self.node, f.dst);
+        if let Some(d) = ranking[..productive]
+            .iter()
+            .find(|d| !self.link_down[d.index()])
+        {
+            return (d.index(), false);
+        }
+        if let Some(d) = ranking.as_slice()[productive..]
+            .iter()
+            .find(|d| !self.link_down[d.index()])
+        {
+            return (d.index(), true);
+        }
+        // Every link with a queue is dead: the flit exits into a dead
+        // productive link and the NI layer recovers the loss.
+        (ranking[0].index(), false)
+    }
+
+    /// Park one flit in the slab, or hand it back on refusal.
+    fn buffer(&mut self, mut f: Flit, ctx: &mut StepCtx) -> Result<(), Flit> {
+        let (vq, misroute) = self.route_vq(&f);
+        if misroute {
+            f.deflections += 1;
+            ctx.events.deflections += 1;
+        }
+        let ready = ctx.cycle + 1;
+        match self.slab.push(vq, f, ready) {
+            Ok(_slot) => {
+                ctx.events.buffer_writes += 1;
+                let cycle = ctx.cycle;
+                let occupancy = self.slab.vq_len(vq) as u32;
+                let node = self.node;
+                ctx.trace.emit(|| TraceEvent::BufferEnter {
+                    cycle,
+                    node,
+                    packet: f.packet,
+                    flit_index: f.flit_index as u16,
+                    occupancy,
+                });
+                Ok(())
+            }
+            Err(f) => Err(f),
+        }
+    }
+
+    /// Pop the head of `vq` (ready at `ready`), emitting buffer-read
+    /// accounting.
+    fn unbuffer(&mut self, vq: usize, ready: Cycle, ctx: &mut StepCtx) -> Flit {
+        let (f, _budget) = self.slab.pop(vq).expect("caller checked the head");
+        ctx.events.buffer_reads += 1;
+        ctx.events.xbar_traversals += 1;
+        let cycle = ctx.cycle;
+        let node = self.node;
+        let waited = cycle.saturating_sub(ready.saturating_sub(1));
+        ctx.trace.emit(|| TraceEvent::BufferExit {
+            cycle,
+            node,
+            packet: f.packet,
+            flit_index: f.flit_index as u16,
+            waited,
+        });
+        f
+    }
+
+    /// AFC-style deflection assignment for arrivals the slab refused:
+    /// they must leave this cycle, whatever port is free.
+    fn deflect_overflow(&self, flits: &[Flit], used: &mut [bool; 4], ctx: &mut StepCtx) {
+        for &(mut f) in flits {
+            let ranking = rank_ports_inline(&self.mesh, self.node, f.dst);
+            let productive = productive_count(&self.mesh, self.node, f.dst);
+            let (dir, deflected) = assign_port_with_faults(
+                &ranking,
+                productive,
+                used,
+                &self.link_down,
+                f.deflections as usize,
+            )
+            .expect("overflow count never exceeds free ports");
+            used[dir.index()] = true;
+            if deflected {
+                f.deflections += 1;
+                ctx.events.deflections += 1;
+                let cycle = ctx.cycle;
+                let wanted = ranking[0];
+                let node = self.node;
+                ctx.trace.emit(|| TraceEvent::Deflect {
+                    cycle,
+                    node,
+                    packet: f.packet,
+                    flit_index: f.flit_index as u16,
+                    wanted,
+                    got: dir,
+                });
+            }
+            ctx.events.xbar_traversals += 1;
+            ctx.out_links[dir.index()] = Some(f);
+        }
+    }
+}
+
+impl RouterModel for DamqRouter {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        // Buffer-write phase: arrivals enter the slab oldest first (so the
+        // shared pool's last slots go to older flits); refused arrivals
+        // fall through to deflection.
+        let mut arrivals: InlineVec<Flit, 4> =
+            ctx.arrivals.iter_mut().filter_map(|a| a.take()).collect();
+        arrivals.sort_unstable_by_key(|f| f.age_key());
+        let mut overflow: InlineVec<Flit, 4> = InlineVec::new();
+        for f in arrivals.iter() {
+            if let Err(f) = self.buffer(f, ctx) {
+                overflow.push(f);
+            }
+        }
+
+        // Injection enters the slab too (lowest write priority). A refusal
+        // leaves the flit in the source queue — injections never deflect.
+        if let Some(inj) = ctx.injection {
+            let (vq, _) = self.route_vq(&inj);
+            if self.slab.can_accept(vq) && self.buffer(inj, ctx).is_ok() {
+                ctx.injected = true;
+            }
+        }
+
+        // Overflow arrivals leave now, before the queue heads, because
+        // they have no other cycle to leave in.
+        let mut used = [false; 4];
+        overflow.sort_unstable_by_key(|f| f.age_key());
+        self.deflect_overflow(&overflow, &mut used, ctx);
+
+        // Switch-traversal phase: each free output serves its queue head.
+        for d in LINK_DIRECTIONS {
+            if used[d.index()] {
+                continue;
+            }
+            let ready = match self.slab.front(d.index()) {
+                Some((_, ready)) => ready,
+                None => continue,
+            };
+            if ready > ctx.cycle {
+                continue;
+            }
+            let f = self.unbuffer(d.index(), ready, ctx);
+            ctx.out_links[d.index()] = Some(f);
+        }
+
+        // Ejection: one flit per cycle to the PE.
+        if let Some((_, ready)) = self.slab.front(LOCAL_VQ) {
+            if ready <= ctx.cycle {
+                let f = self.unbuffer(LOCAL_VQ, ready, ctx);
+                ctx.ejected.push(f);
+            }
+        }
+
+        if ctx.probe.is_enabled() {
+            let cap = self.slab.capacity() as u8;
+            for vq in 0..crate::slab::NUM_VQS {
+                let depth = self.slab.vq_len(vq) as u8;
+                ctx.probe.emit(|| ProbeEvent::FifoDepth {
+                    input: vq as u8,
+                    depth,
+                    cap,
+                });
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.slab.occupancy()
+    }
+
+    fn set_faulty_links(&mut self, down: [bool; NUM_LINK_PORTS]) {
+        self.link_down = down;
+    }
+
+    fn design_name(&self) -> &'static str {
+        "DAMQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::flit::PacketId;
+    use noc_core::types::Direction;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4)
+    }
+
+    fn router() -> DamqRouter {
+        DamqRouter::new(NodeId(5), mesh(), 4)
+    }
+
+    fn flit(dst: u16, created: u64) -> Flit {
+        Flit::synthetic(PacketId(created), NodeId(0), NodeId(dst), created)
+    }
+
+    #[test]
+    fn arrival_is_buffered_then_served_next_cycle() {
+        let mut r = router();
+        let mut ctx = StepCtx::new(0);
+        // Node 5 = (1,1); node 7 = (3,1) is due East.
+        ctx.arrivals[Direction::West.index()] = Some(flit(7, 0));
+        r.step(&mut ctx);
+        assert_eq!(ctx.events.buffer_writes, 1);
+        assert_eq!(r.occupancy(), 1, "buffered, not switched");
+        assert!(ctx.out_links.iter().all(|o| o.is_none()));
+
+        let mut ctx = StepCtx::new(1);
+        r.step(&mut ctx);
+        assert_eq!(
+            ctx.out_links[Direction::East.index()].unwrap().packet,
+            PacketId(0)
+        );
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn conflicting_arrivals_share_one_queue_without_deflecting() {
+        let mut r = router();
+        let mut ctx = StepCtx::new(0);
+        ctx.arrivals[Direction::West.index()] = Some(flit(7, 0));
+        ctx.arrivals[Direction::North.index()] = Some(flit(7, 3));
+        ctx.arrivals[Direction::South.index()] = Some(flit(7, 9));
+        r.step(&mut ctx);
+        assert_eq!(ctx.events.deflections, 0, "shared buffering absorbs all");
+        assert_eq!(r.slab().vq_len(Direction::East.index()), 3);
+        // East drains one per cycle, oldest first.
+        for (t, want) in [(1u64, 0u64), (2, 3), (3, 9)] {
+            let mut ctx = StepCtx::new(t);
+            r.step(&mut ctx);
+            assert_eq!(
+                ctx.out_links[Direction::East.index()].unwrap().packet,
+                PacketId(want)
+            );
+        }
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn slab_refusal_falls_back_to_deflection() {
+        let mut r = router();
+        // Saturate the East queue past reserved + shared budget without
+        // ever letting East drain: pump 4 East-bound arrivals per cycle.
+        let mut deflected = false;
+        for t in 0..40u64 {
+            let mut ctx = StepCtx::new(t);
+            for d in LINK_DIRECTIONS {
+                ctx.arrivals[d.index()] = Some(flit(7, t * 4 + d.index() as u64));
+            }
+            r.step(&mut ctx);
+            r.slab().check_integrity().unwrap();
+            if ctx.events.deflections > 0 {
+                deflected = true;
+                break;
+            }
+        }
+        assert!(deflected, "slab exhaustion must fall back to deflection");
+    }
+
+    #[test]
+    fn local_flits_eject_one_per_cycle() {
+        let mut r = router();
+        let mut ctx = StepCtx::new(0);
+        ctx.arrivals[Direction::West.index()] = Some(flit(5, 0));
+        ctx.arrivals[Direction::East.index()] = Some(flit(5, 1));
+        r.step(&mut ctx);
+        assert!(ctx.ejected.is_empty(), "buffer write costs a cycle");
+        let mut ctx = StepCtx::new(1);
+        r.step(&mut ctx);
+        assert_eq!(ctx.ejected.len(), 1);
+        assert_eq!(ctx.ejected[0].packet, PacketId(0), "oldest first");
+        let mut ctx = StepCtx::new(2);
+        r.step(&mut ctx);
+        assert_eq!(ctx.ejected.len(), 1);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn injection_accepted_only_when_slab_has_room() {
+        let mut r = router();
+        let mut ctx = StepCtx::new(0);
+        ctx.injection = Some(flit(7, 0));
+        r.step(&mut ctx);
+        assert!(ctx.injected);
+        assert_eq!(r.occupancy(), 1);
+        // Fill East's budgets completely; further injections are refused.
+        let mut t = 1u64;
+        loop {
+            let mut ctx = StepCtx::new(0); // cycle pinned: nothing ready
+            ctx.injection = Some(flit(7, t));
+            r.step(&mut ctx);
+            if !ctx.injected {
+                break;
+            }
+            t += 1;
+            assert!(t < 100, "slab must eventually refuse");
+        }
+        r.slab().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn dead_link_steers_vq_choice() {
+        let mut r = router();
+        // Node 5 -> node 7 prefers East; kill East.
+        let mut down = [false; NUM_LINK_PORTS];
+        down[Direction::East.index()] = true;
+        r.set_faulty_links(down);
+        let f = flit(7, 0);
+        let (vq, misroute) = r.route_vq(&f);
+        assert_ne!(vq, Direction::East.index());
+        assert!(misroute, "non-minimal choice counts as a deflection");
+    }
+
+    #[test]
+    fn conservation_under_random_churn() {
+        let mut r = router();
+        for t in 0..500u64 {
+            let mut ctx = StepCtx::new(t);
+            for d in LINK_DIRECTIONS {
+                if (t + d.index() as u64).is_multiple_of(2) {
+                    ctx.arrivals[d.index()] = Some(flit((t % 16) as u16, t * 4 + d.index() as u64));
+                }
+            }
+            if t % 3 == 0 {
+                ctx.injection = Some(flit(((t + 5) % 16) as u16, t * 4 + 17));
+            }
+            let arrivals = ctx.arrivals.iter().flatten().count();
+            let before = r.occupancy();
+            r.step(&mut ctx);
+            assert_eq!(
+                before + arrivals + usize::from(ctx.injected),
+                r.occupancy() + ctx.flits_out(),
+                "conservation at t={t}"
+            );
+            r.slab().check_integrity().unwrap();
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Shared-slab buffer with linked-list free-space management.
+//!
+//! A DAMQ router holds *all* of its input buffering in one physical SRAM
+//! bank; virtual queues (one per output port) are carved out of it
+//! dynamically by threading per-queue linked lists through the slot array.
+//! This module is that bank: flit payloads live in a [`FlitPool`] arena,
+//! and the slab adds the allocator on top — an intrusive singly-linked
+//! free list plus one `(head, tail)` chain per virtual queue, all threaded
+//! through a single `next[]` array so occupancy moves between the free
+//! list and the queues without copying flits.
+//!
+//! **Reserved-slot starvation guard.** A naive shared buffer lets one hot
+//! output queue absorb every slot and starve the rest. The slab therefore
+//! splits its budget: each virtual queue owns exactly one *reserved* slot
+//! credit, and only `capacity - NUM_VQS` slots are *shared*. A queue's
+//! push draws its reserved credit whenever it holds none, and falls back
+//! to the shared pool otherwise; pushes beyond the shared budget are
+//! refused ([`SharedSlab::push`] returns the flit back) so the router can
+//! fall back to deflection. The guard yields a local, exhaustively
+//! checkable invariant: a queue that holds no reserved slot can *always*
+//! accept one flit, because at most `NUM_VQS - 1` other reserved credits
+//! and `capacity - NUM_VQS` shared slots can be outstanding.
+
+use noc_core::flit::Flit;
+use noc_core::pool::{FlitId, FlitPool};
+use noc_core::types::Cycle;
+
+/// Virtual queues per router: one per link output plus the ejection port.
+pub const NUM_VQS: usize = 5;
+
+/// Virtual-queue index of the ejection (local) port.
+pub const LOCAL_VQ: usize = 4;
+
+/// Null slot index terminating every chain.
+const NIL: u32 = u32::MAX;
+
+/// Which budget a buffered flit's slot was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotBudget {
+    /// The owning virtual queue's single guaranteed slot credit.
+    Reserved,
+    /// The common pool shared by all virtual queues.
+    Shared,
+}
+
+/// Per-slot bookkeeping for an occupied slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    /// Handle of the parked flit in the arena.
+    flit: FlitId,
+    /// Earliest cycle the flit may be read out (buffer write takes one
+    /// cycle, as in the buffered baselines).
+    ready: Cycle,
+    /// Budget the slot was drawn from (returned on pop).
+    budget: SlotBudget,
+}
+
+/// One virtual queue's chain through the slot array.
+#[derive(Debug, Clone, Copy)]
+struct VqList {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl VqList {
+    const EMPTY: VqList = VqList {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+}
+
+/// The shared buffer bank: a fixed number of slots, a free list, and
+/// [`NUM_VQS`] FIFO chains threaded through one `next[]` array.
+#[derive(Debug)]
+pub struct SharedSlab {
+    /// Flit payload arena; holds exactly the occupied slots' flits.
+    pool: FlitPool,
+    /// Occupied-slot bookkeeping, `None` for free slots.
+    meta: Vec<Option<SlotMeta>>,
+    /// Chain links: successor in the owning VQ for occupied slots, next
+    /// free slot for free ones.
+    next: Vec<u32>,
+    free_head: u32,
+    free_len: usize,
+    vqs: [VqList; NUM_VQS],
+    /// Whether each VQ currently holds its reserved slot credit.
+    has_reserved: [bool; NUM_VQS],
+    shared_used: usize,
+}
+
+impl SharedSlab {
+    /// A slab with `capacity` total slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity < NUM_VQS`: the starvation guard needs one
+    /// reserved credit per virtual queue.
+    pub fn new(capacity: usize) -> SharedSlab {
+        assert!(
+            capacity >= NUM_VQS,
+            "shared slab needs at least one slot per virtual queue"
+        );
+        assert!(capacity < NIL as usize, "slab capacity exceeds u32 slots");
+        // Free list initially chains slot 0 -> 1 -> ... -> capacity-1.
+        let next = (1..=capacity as u32)
+            .map(|i| if i as usize == capacity { NIL } else { i })
+            .collect();
+        SharedSlab {
+            pool: FlitPool::with_capacity(capacity),
+            meta: vec![None; capacity],
+            next,
+            free_head: 0,
+            free_len: capacity,
+            vqs: [VqList::EMPTY; NUM_VQS],
+            has_reserved: [false; NUM_VQS],
+            shared_used: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Shared-pool budget (`capacity - NUM_VQS`).
+    pub fn shared_cap(&self) -> usize {
+        self.capacity() - NUM_VQS
+    }
+
+    /// Shared slots currently occupied.
+    pub fn shared_used(&self) -> usize {
+        self.shared_used
+    }
+
+    /// Free slots on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free_len
+    }
+
+    /// Flits currently buffered across all virtual queues.
+    pub fn occupancy(&self) -> usize {
+        self.capacity() - self.free_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.free_len == self.capacity()
+    }
+
+    /// Occupancy of one virtual queue.
+    pub fn vq_len(&self, vq: usize) -> usize {
+        self.vqs[vq].len
+    }
+
+    /// Whether `vq` currently holds its reserved slot credit.
+    pub fn has_reserved(&self, vq: usize) -> bool {
+        self.has_reserved[vq]
+    }
+
+    /// Whether a push to `vq` would be accepted right now.
+    pub fn can_accept(&self, vq: usize) -> bool {
+        !self.has_reserved[vq] || self.shared_used < self.shared_cap()
+    }
+
+    /// Append `flit` to virtual queue `vq`, readable from cycle `ready`.
+    ///
+    /// Returns the granted slot index, or the flit back when the queue
+    /// already holds its reserved slot and the shared pool is exhausted
+    /// (the caller deflects or stalls it).
+    pub fn push(&mut self, vq: usize, flit: Flit, ready: Cycle) -> Result<u32, Flit> {
+        let budget = if !self.has_reserved[vq] {
+            SlotBudget::Reserved
+        } else if self.shared_used < self.shared_cap() {
+            SlotBudget::Shared
+        } else {
+            return Err(flit);
+        };
+        // The starvation guard proves a free slot exists: at most
+        // NUM_VQS reserved credits plus shared_cap shared slots can be
+        // outstanding, and one of the two budgets just admitted us.
+        let slot = self.free_head;
+        assert!(slot != NIL, "free list empty despite budget admission");
+        self.free_head = self.next[slot as usize];
+        self.free_len -= 1;
+
+        let id = self.pool.alloc(flit);
+        self.meta[slot as usize] = Some(SlotMeta {
+            flit: id,
+            ready,
+            budget,
+        });
+        self.next[slot as usize] = NIL;
+        let q = &mut self.vqs[vq];
+        if q.tail == NIL {
+            q.head = slot;
+        } else {
+            self.next[q.tail as usize] = slot;
+        }
+        q.tail = slot;
+        q.len += 1;
+        match budget {
+            SlotBudget::Reserved => self.has_reserved[vq] = true,
+            SlotBudget::Shared => self.shared_used += 1,
+        }
+        Ok(slot)
+    }
+
+    /// Head flit of `vq` and its ready cycle, without removing it.
+    pub fn front(&self, vq: usize) -> Option<(&Flit, Cycle)> {
+        let head = self.vqs[vq].head;
+        if head == NIL {
+            return None;
+        }
+        let m = self.meta[head as usize].as_ref().expect("head is occupied");
+        Some((self.pool.get(m.flit), m.ready))
+    }
+
+    /// Remove and return the head flit of `vq` (FIFO order) plus the
+    /// budget its slot returns to.
+    pub fn pop(&mut self, vq: usize) -> Option<(Flit, SlotBudget)> {
+        let q = &mut self.vqs[vq];
+        let slot = q.head;
+        if slot == NIL {
+            return None;
+        }
+        let m = self.meta[slot as usize].take().expect("head is occupied");
+        q.head = self.next[slot as usize];
+        if q.head == NIL {
+            q.tail = NIL;
+        }
+        q.len -= 1;
+        self.next[slot as usize] = self.free_head;
+        self.free_head = slot;
+        self.free_len += 1;
+        match m.budget {
+            SlotBudget::Reserved => self.has_reserved[vq] = false,
+            SlotBudget::Shared => self.shared_used -= 1,
+        }
+        Some((self.pool.take(m.flit), m.budget))
+    }
+
+    /// Walk every chain and verify the allocator's structural invariants:
+    /// the free list and the VQ chains partition the slot array exactly,
+    /// every length counter matches its chain, and the budget counters
+    /// match the slot tags. Used by the model checker and tests; `Err`
+    /// carries a description of the first violated invariant.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let cap = self.capacity();
+        let mut seen = vec![false; cap];
+        let mut cursor = self.free_head;
+        let mut free_walk = 0usize;
+        while cursor != NIL {
+            let i = cursor as usize;
+            if i >= cap {
+                return Err(format!("free list points at slot {i} >= capacity {cap}"));
+            }
+            if seen[i] {
+                return Err(format!("slot {i} appears twice (free-list cycle or share)"));
+            }
+            seen[i] = true;
+            if self.meta[i].is_some() {
+                return Err(format!("slot {i} is on the free list but occupied"));
+            }
+            free_walk += 1;
+            if free_walk > cap {
+                return Err("free list longer than capacity".into());
+            }
+            cursor = self.next[i];
+        }
+        if free_walk != self.free_len {
+            return Err(format!(
+                "free list walk found {free_walk} slots, counter says {}",
+                self.free_len
+            ));
+        }
+        let mut reserved_tags = [0usize; NUM_VQS];
+        let mut shared_walk = 0usize;
+        for (vq, q) in self.vqs.iter().enumerate() {
+            let mut cursor = q.head;
+            let mut len_walk = 0usize;
+            let mut last = NIL;
+            while cursor != NIL {
+                let i = cursor as usize;
+                if i >= cap {
+                    return Err(format!("vq {vq} points at slot {i} >= capacity {cap}"));
+                }
+                if seen[i] {
+                    return Err(format!("slot {i} appears twice (double grant)"));
+                }
+                seen[i] = true;
+                let Some(m) = self.meta[i].as_ref() else {
+                    return Err(format!("slot {i} is chained in vq {vq} but free"));
+                };
+                match m.budget {
+                    SlotBudget::Reserved => reserved_tags[vq] += 1,
+                    SlotBudget::Shared => shared_walk += 1,
+                }
+                len_walk += 1;
+                if len_walk > cap {
+                    return Err(format!("vq {vq} chain longer than capacity"));
+                }
+                last = cursor;
+                cursor = self.next[i];
+            }
+            if len_walk != q.len {
+                return Err(format!(
+                    "vq {vq} walk found {len_walk} slots, counter says {}",
+                    q.len
+                ));
+            }
+            if q.tail != last {
+                return Err(format!(
+                    "vq {vq} tail {} != last chained slot {last}",
+                    q.tail
+                ));
+            }
+            if reserved_tags[vq] > 1 {
+                return Err(format!(
+                    "vq {vq} holds {} reserved slots (budget is 1)",
+                    reserved_tags[vq]
+                ));
+            }
+            if (reserved_tags[vq] == 1) != self.has_reserved[vq] {
+                return Err(format!(
+                    "vq {vq} reserved flag {} disagrees with chain tags {}",
+                    self.has_reserved[vq], reserved_tags[vq]
+                ));
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err("a slot is on no chain (leaked)".into());
+        }
+        if shared_walk != self.shared_used {
+            return Err(format!(
+                "chains hold {shared_walk} shared slots, counter says {}",
+                self.shared_used
+            ));
+        }
+        if self.shared_used > self.shared_cap() {
+            return Err(format!(
+                "shared budget exceeded: {} > {}",
+                self.shared_used,
+                self.shared_cap()
+            ));
+        }
+        if self.pool.live() != self.occupancy() {
+            return Err(format!(
+                "arena holds {} flits, chains hold {}",
+                self.pool.live(),
+                self.occupancy()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::flit::PacketId;
+    use noc_core::types::NodeId;
+
+    fn flit(tag: u64) -> Flit {
+        Flit::synthetic(PacketId(tag), NodeId(0), NodeId(1), tag)
+    }
+
+    #[test]
+    fn fifo_order_per_vq() {
+        let mut s = SharedSlab::new(16);
+        for i in 0..4 {
+            s.push(2, flit(i), 0).unwrap();
+        }
+        s.push(0, flit(99), 0).unwrap();
+        for i in 0..4 {
+            assert_eq!(s.pop(2).unwrap().0.packet, PacketId(i));
+        }
+        assert_eq!(s.pop(2), None);
+        assert_eq!(s.pop(0).unwrap().0.packet, PacketId(99));
+        assert!(s.is_empty());
+        s.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn empty_vq_always_accepts_at_saturation() {
+        let mut s = SharedSlab::new(16);
+        // Saturate vq 0: its reserved slot + the whole shared pool.
+        let mut accepted = 0;
+        for i in 0.. {
+            match s.push(0, flit(i), 0) {
+                Ok(_) => accepted += 1,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(accepted, 1 + s.shared_cap(), "reserved + shared budget");
+        assert_eq!(s.shared_used(), s.shared_cap());
+        // Every other (empty) vq still accepts exactly its reserved slot.
+        for vq in 1..NUM_VQS {
+            assert!(s.can_accept(vq));
+            s.push(vq, flit(100 + vq as u64), 0).unwrap();
+            assert!(!s.can_accept(vq), "second push exceeds every budget");
+        }
+        assert_eq!(s.occupancy(), s.capacity());
+        assert_eq!(s.free_len(), 0);
+        s.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn budgets_are_returned_on_pop() {
+        let mut s = SharedSlab::new(8);
+        s.push(1, flit(0), 0).unwrap();
+        s.push(1, flit(1), 0).unwrap();
+        assert!(s.has_reserved(1));
+        assert_eq!(s.shared_used(), 1);
+        // Head is the reserved slot (pushed first).
+        assert_eq!(s.pop(1).unwrap().1, SlotBudget::Reserved);
+        assert!(!s.has_reserved(1));
+        assert_eq!(s.shared_used(), 1);
+        // Next push re-draws the reserved credit even mid-queue.
+        s.push(1, flit(2), 0).unwrap();
+        assert!(s.has_reserved(1));
+        assert_eq!(s.pop(1).unwrap().1, SlotBudget::Shared);
+        assert_eq!(s.pop(1).unwrap().1, SlotBudget::Reserved);
+        assert!(s.is_empty());
+        s.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn ready_cycles_travel_with_flits() {
+        let mut s = SharedSlab::new(8);
+        s.push(3, flit(7), 42).unwrap();
+        let (f, ready) = s.front(3).unwrap();
+        assert_eq!(f.packet, PacketId(7));
+        assert_eq!(ready, 42);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_chains_intact() {
+        let mut s = SharedSlab::new(8);
+        // Churn pushes and pops across queues so slots recycle heavily.
+        let mut tag = 0u64;
+        for round in 0..200 {
+            for vq in 0..NUM_VQS {
+                if s.can_accept(vq) {
+                    s.push(vq, flit(tag), round).unwrap();
+                    tag += 1;
+                }
+            }
+            let victim = (round as usize * 3 + 1) % NUM_VQS;
+            s.pop(victim);
+            s.pop((victim + 2) % NUM_VQS);
+            s.check_integrity().unwrap();
+        }
+    }
+}

@@ -27,7 +27,8 @@ USAGE:
 
 OPTIONS:
     --design <NAME>     flit-bless | scarab | buffered4 | buffered8 |
-                        dxbar-dor | dxbar-wf | unified-dor | unified-wf
+                        dxbar-dor | dxbar-wf | unified-dor | unified-wf |
+                        afc | damq | minbd
                         (default: dxbar-dor)
     --pattern <ABBREV>  UR NUR BR BF CP MT PS NB TOR   (default: UR)
     --load <FRACTION>   offered load, fraction of capacity (default: 0.4)
@@ -58,6 +59,9 @@ fn parse_design(s: &str) -> Option<Design> {
         "dxbar-wf" => Design::DXbarWf,
         "unified-dor" | "unified" => Design::UnifiedDor,
         "unified-wf" => Design::UnifiedWf,
+        "afc" => Design::Afc,
+        "damq" => Design::Damq,
+        "minbd" | "min-bd" => Design::MinBd,
         _ => return None,
     })
 }
@@ -107,7 +111,7 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--list" => {
-                println!("designs : flit-bless scarab buffered4 buffered8 dxbar-dor dxbar-wf unified-dor unified-wf");
+                println!("designs : flit-bless scarab buffered4 buffered8 dxbar-dor dxbar-wf unified-dor unified-wf afc damq minbd");
                 print!("patterns:");
                 for p in Pattern::ALL {
                     print!(" {}", p.abbrev());

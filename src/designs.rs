@@ -19,6 +19,7 @@ use noc_topology::Mesh;
 use noc_traffic::generator::SyntheticTraffic;
 use noc_traffic::patterns::Pattern;
 use noc_traffic::splash::{SplashApp, SplashTraffic};
+use noc_zoo::{DamqRouter, MinBdRouter};
 use serde::{Deserialize, Serialize};
 
 /// One evaluated configuration: a router micro-architecture plus its
@@ -36,6 +37,11 @@ pub enum Design {
     UnifiedWf,
     /// Extension: simplified Adaptive Flow Control (the paper's ref. \[9\]).
     Afc,
+    /// Extension: DAMQ shared-buffer router (arXiv:0910.1852).
+    Damq,
+    /// Extension: MinBD minimally-buffered deflection router
+    /// (arXiv:2112.02516).
+    MinBd,
 }
 
 impl Design {
@@ -50,7 +56,7 @@ impl Design {
     ];
 
     /// Every configuration this crate can build.
-    pub const ALL: [Design; 9] = [
+    pub const ALL: [Design; 11] = [
         Design::FlitBless,
         Design::Scarab,
         Design::Buffered4,
@@ -60,6 +66,8 @@ impl Design {
         Design::UnifiedDor,
         Design::UnifiedWf,
         Design::Afc,
+        Design::Damq,
+        Design::MinBd,
     ];
 
     /// Display name matching the paper's legends.
@@ -74,6 +82,8 @@ impl Design {
             Design::UnifiedDor => "Unified Xbar DOR",
             Design::UnifiedWf => "Unified Xbar WF",
             Design::Afc => "AFC",
+            Design::Damq => "DAMQ",
+            Design::MinBd => "MinBD",
         }
     }
 
@@ -88,6 +98,8 @@ impl Design {
             Design::UnifiedDor | Design::UnifiedWf => DesignKind::UnifiedXbar,
             // AFC carries Buffered-4-class storage plus mode logic.
             Design::Afc => DesignKind::Buffered4,
+            Design::Damq => DesignKind::Damq,
+            Design::MinBd => DesignKind::MinBd,
         }
     }
 
@@ -145,6 +157,8 @@ impl Design {
                 cfg.fairness_threshold,
             )),
             Design::Afc => RouterKind::Afc(AfcRouter::new(node, mesh, depth)),
+            Design::Damq => RouterKind::Damq(DamqRouter::new(node, mesh, depth)),
+            Design::MinBd => RouterKind::MinBd(MinBdRouter::new(node, mesh, depth)),
         }
     }
 

@@ -14,8 +14,9 @@ use dxbar::{DXbarRouter, UnifiedRouter};
 use noc_baseline::{AfcRouter, BlessRouter, BufferedRouter, ScarabRouter};
 use noc_core::types::{NodeId, NUM_LINK_PORTS};
 use noc_sim::router::{RouterModel, StepCtx};
+use noc_zoo::{DamqRouter, MinBdRouter};
 
-/// One of the paper's router micro-architectures, dispatched statically.
+/// One of the evaluated router micro-architectures, dispatched statically.
 #[allow(clippy::large_enum_variant)]
 pub enum RouterKind {
     DXbar(DXbarRouter),
@@ -24,6 +25,8 @@ pub enum RouterKind {
     Bless(BlessRouter),
     Scarab(ScarabRouter),
     Afc(AfcRouter),
+    Damq(DamqRouter),
+    MinBd(MinBdRouter),
 }
 
 macro_rules! dispatch {
@@ -35,6 +38,8 @@ macro_rules! dispatch {
             RouterKind::Bless($r) => $body,
             RouterKind::Scarab($r) => $body,
             RouterKind::Afc($r) => $body,
+            RouterKind::Damq($r) => $body,
+            RouterKind::MinBd($r) => $body,
         }
     };
 }

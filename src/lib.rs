@@ -51,3 +51,4 @@ pub use noc_sim;
 pub use noc_topology;
 pub use noc_traffic;
 pub use noc_verify;
+pub use noc_zoo;
