@@ -16,6 +16,10 @@
 //! * `--pattern NAME` — `uniform`, `nonuniform`, `bitrev`, `butterfly`,
 //!   `complement`, `transpose`, `shuffle`, `neighbor`, `tornado`
 //!   (default `uniform`);
+//! * `--scenario NAME` — run a named workload scenario instead of a
+//!   synthetic pattern (`mmpp_ur`, `pareto_ur`, `interfere2`,
+//!   `mixed_islands`, `torus_ur`, `cmesh_ur`, optionally parameterized as
+//!   `interfere2:2.5`); the summary gains a per-application block;
 //! * `--load F`       — offered load as a fraction of capacity (default 0.3);
 //! * `--out DIR`      — output directory (default `trace_out`);
 //! * `--events N`     — ring-buffer capacity, 0 = keep everything
@@ -39,6 +43,7 @@ use std::process::exit;
 struct Options {
     design: Design,
     pattern: Pattern,
+    scenario: Option<String>,
     load: f64,
     out: PathBuf,
     events: usize,
@@ -46,6 +51,14 @@ struct Options {
     top: usize,
     verify: bool,
 }
+
+/// Design spellings accepted by `--design`, for unknown-name errors.
+const KNOWN_DESIGNS: &str = "flit-bless, scarab, buffered4, buffered8, dxbar-dor, \
+     dxbar-wf, unified-dor, unified-wf, afc, damq, minbd";
+
+/// Pattern spellings accepted by `--pattern`, for unknown-name errors.
+const KNOWN_PATTERNS: &str = "uniform, nonuniform, bitrev, butterfly, complement, \
+     transpose, shuffle, neighbor, tornado";
 
 fn parse_design(s: &str) -> Option<Design> {
     Some(match s.to_ascii_lowercase().as_str() {
@@ -89,6 +102,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         design: Design::DXbarDor,
         pattern: Pattern::UniformRandom,
+        scenario: None,
         load: 0.3,
         out: PathBuf::from("trace_out"),
         events: 0,
@@ -105,14 +119,21 @@ fn parse_args() -> Options {
         match flag.as_str() {
             "--design" => {
                 let v = value("--design");
-                opts.design = parse_design(&v)
-                    .unwrap_or_else(|| usage_and_exit(&format!("unknown design '{v}'")));
+                opts.design = parse_design(&v).unwrap_or_else(|| {
+                    usage_and_exit(&format!(
+                        "unknown design '{v}'; known designs: {KNOWN_DESIGNS}"
+                    ))
+                });
             }
             "--pattern" => {
                 let v = value("--pattern");
-                opts.pattern = parse_pattern(&v)
-                    .unwrap_or_else(|| usage_and_exit(&format!("unknown pattern '{v}'")));
+                opts.pattern = parse_pattern(&v).unwrap_or_else(|| {
+                    usage_and_exit(&format!(
+                        "unknown pattern '{v}'; known patterns: {KNOWN_PATTERNS}"
+                    ))
+                });
             }
+            "--scenario" => opts.scenario = Some(value("--scenario")),
             "--load" => {
                 let v = value("--load");
                 opts.load = v
@@ -147,24 +168,56 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let cfg = paper_config();
+    let mut cfg = paper_config();
     let sink = RecordingSink::new(opts.events, opts.stride);
 
+    // Resolve the scenario (when given) before announcing the run, so an
+    // unknown name is a usage error with the known-names listing.
+    let scenario = opts.scenario.as_ref().map(|name| {
+        noc_scenario::ScenarioSpec::resolve(name, &cfg).unwrap_or_else(|e| usage_and_exit(&e))
+    });
+    if let Some(spec) = &scenario {
+        cfg = noc_scenario::scenario_config(&cfg, spec);
+    }
+
     eprintln!(
-        "[trace_run] {} / {:?} @ load {:.2} on {}x{} mesh ...",
+        "[trace_run] {} / {} @ load {:.2} on {}x{} mesh ...",
         opts.design.name(),
-        opts.pattern,
+        scenario
+            .as_ref()
+            .map(|s| format!("scenario {}", s.name))
+            .unwrap_or_else(|| format!("{:?}", opts.pattern)),
         opts.load,
         cfg.width,
         cfg.height
     );
-    let (result, sink, verify_report) = if opts.verify {
-        let (r, s, rep) =
-            run_synthetic_traced_verified(opts.design, &cfg, opts.pattern, opts.load, sink);
-        (r, s, Some(rep))
-    } else {
-        let (r, s) = run_synthetic_traced(opts.design, &cfg, opts.pattern, opts.load, sink);
-        (r, s, None)
+    let (result, sink, verify_report) = match (&scenario, opts.verify) {
+        (Some(spec), true) => {
+            let (r, s, rep) = noc_scenario::run_scenario_traced_verified(
+                opts.design,
+                &cfg,
+                spec,
+                opts.load,
+                sink,
+            )
+            .unwrap_or_else(|e| usage_and_exit(&e));
+            (r, s, Some(rep))
+        }
+        (Some(spec), false) => {
+            let (r, s) =
+                noc_scenario::run_scenario_traced(opts.design, &cfg, spec, opts.load, sink)
+                    .unwrap_or_else(|e| usage_and_exit(&e));
+            (r, s, None)
+        }
+        (None, true) => {
+            let (r, s, rep) =
+                run_synthetic_traced_verified(opts.design, &cfg, opts.pattern, opts.load, sink);
+            (r, s, Some(rep))
+        }
+        (None, false) => {
+            let (r, s) = run_synthetic_traced(opts.design, &cfg, opts.pattern, opts.load, sink);
+            (r, s, None)
+        }
     };
 
     std::fs::create_dir_all(&opts.out).expect("create output dir");
@@ -183,16 +236,27 @@ fn main() {
     let s = sink.lifetimes.summary();
     let _ = writeln!(
         text,
-        "TRACED RUN — {} / {:?} @ offered load {:.2}",
-        opts.design.name(),
-        opts.pattern,
-        opts.load
+        "TRACED RUN — {} / {} @ offered load {:.2}",
+        result.design, result.traffic, opts.load
     );
     let _ = writeln!(
         text,
         "accepted rate {:.4} flits/node/cycle ({:.3} of capacity), avg packet latency {:.1} cycles",
         result.accepted_rate, result.accepted_fraction, result.avg_packet_latency
     );
+    for a in &result.apps {
+        let _ = writeln!(
+            text,
+            "app {:<8} [{}] {:>3} srcs: offered {} accepted {} ({:.4}/node/cycle), avg latency {:.1} cycles",
+            a.name,
+            a.traffic,
+            a.src_nodes,
+            a.offered_packets,
+            a.accepted_packets,
+            a.accepted_rate,
+            a.avg_packet_latency
+        );
+    }
     let _ = writeln!(
         text,
         "events recorded: {} (of {} seen{})",
@@ -247,7 +311,7 @@ fn main() {
     }
 
     // Heatmap: time-averaged buffer occupancy per router.
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(&cfg);
     let mut field = NodeField::new("time-averaged router occupancy (flits)", &mesh);
     let mean_occ = sink.series.mean_node_occupancy();
     for (slot, v) in field.values.iter_mut().zip(&mean_occ) {

@@ -437,6 +437,112 @@ pub fn zoo_smoke() -> CampaignSpec {
     })
 }
 
+/// The background-burstiness sweep of `fig_scenario`: MMPP burst/base
+/// rate ratios of the interfering background application (1 = steady
+/// Bernoulli-equivalent modulation, larger = burstier at the same mean;
+/// the MMPP source clamps at 4, where the low state falls silent).
+pub const SCENARIO_BURSTINESS: [f64; 5] = [1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// The offered load of the scenario study (per app, before `load_scale`).
+pub const SCENARIO_LOAD: f64 = 0.3;
+
+/// Parameterized `interfere2` scenario names for the burstiness sweep —
+/// each is a first-class cacheable scenario identity.
+pub fn interfere_names() -> Vec<String> {
+    SCENARIO_BURSTINESS
+        .iter()
+        .map(|b| format!("interfere2:{b:.3}"))
+        .collect()
+}
+
+/// The designs of the scenario study: one pure-bufferless and one
+/// minimally-buffered router, both credit-free so the `mixed_islands`
+/// fabric accepts either as the base design.
+fn scenario_designs() -> Vec<Design> {
+    vec![Design::FlitBless, Design::MinBd]
+}
+
+/// The scenario study (`fig_scenario`): two groups on the paper's 8x8
+/// fabric. `scenario_interference` sweeps the background app's MMPP
+/// burstiness in the two-app interference split (per-app latency and the
+/// global deflection rate are the figure's y-axes); `scenario_fabrics`
+/// pins one point per remaining scenario family — bursty whole-mesh
+/// MMPP/Pareto, the DAMQ-island mixed fabric, and the torus/cmesh
+/// topologies.
+pub fn scenario() -> CampaignSpec {
+    CampaignSpec::new("scenario")
+        .with_group(PointGroup {
+            label: "scenario_interference".into(),
+            config: paper_config(),
+            designs: scenario_designs(),
+            workload: WorkloadAxis::Scenario {
+                scenarios: interfere_names(),
+                loads: vec![SCENARIO_LOAD],
+            },
+            fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
+            seeds: replicate_seeds(),
+            tag: None,
+        })
+        .with_group(PointGroup {
+            label: "scenario_fabrics".into(),
+            config: paper_config(),
+            designs: scenario_designs(),
+            workload: WorkloadAxis::Scenario {
+                scenarios: vec![
+                    "mmpp_ur".into(),
+                    "pareto_ur".into(),
+                    "mixed_islands".into(),
+                    "torus_ur".into(),
+                    "cmesh_ur".into(),
+                ],
+                loads: vec![SCENARIO_LOAD],
+            },
+            fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
+            seeds: replicate_seeds(),
+            tag: None,
+        })
+}
+
+/// A small scenario campaign for the CI `scenario-smoke` job: the full
+/// scenario family (bursty MMPP/Pareto injection, the two-app
+/// interference split, the mixed BLESS/DAMQ fabric, torus and cmesh) on
+/// the paper's 8x8 grid with short windows, across two credit-free
+/// designs. Intended to run under `--verify` so every scenario faces the
+/// wrap-aware oracle suite end to end.
+pub fn scenario_smoke() -> CampaignSpec {
+    let cfg = SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 1_200,
+        drain_cycles: 500,
+        ..SimConfig::default()
+    };
+    CampaignSpec::new("scenario_smoke").with_group(PointGroup {
+        label: "scenario_smoke".into(),
+        config: cfg,
+        designs: scenario_designs(),
+        workload: WorkloadAxis::Scenario {
+            scenarios: vec![
+                "mmpp_ur".into(),
+                "pareto_ur".into(),
+                "interfere2".into(),
+                "mixed_islands".into(),
+                "torus_ur".into(),
+                "cmesh_ur".into(),
+            ],
+            loads: vec![0.15],
+        },
+        fault_fractions: vec![],
+        transient_rates: vec![],
+        link_faults: vec![],
+        seeds: vec![],
+        tag: None,
+    })
+}
+
 /// The unified evaluation grid: every figure and ablation in one campaign.
 /// Overlapping groups (fig05/fig06) are deduplicated by the engine.
 pub fn repro_all() -> CampaignSpec {
@@ -468,13 +574,15 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
         "verify_smoke" => Some(verify_smoke()),
         "zoo" => Some(zoo()),
         "zoo_smoke" => Some(zoo_smoke()),
+        "scenario" => Some(scenario()),
+        "scenario_smoke" => Some(scenario_smoke()),
         "repro_all" | "all" => Some(repro_all()),
         _ => None,
     }
 }
 
 /// Preset names accepted by [`preset`] (canonical spellings).
-pub const PRESETS: [&str; 13] = [
+pub const PRESETS: [&str; 15] = [
     "fig05",
     "fig06",
     "fig07_08",
@@ -487,6 +595,8 @@ pub const PRESETS: [&str; 13] = [
     "verify_smoke",
     "zoo",
     "zoo_smoke",
+    "scenario",
+    "scenario_smoke",
     "repro_all",
 ];
 
@@ -549,6 +659,39 @@ mod tests {
         let smoke = resilience_smoke();
         smoke.validate().unwrap();
         assert!(smoke.points().iter().all(|p| p.has_resilience()));
+    }
+
+    #[test]
+    fn scenario_presets_cover_the_scenario_families() {
+        let spec = scenario();
+        spec.validate().unwrap();
+        let pts = spec.points();
+        // Burstiness sweep: one point per (design, burstiness).
+        let interference = pts
+            .iter()
+            .filter(|p| p.group == "scenario_interference")
+            .count();
+        assert_eq!(
+            interference,
+            2 * SCENARIO_BURSTINESS.len() * replicate_seeds().len()
+        );
+        // Every scenario family appears in the smoke preset.
+        let smoke = scenario_smoke();
+        smoke.validate().unwrap();
+        let names: std::collections::BTreeSet<String> =
+            smoke.points().iter().map(|p| p.workload.short()).collect();
+        for family in [
+            "mmpp_ur",
+            "pareto_ur",
+            "interfere2",
+            "mixed_islands",
+            "torus_ur",
+            "cmesh_ur",
+        ] {
+            assert!(names.contains(family), "smoke misses {family}");
+        }
+        // The smoke grid stays on the paper's 8x8 fabric.
+        assert!(smoke.points().iter().all(|p| p.config.width == 8));
     }
 
     #[test]

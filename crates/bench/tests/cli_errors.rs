@@ -1,11 +1,15 @@
-//! `campaign_run` CLI error paths: unknown preset and unknown design
-//! names must exit 2 (usage error, distinct from the exit-1 "points
-//! failed" path) and print the accepted spellings.
+//! CLI error paths of the bench bins: unknown preset, design, pattern and
+//! scenario names must exit 2 (usage error, distinct from the exit-1
+//! "points failed" path) and print the accepted spellings.
 
 use std::process::Command;
 
 fn campaign_run() -> Command {
     Command::new(env!("CARGO_BIN_EXE_campaign_run"))
+}
+
+fn trace_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_run"))
 }
 
 #[test]
@@ -47,6 +51,51 @@ fn unknown_design_in_spec_exits_2_and_lists_designs() {
             err.contains(&format!("{d:?}")),
             "design {d:?} missing from: {err}"
         );
+    }
+}
+
+#[test]
+fn trace_run_unknown_pattern_exits_2_and_lists_patterns() {
+    let out = trace_run()
+        .args(["--pattern", "zigzag"])
+        .output()
+        .expect("spawn trace_run");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pattern"), "stderr: {err}");
+    assert!(err.contains("known patterns:"), "stderr: {err}");
+    for name in ["uniform", "transpose", "tornado"] {
+        assert!(err.contains(name), "pattern {name} missing from: {err}");
+    }
+}
+
+#[test]
+fn trace_run_unknown_scenario_exits_2_and_lists_scenarios() {
+    let out = trace_run()
+        .args(["--scenario", "no_such_scenario"])
+        .output()
+        .expect("spawn trace_run");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scenario"), "stderr: {err}");
+    assert!(err.contains("known scenarios"), "stderr: {err}");
+    for name in noc_scenario::ScenarioSpec::KNOWN {
+        assert!(err.contains(name), "scenario {name} missing from: {err}");
+    }
+}
+
+#[test]
+fn trace_run_unknown_design_exits_2_and_lists_designs() {
+    let out = trace_run()
+        .args(["--design", "no-such-router"])
+        .output()
+        .expect("spawn trace_run");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown design"), "stderr: {err}");
+    assert!(err.contains("known designs:"), "stderr: {err}");
+    for name in ["flit-bless", "damq", "minbd"] {
+        assert!(err.contains(name), "design {name} missing from: {err}");
     }
 }
 

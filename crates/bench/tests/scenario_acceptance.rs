@@ -1,0 +1,61 @@
+//! End-to-end acceptance of the scenario subsystem: the full scenario
+//! family — bursty MMPP and Pareto injection, the two-app interference
+//! split, the mixed BLESS/DAMQ fabric, and the torus/cmesh topologies —
+//! on the paper's 8x8 grid, across two designs, under the runtime-oracle
+//! suite. Zero violations, and per-application statistics reported
+//! separately from the global aggregate.
+
+use bench::specs::scenario_smoke;
+use noc_campaign::{run_campaign, ExecOptions};
+
+#[test]
+fn verified_scenario_sweep_is_clean_and_reports_per_app_stats() {
+    let spec = scenario_smoke();
+    spec.validate().expect("smoke spec validates");
+    let report = run_campaign(
+        &spec,
+        &ExecOptions {
+            verify: true,
+            progress: false,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("campaign runs");
+    assert_eq!(report.failed_count(), 0, "no point may fail");
+    assert_eq!(report.total_violations(), 0, "oracle suite must be clean");
+
+    let mut scenarios = std::collections::BTreeSet::new();
+    let mut designs = std::collections::BTreeSet::new();
+    let mut interference = 0;
+    let mut mixed = 0;
+    for o in &report.outcomes {
+        let r = o.result().expect("point succeeded");
+        assert!(r.accepted_packets > 0, "{} delivered nothing", r.traffic);
+        scenarios.insert(o.point.workload.short());
+        designs.insert(o.point.design.name());
+        match o.point.workload.short().as_str() {
+            // Interference points report each app separately, and the
+            // per-app split partitions the global aggregate.
+            "interfere2" => {
+                interference += 1;
+                assert_eq!(r.apps.len(), 2);
+                assert!(r.apps.iter().all(|a| a.avg_packet_latency > 0.0));
+                assert_eq!(
+                    r.apps.iter().map(|a| a.accepted_packets).sum::<u64>(),
+                    r.accepted_packets
+                );
+            }
+            // Mixed-fabric points surface the island overlay in the
+            // fabric name.
+            "mixed_islands" => {
+                mixed += 1;
+                assert!(r.design.contains("islands"), "fabric name: {}", r.design);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(scenarios.len(), 6, "all six scenario families ran");
+    assert_eq!(designs.len(), 2, "each scenario ran across two designs");
+    assert_eq!(interference, 2);
+    assert_eq!(mixed, 2);
+}

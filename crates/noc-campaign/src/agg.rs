@@ -54,7 +54,7 @@ impl Aggregate {
                     out.push(Aggregate {
                         group: o.point.group.clone(),
                         design: design.to_string(),
-                        workload: workload.to_string(),
+                        workload: workload.clone(),
                         x,
                         fault_fraction: ff,
                         transient_rate: tr,

@@ -283,7 +283,7 @@ impl CampaignReport {
 /// Seeded fault plan for a faulty point (the paper's methodology: plan
 /// seeded by the run seed, faults manifest during warmup).
 fn fault_plan(p: &PointSpec) -> FaultPlan {
-    let mesh = Mesh::new(p.config.width, p.config.height);
+    let mesh = Mesh::for_config(&p.config);
     FaultPlan::generate(
         &mesh,
         p.fault_fraction,
@@ -298,7 +298,7 @@ fn fault_plan(p: &PointSpec) -> FaultPlan {
 /// mesh stays connected, and the transient soft-error process. Faults
 /// manifest during warmup, matching [`fault_plan`].
 fn resilience_plan(p: &PointSpec) -> ResiliencePlan {
-    let mesh = Mesh::new(p.config.width, p.config.height);
+    let mesh = Mesh::for_config(&p.config);
     ResiliencePlan::generate(
         &mesh,
         p.fault_fraction,
@@ -336,6 +336,12 @@ pub fn run_point(p: &PointSpec) -> RunResult {
             }
         }
         Workload::Splash { app, max_cycles } => run_splash(p.design, &p.config, *app, *max_cycles),
+        Workload::Scenario { scenario, load } => {
+            let spec = noc_scenario::ScenarioSpec::resolve(scenario, &p.config)
+                .expect("campaign validation resolves scenario names");
+            noc_scenario::run_scenario(p.design, &p.config, &spec, *load)
+                .expect("campaign validation accepts scenario/design pairs")
+        }
     };
     if let Some(tag) = &p.tag {
         r.traffic = tag.clone();
@@ -347,6 +353,24 @@ pub fn run_point(p: &PointSpec) -> RunResult {
 /// returns its result — the violation count travels in [`PointVerify`] and
 /// is surfaced through the campaign manifest's `verify` block.
 pub fn run_point_verified(p: &PointSpec) -> (RunResult, PointVerify) {
+    // Scenario runs flatten violations into their report rather than an
+    // error, so they bypass the Result-shaped dispatch below.
+    if let Workload::Scenario { scenario, load } = &p.workload {
+        let spec = noc_scenario::ScenarioSpec::resolve(scenario, &p.config)
+            .expect("campaign validation resolves scenario names");
+        let (mut r, report) = noc_scenario::run_scenario_verified(p.design, &p.config, &spec, *load)
+            .expect("campaign validation accepts scenario/design pairs");
+        if let Some(tag) = &p.tag {
+            r.traffic = tag.clone();
+        }
+        return (
+            r,
+            PointVerify {
+                violations: report.total_violations,
+                checks: report.checks.total(),
+            },
+        );
+    }
     let outcome = match &p.workload {
         Workload::Synthetic { pattern, load } if p.has_resilience() => {
             run_synthetic_resilient_verified(
@@ -362,13 +386,14 @@ pub fn run_point_verified(p: &PointSpec) -> (RunResult, PointVerify) {
             let plan = if p.fault_fraction > 0.0 {
                 fault_plan(p)
             } else {
-                FaultPlan::none(&Mesh::new(p.config.width, p.config.height))
+                FaultPlan::none(&Mesh::for_config(&p.config))
             };
             run_synthetic_verified(p.design, &p.config, *pattern, *load, &plan)
         }
         Workload::Splash { app, max_cycles } => {
             run_splash_verified(p.design, &p.config, *app, *max_cycles)
         }
+        Workload::Scenario { .. } => unreachable!("handled above"),
     };
     let (mut r, verify) = match outcome {
         Ok((r, report)) => (

@@ -76,7 +76,7 @@ pub use spec::{CampaignSpec, PointGroup, PointSpec, RetryPolicy, Workload, Workl
 /// Code-version salt mixed into every cache key. Bump whenever the
 /// simulator's semantics change in a way that invalidates cached results
 /// (router behaviour, energy model, traffic generation, stat definitions).
-pub const CODE_VERSION: &str = "dxbar-sim-v3";
+pub const CODE_VERSION: &str = "dxbar-sim-v4";
 
 /// FNV-1a 64-bit over a byte string — the stable content hash behind cache
 /// keys and spec hashes. Chosen over `DefaultHasher` because its output is

@@ -8,8 +8,10 @@ use noc_traffic::patterns::Pattern;
 use noc_traffic::splash::SplashApp;
 use serde::{Deserialize, Error, Serialize, Value};
 
-/// One axis of workloads for a [`PointGroup`]: either an open-loop
-/// synthetic sweep (pattern × offered load) or a closed-loop SPLASH sweep.
+/// One axis of workloads for a [`PointGroup`]: an open-loop synthetic
+/// sweep (pattern × offered load), a closed-loop SPLASH sweep, or an
+/// open-loop scenario sweep (named [`noc_scenario::ScenarioSpec`] ×
+/// offered load).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadAxis {
     Synthetic {
@@ -19,6 +21,14 @@ pub enum WorkloadAxis {
     Splash {
         apps: Vec<SplashApp>,
         max_cycles: u64,
+    },
+    /// Scenario names resolve through [`noc_scenario::ScenarioSpec::named`]
+    /// against the group's config; the name + load is the whole workload
+    /// identity (bursty processes, app regions, router mix and topology all
+    /// derive deterministically from the name).
+    Scenario {
+        scenarios: Vec<String>,
+        loads: Vec<f64>,
     },
 }
 
@@ -37,6 +47,11 @@ impl Serialize for WorkloadAxis {
                 ("apps".into(), apps.to_value()),
                 ("max_cycles".into(), max_cycles.to_value()),
             ]),
+            WorkloadAxis::Scenario { scenarios, loads } => Value::Object(vec![
+                ("kind".into(), Value::Str("scenario".into())),
+                ("scenarios".into(), scenarios.to_value()),
+                ("loads".into(), loads.to_value()),
+            ]),
         }
     }
 }
@@ -52,8 +67,12 @@ impl Deserialize for WorkloadAxis {
                 apps: Vec::from_value(v.field("apps"))?,
                 max_cycles: u64::from_value(v.field("max_cycles"))?,
             }),
+            Some("scenario") => Ok(WorkloadAxis::Scenario {
+                scenarios: Vec::from_value(v.field("scenarios"))?,
+                loads: Vec::from_value(v.field("loads"))?,
+            }),
             other => Err(Error::msg(format!(
-                "WorkloadAxis.kind must be \"synthetic\" or \"splash\", got {other:?}"
+                "WorkloadAxis.kind must be \"synthetic\", \"splash\" or \"scenario\", got {other:?}"
             ))),
         }
     }
@@ -64,14 +83,17 @@ impl Deserialize for WorkloadAxis {
 pub enum Workload {
     Synthetic { pattern: Pattern, load: f64 },
     Splash { app: SplashApp, max_cycles: u64 },
+    Scenario { scenario: String, load: f64 },
 }
 
 impl Workload {
-    /// Short label used for grouping/reporting ("UR", "FFT", ...).
-    pub fn short(&self) -> &'static str {
+    /// Short label used for grouping/reporting ("UR", "FFT",
+    /// "interfere2", ...).
+    pub fn short(&self) -> String {
         match self {
-            Workload::Synthetic { pattern, .. } => pattern.abbrev(),
-            Workload::Splash { app, .. } => app.name(),
+            Workload::Synthetic { pattern, .. } => pattern.abbrev().to_string(),
+            Workload::Splash { app, .. } => app.name().to_string(),
+            Workload::Scenario { scenario, .. } => scenario.clone(),
         }
     }
 
@@ -79,16 +101,18 @@ impl Workload {
     /// closed-loop workloads, which have no load axis).
     pub fn x(&self) -> f64 {
         match self {
-            Workload::Synthetic { load, .. } => *load,
+            Workload::Synthetic { load, .. } | Workload::Scenario { load, .. } => *load,
             Workload::Splash { .. } => 0.0,
         }
     }
 
-    /// Human-readable descriptor ("UR@0.30", "SPLASH FFT").
+    /// Human-readable descriptor ("UR@0.30", "SPLASH FFT",
+    /// "scn:interfere2@0.30").
     pub fn describe(&self) -> String {
         match self {
             Workload::Synthetic { pattern, load } => format!("{}@{load:.2}", pattern.abbrev()),
             Workload::Splash { app, .. } => format!("SPLASH {}", app.name()),
+            Workload::Scenario { scenario, load } => format!("scn:{scenario}@{load:.2}"),
         }
     }
 }
@@ -106,6 +130,11 @@ impl Serialize for Workload {
                 ("app".into(), app.to_value()),
                 ("max_cycles".into(), max_cycles.to_value()),
             ]),
+            Workload::Scenario { scenario, load } => Value::Object(vec![
+                ("kind".into(), Value::Str("scenario".into())),
+                ("scenario".into(), scenario.to_value()),
+                ("load".into(), load.to_value()),
+            ]),
         }
     }
 }
@@ -121,8 +150,12 @@ impl Deserialize for Workload {
                 app: SplashApp::from_value(v.field("app"))?,
                 max_cycles: u64::from_value(v.field("max_cycles"))?,
             }),
+            Some("scenario") => Ok(Workload::Scenario {
+                scenario: String::from_value(v.field("scenario"))?,
+                load: f64::from_value(v.field("load"))?,
+            }),
             other => Err(Error::msg(format!(
-                "Workload.kind must be \"synthetic\" or \"splash\", got {other:?}"
+                "Workload.kind must be \"synthetic\", \"splash\" or \"scenario\", got {other:?}"
             ))),
         }
     }
@@ -236,6 +269,37 @@ impl CampaignSpec {
                         return Err(format!("group {:?}: max_cycles must be > 0", g.label));
                     }
                 }
+                WorkloadAxis::Scenario { scenarios, loads } => {
+                    if scenarios.is_empty() || loads.is_empty() {
+                        return Err(format!("group {:?} has an empty scenario axis", g.label));
+                    }
+                    if let Some(&l) = loads.iter().find(|l| !(0.0..=1.0).contains(*l)) {
+                        return Err(format!("group {:?}: load {l} outside [0,1]", g.label));
+                    }
+                    for name in scenarios {
+                        let spec = noc_scenario::ScenarioSpec::resolve(name, &g.config)
+                            .map_err(|e| format!("group {:?}: {e}", g.label))?;
+                        // Catch design/scenario incompatibilities (e.g. a
+                        // credit-coupled base under a router-island mix) at
+                        // spec time rather than mid-campaign.
+                        for &d in &g.designs {
+                            spec.validate(&g.config, d).map_err(|e| {
+                                format!(
+                                    "group {:?}: scenario {name:?} with design {}: {e}",
+                                    g.label,
+                                    d.name()
+                                )
+                            })?;
+                        }
+                    }
+                    if g.fault_fractions.iter().any(|&f| f > 0.0) {
+                        return Err(format!(
+                            "group {:?}: scenario workloads run fault-free \
+                             (fault_fractions must be empty or zero)",
+                            g.label
+                        ));
+                    }
+                }
             }
             if let Some(&f) = g.fault_fractions.iter().find(|f| !(0.0..=1.0).contains(*f)) {
                 return Err(format!(
@@ -255,7 +319,7 @@ impl CampaignSpec {
             }
             let has_resilience =
                 g.transient_rates.iter().any(|&r| r > 0.0) || g.link_faults.iter().any(|&k| k > 0);
-            if has_resilience && matches!(g.workload, WorkloadAxis::Splash { .. }) {
+            if has_resilience && !matches!(g.workload, WorkloadAxis::Synthetic { .. }) {
                 return Err(format!(
                     "group {:?}: the resilience axes (transient_rates / link_faults) \
                      apply to synthetic workloads only",
@@ -306,6 +370,15 @@ impl CampaignSpec {
                     .map(|&app| Workload::Splash {
                         app,
                         max_cycles: *max_cycles,
+                    })
+                    .collect(),
+                WorkloadAxis::Scenario { scenarios, loads } => scenarios
+                    .iter()
+                    .flat_map(|name| {
+                        loads.iter().map(move |&load| Workload::Scenario {
+                            scenario: name.clone(),
+                            load,
+                        })
                     })
                     .collect(),
             };
@@ -618,6 +691,117 @@ mod tests {
         assert!(s.validate().is_ok());
 
         assert!(spec().validate().is_ok());
+    }
+
+    fn scenario_group() -> PointGroup {
+        PointGroup {
+            label: "scn".into(),
+            config: tiny_cfg(),
+            designs: vec![Design::FlitBless, Design::Damq],
+            workload: WorkloadAxis::Scenario {
+                scenarios: vec!["mmpp_ur".into(), "interfere2:1.500".into()],
+                loads: vec![0.1, 0.2],
+            },
+            fault_fractions: vec![],
+            transient_rates: vec![],
+            link_faults: vec![],
+            seeds: vec![1],
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn scenario_axis_expands_validates_and_roundtrips() {
+        let s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.validate().expect("scenario spec validates");
+        let pts = s.points();
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        assert!(pts.iter().all(|p| matches!(
+            p.workload,
+            Workload::Scenario { ref load, .. } if (0.0..=1.0).contains(load)
+        )));
+        assert_eq!(pts[0].workload.short(), "mmpp_ur");
+        assert_eq!(pts[0].workload.describe(), "scn:mmpp_ur@0.10");
+
+        let back = CampaignSpec::from_json(&s.to_json()).expect("roundtrip");
+        assert_eq!(back.content_hash(), s.content_hash());
+        for (a, b) in s.points().iter().zip(back.points().iter()) {
+            assert_eq!(a.cache_key(CODE_VERSION), b.cache_key(CODE_VERSION));
+        }
+    }
+
+    #[test]
+    fn scenario_cache_key_tracks_name_and_load() {
+        let s = CampaignSpec::new("scn").with_group(scenario_group());
+        let base = s.points().remove(0);
+        let base_key = base.cache_key(CODE_VERSION);
+
+        let mut p = base.clone();
+        p.workload = Workload::Scenario {
+            scenario: "pareto_ur".into(),
+            load: base.workload.x(),
+        };
+        assert_ne!(p.cache_key(CODE_VERSION), base_key, "name must invalidate");
+
+        let mut p = base.clone();
+        p.workload = Workload::Scenario {
+            scenario: "mmpp_ur".into(),
+            load: 0.11,
+        };
+        assert_ne!(p.cache_key(CODE_VERSION), base_key, "load must invalidate");
+
+        // A scenario point and a synthetic point never collide.
+        let mut p = base.clone();
+        p.workload = Workload::Synthetic {
+            pattern: Pattern::UniformRandom,
+            load: base.workload.x(),
+        };
+        assert_ne!(p.cache_key(CODE_VERSION), base_key);
+    }
+
+    #[test]
+    fn scenario_validation_catches_bad_axes() {
+        // Unknown name: the error carries the known-scenarios listing.
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].workload = WorkloadAxis::Scenario {
+            scenarios: vec!["no_such_scenario".into()],
+            loads: vec![0.1],
+        };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("no_such_scenario"), "{err}");
+        assert!(err.contains("known scenarios"), "{err}");
+
+        // A credit-coupled base design under a router-island mix.
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].designs = vec![Design::DXbarDor];
+        s.groups[0].workload = WorkloadAxis::Scenario {
+            scenarios: vec!["mixed_islands".into()],
+            loads: vec![0.1],
+        };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("credit"), "{err}");
+
+        // Scenario workloads reject the fault/resilience axes.
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].fault_fractions = vec![0.3];
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].link_faults = vec![2];
+        assert!(s.validate().is_err());
+
+        // Empty axes and out-of-range loads.
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].workload = WorkloadAxis::Scenario {
+            scenarios: vec![],
+            loads: vec![0.1],
+        };
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::new("scn").with_group(scenario_group());
+        s.groups[0].workload = WorkloadAxis::Scenario {
+            scenarios: vec!["mmpp_ur".into()],
+            loads: vec![1.5],
+        };
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn fake_result(p: &PointSpec) -> RunResult {
         crc_rejects: 0,
         ni_retransmits: 0,
         avg_recovery_latency: 0.0,
+        apps: Vec::new(),
         stats: Default::default(),
     }
 }

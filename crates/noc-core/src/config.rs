@@ -6,6 +6,79 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Fabric topology of the router grid.
+///
+/// * `Mesh` — the paper's plain 2D mesh (links end at the edges);
+/// * `Torus` — the same grid with wraparound links on both axes, so every
+///   router has all four neighbours and routing may take the shorter ring
+///   direction;
+/// * `CMesh` — a concentrated mesh: the router grid is unchanged, but each
+///   router serves `4` terminals (a `w x h` CMesh replaces a `2w x 2h`
+///   mesh), so traffic patterns are computed in terminal space and then
+///   folded onto the routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Topology {
+    #[default]
+    Mesh,
+    Torus,
+    CMesh,
+}
+
+impl Topology {
+    /// Canonical lowercase name (CLI flags, spec JSON, figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Mesh => "mesh",
+            Topology::Torus => "torus",
+            Topology::CMesh => "cmesh",
+        }
+    }
+
+    /// Parse a canonical name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<Topology> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "mesh" => Topology::Mesh,
+            "torus" => Topology::Torus,
+            "cmesh" | "concentrated" => Topology::CMesh,
+            _ => return None,
+        })
+    }
+
+    /// Terminals (traffic endpoints) per router: 4 for the concentrated
+    /// mesh, 1 otherwise.
+    pub fn concentration(&self) -> u16 {
+        match self {
+            Topology::CMesh => 4,
+            _ => 1,
+        }
+    }
+
+    pub const ALL: [Topology; 3] = [Topology::Mesh, Topology::Torus, Topology::CMesh];
+}
+
+// Hand-written serde: the derive would work for a unit enum, but specs
+// written before the topology axis existed carry no `topology` field at
+// all — mapping JSON null (the shim's missing-field value) to the plain
+// mesh keeps every pre-existing spec and config file loadable.
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.is_null() {
+            return Ok(Topology::Mesh);
+        }
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::msg("Topology: expected string"))?;
+        Topology::from_name(s)
+            .ok_or_else(|| serde::Error::msg(format!("unknown topology {s:?}")))
+    }
+}
+
 /// Complete static configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -13,6 +86,8 @@ pub struct SimConfig {
     pub width: u16,
     /// Mesh height (rows).
     pub height: u16,
+    /// Fabric topology of the `width x height` router grid.
+    pub topology: Topology,
     /// Flit width in bits (128 in the paper).
     pub flit_bits: u32,
     /// Input-buffer depth in flits (DXbar secondary buffers and the
@@ -47,6 +122,7 @@ impl Default for SimConfig {
         SimConfig {
             width: 8,
             height: 8,
+            topology: Topology::Mesh,
             flit_bits: 128,
             buffer_depth: 4,
             num_vcs: 1,
@@ -187,6 +263,23 @@ mod tests {
         c.buffer_depth = 4;
         c.packet_len = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn topology_names_roundtrip_and_null_is_mesh() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::from_name(t.name()), Some(t));
+            let v = serde::Serialize::to_value(&t);
+            let back: Topology = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, t);
+        }
+        // Specs written before the topology axis existed deserialize to
+        // the plain mesh.
+        let legacy: Topology = serde::Deserialize::from_value(&serde::Value::Null).unwrap();
+        assert_eq!(legacy, Topology::Mesh);
+        assert!(Topology::from_name("hypercube").is_none());
+        assert_eq!(Topology::CMesh.concentration(), 4);
+        assert_eq!(Topology::Torus.concentration(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod rng;
 pub mod stats;
 pub mod types;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, Topology};
 pub use flit::{Flit, FlitKind, PacketDesc, PacketId};
 pub use inline::InlineVec;
 pub use pool::{FlitId, FlitPool};

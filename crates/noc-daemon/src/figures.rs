@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 
 /// Figures the daemon serves (preset names from `bench::specs`).
-pub const FIGURES: [&str; 8] = [
+pub const FIGURES: [&str; 9] = [
     "fig05",
     "fig06",
     "fig07_08",
@@ -23,6 +23,7 @@ pub const FIGURES: [&str; 8] = [
     "ablations",
     "resilience",
     "zoo",
+    "scenario",
 ];
 
 struct FigureEntry {

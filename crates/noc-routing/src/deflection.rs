@@ -24,13 +24,15 @@ use noc_topology::Mesh;
 pub fn rank_ports_inline(mesh: &Mesh, current: NodeId, dst: NodeId) -> InlineVec<Direction, 4> {
     let c = mesh.coord_of(current);
     let d = mesh.coord_of(dst);
-    let dx = d.x as i32 - c.x as i32;
-    let dy = d.y as i32 - c.y as i32;
+    // Wrap-aware signed deltas: on ring topologies the shorter way around
+    // may point away from the raw coordinate difference.
+    let dx = mesh.dx(c, d);
+    let dy = mesh.dy(c, d);
     let productive = productive_ports(mesh, current, dst);
 
     // A productive direction on a mesh always has a link (the destination
-    // lies inside the grid), so nothing pushed here needs a reachability
-    // filter.
+    // lies inside the grid, and on a torus every direction has a link), so
+    // nothing pushed here needs a reachability filter.
     let mut out: InlineVec<Direction, 4> = InlineVec::new();
     let x_dir = if dx > 0 {
         Direction::East
@@ -171,6 +173,19 @@ mod tests {
         assert!(r[2..]
             .iter()
             .all(|d| matches!(d, Direction::North | Direction::West)));
+    }
+
+    #[test]
+    fn torus_ranking_prefers_the_wrap_link() {
+        // (0,0) -> (7,0) on an 8x8 torus: one hop West around the ring, so
+        // West leads the ranking even though the raw delta points East.
+        let m = Mesh::torus(8, 8);
+        let a = m.node_at(Coord { x: 0, y: 0 });
+        let r = rank_ports(&m, a, m.node_at(Coord { x: 7, y: 0 }));
+        assert_eq!(r[0], Direction::West);
+        assert_eq!(r.len(), 4, "every torus node has four links");
+        // And the productive prefix matches the wrap-aware port set.
+        assert_eq!(productive_count(&m, a, m.node_at(Coord { x: 7, y: 0 })), 1);
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //!
 //! A packet first travels fully along X (East/West) and only then along Y
 //! (North/South). On a mesh this is deadlock-free with a single buffer
-//! class because the only turns taken are from X to Y.
+//! class because the only turns taken are from X to Y. On the torus the
+//! same XY order applies to the shortest-ring displacement (wraparound
+//! DOR); note that wraparound rings reintroduce cyclic channel
+//! dependencies for credit-based buffered designs without dateline VCs —
+//! deflection designs remain deadlock-free by construction.
 
 use noc_core::types::{Direction, NodeId, PortSet};
 use noc_topology::Mesh;
@@ -15,11 +19,13 @@ pub fn route(mesh: &Mesh, current: NodeId, dst: NodeId) -> PortSet {
     }
     let c = mesh.coord_of(current);
     let d = mesh.coord_of(dst);
-    let dir = if d.x > c.x {
+    let dx = mesh.dx(c, d);
+    let dy = mesh.dy(c, d);
+    let dir = if dx > 0 {
         Direction::East
-    } else if d.x < c.x {
+    } else if dx < 0 {
         Direction::West
-    } else if d.y > c.y {
+    } else if dy > 0 {
         Direction::South
     } else {
         Direction::North
@@ -117,10 +123,47 @@ mod tests {
         }
     }
 
+    #[test]
+    fn torus_route_takes_the_wrap_link() {
+        let t = Mesh::torus(8, 8);
+        let a = t.node_at(Coord { x: 0, y: 0 });
+        // (0,0) -> (7,0): one West wrap hop, never seven East hops.
+        let b = t.node_at(Coord { x: 7, y: 0 });
+        assert_eq!(route(&t, a, b), PortSet::single(Direction::West));
+        assert_eq!(path(&t, a, b), vec![b]);
+        // (0,0) -> (6,6): West wrap then North wrap, XY order preserved.
+        let c = t.node_at(Coord { x: 6, y: 6 });
+        assert_eq!(route(&t, a, c), PortSet::single(Direction::West));
+        let p = path(&t, a, c);
+        assert_eq!(p.len() as u32, t.hop_distance(a, c));
+        assert_eq!(p.len(), 4);
+        // Half-ring tie goes East (positive), matching productive_ports.
+        let d = t.node_at(Coord { x: 4, y: 0 });
+        assert_eq!(route(&t, a, d), PortSet::single(Direction::East));
+    }
+
+    #[test]
+    fn torus_route_is_always_productive_and_minimal() {
+        let t = Mesh::torus(6, 5);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let r = route(&t, a, b);
+                assert_eq!(r.len(), 1);
+                let dir = r.iter().next().unwrap();
+                assert!(
+                    productive_ports(&t, a, b).contains(dir),
+                    "{a}->{b} via {dir} not productive"
+                );
+                let p = path(&t, a, b);
+                assert_eq!(p.len() as u32, t.hop_distance(a, b), "{a}->{b}");
+            }
+        }
+    }
+
     proptest! {
         #[test]
-        fn prop_path_terminates_minimally(w in 2u16..10, h in 2u16..10, s in any::<u16>(), t in any::<u16>()) {
-            let m = Mesh::new(w, h);
+        fn prop_path_terminates_minimally(w in 2u16..10, h in 2u16..10, s in any::<u16>(), t in any::<u16>(), torus in any::<bool>()) {
+            let m = if torus { Mesh::torus(w, h) } else { Mesh::new(w, h) };
             let n = m.num_nodes() as u16;
             let a = NodeId(s % n);
             let b = NodeId(t % n);

@@ -70,17 +70,22 @@ pub fn productive_ports(mesh: &Mesh, current: NodeId, dst: NodeId) -> PortSet {
     }
     let c = mesh.coord_of(current);
     let d = mesh.coord_of(dst);
+    // Signed shortest displacements: on the torus the mesh picks the
+    // shorter ring direction (half-ring ties break East/South), so wrap
+    // moves are productive exactly when they shorten the ring distance.
+    let dx = mesh.dx(c, d);
+    let dy = mesh.dy(c, d);
     let mut set = PortSet::EMPTY;
-    if d.x > c.x {
+    if dx > 0 {
         set.insert(Direction::East);
     }
-    if d.x < c.x {
+    if dx < 0 {
         set.insert(Direction::West);
     }
-    if d.y > c.y {
+    if dy > 0 {
         set.insert(Direction::South);
     }
-    if d.y < c.y {
+    if dy < 0 {
         set.insert(Direction::North);
     }
     set

@@ -1,0 +1,250 @@
+//! Scenario execution: build the (possibly heterogeneous) network on the
+//! scenario's topology, drive it with [`ScenarioTraffic`], and return the
+//! standard [`RunResult`] with the per-app slice filled in.
+
+use crate::spec::{RouterMix, ScenarioSpec};
+use crate::traffic::ScenarioTraffic;
+use dxbar_noc::{Design, RouterKind};
+use noc_core::SimConfig;
+use noc_faults::FaultPlan;
+use noc_power::energy::EnergyModel;
+use noc_sim::noc_trace::RecordingSink;
+use noc_sim::runner::{run, RunMode};
+use noc_sim::{Network, RunResult};
+use noc_topology::Mesh;
+use noc_verify::VerifyReport;
+
+/// The base config with the scenario's topology applied.
+pub fn scenario_config(cfg: &SimConfig, spec: &ScenarioSpec) -> SimConfig {
+    SimConfig {
+        topology: spec.topology,
+        ..cfg.clone()
+    }
+}
+
+/// Build the scenario's network for a base design: every router is `base`
+/// except where the mix places an island. `cfg` must already carry the
+/// scenario topology (see [`scenario_config`]).
+pub fn build_network(base: Design, cfg: &SimConfig, spec: &ScenarioSpec) -> Network<RouterKind> {
+    let mesh = Mesh::for_config(cfg);
+    let faults = FaultPlan::none(&mesh);
+    Network::new(cfg, &|n| {
+        let d = spec.mix.island_at(mesh.coord_of(n)).unwrap_or(base);
+        d.build_router(cfg, &faults, n)
+    })
+}
+
+/// Display name of the fabric ("Flit-Bless", "Flit-Bless + DAMQ islands").
+fn fabric_name(base: Design, spec: &ScenarioSpec) -> String {
+    match spec.mix {
+        RouterMix::Uniform => base.name().to_string(),
+        RouterMix::Islands { island, .. } => {
+            format!("{} + {} islands", base.name(), island.name())
+        }
+    }
+}
+
+/// Run one scenario point open-loop: `base` design (plus the scenario's
+/// island overlay) at `offered_load` (fraction of capacity; each app scales
+/// it by its `load_scale`). The result's `apps` carry the per-application
+/// statistics; the global fields aggregate over all apps as usual.
+pub fn run_scenario(
+    base: Design,
+    cfg: &SimConfig,
+    spec: &ScenarioSpec,
+    offered_load: f64,
+) -> Result<RunResult, String> {
+    spec.validate(cfg, base)?;
+    let cfg = scenario_config(cfg, spec);
+    let mesh = Mesh::for_config(&cfg);
+    let mut net = build_network(base, &cfg, spec);
+    let mut model = ScenarioTraffic::new(spec, mesh, &cfg, offered_load);
+    let mut result = run(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    );
+    result.design = fabric_name(base, spec);
+    result.offered_load = Some(offered_load);
+    result.apps = model.app_stats();
+    Ok(result)
+}
+
+/// [`run_scenario`] under the runtime-oracle suite (wrap-aware route
+/// legality on torus/cmesh, per-node profiles on mixed fabrics). A
+/// violating run still returns its result — check
+/// [`VerifyReport::is_clean`] / `total_violations`.
+pub fn run_scenario_verified(
+    base: Design,
+    cfg: &SimConfig,
+    spec: &ScenarioSpec,
+    offered_load: f64,
+) -> Result<(RunResult, VerifyReport), String> {
+    spec.validate(cfg, base)?;
+    let cfg = scenario_config(cfg, spec);
+    let mesh = Mesh::for_config(&cfg);
+    let mut net = build_network(base, &cfg, spec);
+    let mut model = ScenarioTraffic::new(spec, mesh, &cfg, offered_load);
+    let (mut result, report) = match noc_verify::run_verified(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+    ) {
+        Ok((r, report)) => (r, report),
+        Err(e) => (e.result, e.report),
+    };
+    result.design = fabric_name(base, spec);
+    result.offered_load = Some(offered_load);
+    result.apps = model.app_stats();
+    Ok((result, report))
+}
+
+/// Like [`run_scenario`] with a recording trace sink attached: returns
+/// the run result together with the recording (flit lifetimes, ring-
+/// buffered events, per-cycle series).
+pub fn run_scenario_traced(
+    base: Design,
+    cfg: &SimConfig,
+    spec: &ScenarioSpec,
+    offered_load: f64,
+    sink: RecordingSink,
+) -> Result<(RunResult, RecordingSink), String> {
+    spec.validate(cfg, base)?;
+    let cfg = scenario_config(cfg, spec);
+    let mesh = Mesh::for_config(&cfg);
+    let mut net = build_network(base, &cfg, spec);
+    let mut model = ScenarioTraffic::new(spec, mesh, &cfg, offered_load);
+    let (mut result, sink) = noc_sim::runner::run_traced(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+        sink,
+    );
+    result.design = fabric_name(base, spec);
+    result.offered_load = Some(offered_load);
+    result.apps = model.app_stats();
+    Ok((result, sink))
+}
+
+/// Like [`run_scenario_traced`] with the runtime-oracle suite attached as
+/// well. The report comes back unconditionally so callers keep the trace
+/// even when verification fails; check [`VerifyReport::is_clean`].
+pub fn run_scenario_traced_verified(
+    base: Design,
+    cfg: &SimConfig,
+    spec: &ScenarioSpec,
+    offered_load: f64,
+    sink: RecordingSink,
+) -> Result<(RunResult, RecordingSink, VerifyReport), String> {
+    spec.validate(cfg, base)?;
+    let cfg = scenario_config(cfg, spec);
+    let mesh = Mesh::for_config(&cfg);
+    let mut net = build_network(base, &cfg, spec);
+    let mut model = ScenarioTraffic::new(spec, mesh, &cfg, offered_load);
+    let (mut result, sink, report) = noc_verify::run_traced_verified(
+        &mut net,
+        &mut model,
+        RunMode::OpenLoop,
+        &EnergyModel::default(),
+        sink,
+    );
+    result.design = fabric_name(base, spec);
+    result.offered_load = Some(offered_load);
+    result.apps = model.app_stats();
+    Ok((result, sink, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            width: 4,
+            height: 4,
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            drain_cycles: 200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn interference_run_fills_per_app_stats() {
+        let c = cfg();
+        let spec = ScenarioSpec::named("interfere2", &c).unwrap();
+        let r = run_scenario(Design::DXbarDor, &c, &spec, 0.15).unwrap();
+        assert_eq!(r.apps.len(), 2);
+        assert_eq!(r.apps[0].name, "fg");
+        assert_eq!(r.apps[1].name, "bg");
+        for a in &r.apps {
+            assert!(a.accepted_packets > 0, "{} delivered nothing", a.name);
+            assert!(a.avg_packet_latency > 0.0);
+            assert!(a.accepted_packets <= a.offered_packets);
+        }
+        // The per-app split partitions the global aggregate.
+        assert_eq!(
+            r.apps.iter().map(|a| a.accepted_packets).sum::<u64>(),
+            r.accepted_packets
+        );
+        assert_eq!(r.traffic, "scn:interfere2@0.150");
+    }
+
+    #[test]
+    fn mixed_fabric_builds_heterogeneous_network() {
+        let c = cfg();
+        let spec = ScenarioSpec::named("mixed_islands", &c).unwrap();
+        let net = build_network(Design::FlitBless, &scenario_config(&c, &spec), &spec);
+        assert!(!net.is_homogeneous());
+        assert_eq!(net.design_name(), "Flit-Bless");
+        let mesh = Mesh::for_config(&c);
+        let mut damq = 0;
+        for n in mesh.nodes() {
+            if net.router_design_name(n) == "DAMQ" {
+                damq += 1;
+            }
+        }
+        assert!(damq > 0 && damq < 16);
+        let r = run_scenario(Design::FlitBless, &c, &spec, 0.1).unwrap();
+        assert_eq!(r.design, "Flit-Bless + DAMQ islands");
+        assert!(r.accepted_packets > 0);
+    }
+
+    #[test]
+    fn credit_coupled_mix_is_rejected() {
+        let c = cfg();
+        let spec = ScenarioSpec::named("mixed_islands", &c).unwrap();
+        assert!(run_scenario(Design::DXbarDor, &c, &spec, 0.1)
+            .unwrap_err()
+            .contains("credit"));
+    }
+
+    #[test]
+    fn torus_and_cmesh_scenarios_run_verified_clean() {
+        let c = cfg();
+        for name in ["torus_ur", "cmesh_ur"] {
+            let spec = ScenarioSpec::named(name, &c).unwrap();
+            let (r, report) = run_scenario_verified(Design::FlitBless, &c, &spec, 0.1).unwrap();
+            assert!(
+                report.is_clean(),
+                "{name}: {} violations",
+                report.total_violations
+            );
+            assert!(r.accepted_packets > 0, "{name} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let c = cfg();
+        let spec = ScenarioSpec::named("interfere2", &c).unwrap();
+        let a = run_scenario(Design::FlitBless, &c, &spec, 0.2).unwrap();
+        let b = run_scenario(Design::FlitBless, &c, &spec, 0.2).unwrap();
+        assert_eq!(a.accepted_packets, b.accepted_packets);
+        assert_eq!(a.avg_packet_latency.to_bits(), b.avg_packet_latency.to_bits());
+        assert_eq!(a.apps, b.apps);
+    }
+}

@@ -31,7 +31,7 @@ pub mod runner;
 pub mod verify;
 
 pub use network::Network;
-pub use report::RunResult;
+pub use report::{AppStats, RunResult};
 pub use resilience::{AckMsg, ResilienceState};
 pub use router::{RouterFactory, RouterModel, StepCtx};
 pub use runner::{run, run_traced, RunMode};

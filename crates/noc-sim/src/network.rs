@@ -93,7 +93,7 @@ impl<R: RouterModel> Network<R> {
     /// Build a network: one router per node from `factory`.
     pub fn new(cfg: &SimConfig, factory: &dyn Fn(NodeId) -> R) -> Network<R> {
         cfg.validate().expect("invalid SimConfig");
-        let mesh = Mesh::new(cfg.width, cfg.height);
+        let mesh = Mesh::for_config(cfg);
         let n = mesh.num_nodes();
         let routers: Vec<R> = mesh.nodes().map(factory).collect();
         for (i, r) in routers.iter().enumerate() {
@@ -211,6 +211,20 @@ impl<R: RouterModel> Network<R> {
 
     pub fn design_name(&self) -> &'static str {
         self.routers[0].design_name()
+    }
+
+    /// Design name of the router at one node. Homogeneous networks return
+    /// [`design_name`](Self::design_name) everywhere; heterogeneous mixes
+    /// (the scenario engine's island fabrics) differ per node, and the
+    /// verifier derives its per-node oracle profiles from this.
+    pub fn router_design_name(&self, node: NodeId) -> &'static str {
+        self.routers[node.index()].design_name()
+    }
+
+    /// Whether every node runs the same router design.
+    pub fn is_homogeneous(&self) -> bool {
+        let first = self.routers[0].design_name();
+        self.routers.iter().all(|r| r.design_name() == first)
     }
 
     fn created_in_window(&self, created: Cycle) -> bool {

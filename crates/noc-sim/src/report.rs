@@ -4,6 +4,28 @@ use noc_core::stats::NetStats;
 use noc_power::energy::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
 
+/// Per-application slice of a multi-app (scenario) run: delivery statistics
+/// attributed to the packets whose *source* lies in the application's
+/// region, measured over the same window as the global aggregate. Empty for
+/// single-application runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Application name from the scenario spec ("fg", "bg", ...).
+    pub name: String,
+    /// Traffic label of the app's generator ("UR+mmpp:3.000@0.050", ...).
+    pub traffic: String,
+    /// Number of source routers in the app's region.
+    pub src_nodes: usize,
+    /// Packets the app created in the measurement window.
+    pub offered_packets: u64,
+    /// Window-created packets fully delivered.
+    pub accepted_packets: u64,
+    /// Mean creation-to-reassembly latency of those packets, cycles.
+    pub avg_packet_latency: f64,
+    /// Accepted throughput, packets per source node per cycle.
+    pub accepted_rate: f64,
+}
+
 /// Summary of one simulation run — everything the paper's figures plot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -55,6 +77,9 @@ pub struct RunResult {
     /// Mean creation-to-delivery latency of flits that needed at least one
     /// retransmission (cycles; 0.0 when nothing was recovered).
     pub avg_recovery_latency: f64,
+    /// Per-application statistics for multi-app scenario runs (empty
+    /// otherwise). Attribution is by source region; see [`AppStats`].
+    pub apps: Vec<AppStats>,
     /// Full statistics for downstream analysis.
     pub stats: NetStats,
 }
@@ -164,6 +189,7 @@ mod tests {
             crc_rejects: 0,
             ni_retransmits: 0,
             avg_recovery_latency: 0.0,
+            apps: Vec::new(),
             stats: Default::default(),
         };
         let line = r.summary_line();

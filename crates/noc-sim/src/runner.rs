@@ -139,6 +139,7 @@ fn summarize<R: RouterModel>(
         crc_rejects: window.crc_rejects,
         ni_retransmits: window.ni_retransmits,
         avg_recovery_latency: stats.recovery_latency.mean(),
+        apps: Vec::new(),
         stats,
     }
 }

@@ -10,3 +10,4 @@ pub mod mesh;
 
 pub use link::{DelayLine, TimedChannel};
 pub use mesh::{Coord, Mesh};
+pub use noc_core::config::Topology;

@@ -1,5 +1,6 @@
-//! 2D-mesh coordinate arithmetic.
+//! 2D-mesh coordinate arithmetic (plain mesh, torus, concentrated mesh).
 
+use noc_core::config::{SimConfig, Topology};
 use noc_core::types::{Direction, NodeId, LINK_DIRECTIONS};
 use serde::{Deserialize, Serialize};
 
@@ -12,23 +13,94 @@ pub struct Coord {
     pub y: u16,
 }
 
-/// A `width x height` 2D mesh with bidirectional links between 4-neighbours.
+/// A `width x height` 2D router grid with bidirectional links between
+/// 4-neighbours. The [`Topology`] decides whether links wrap at the edges
+/// (torus) and how many traffic terminals each router serves (cmesh).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
     width: u16,
     height: u16,
+    topology: Topology,
 }
 
 impl Mesh {
-    /// Create a mesh; panics on degenerate dimensions (the smallest network
-    /// with routing decisions is 2x2).
+    /// Create a plain 2D mesh; panics on degenerate dimensions (the
+    /// smallest network with routing decisions is 2x2).
     pub fn new(width: u16, height: u16) -> Mesh {
+        Mesh::with_topology(width, height, Topology::Mesh)
+    }
+
+    /// Create a 2D torus (wraparound links on both axes).
+    pub fn torus(width: u16, height: u16) -> Mesh {
+        Mesh::with_topology(width, height, Topology::Torus)
+    }
+
+    /// Create a concentrated mesh (4 terminals per router).
+    pub fn cmesh(width: u16, height: u16) -> Mesh {
+        Mesh::with_topology(width, height, Topology::CMesh)
+    }
+
+    /// Create a grid with an explicit topology.
+    pub fn with_topology(width: u16, height: u16, topology: Topology) -> Mesh {
         assert!(width >= 2 && height >= 2, "mesh must be at least 2x2");
         assert!(
             (width as usize) * (height as usize) <= u16::MAX as usize,
             "too many nodes for NodeId"
         );
-        Mesh { width, height }
+        Mesh {
+            width,
+            height,
+            topology,
+        }
+    }
+
+    /// The grid a [`SimConfig`] describes — the one constructor every
+    /// engine/facade call site should use, so the config's topology axis
+    /// reaches routing, verification and traffic generation.
+    pub fn for_config(cfg: &SimConfig) -> Mesh {
+        Mesh::with_topology(cfg.width, cfg.height, cfg.topology)
+    }
+
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Traffic terminals per router (4 on the cmesh, 1 otherwise).
+    #[inline]
+    pub fn concentration(&self) -> u16 {
+        self.topology.concentration()
+    }
+
+    /// Shortest signed x-displacement from `a` to `b`: positive = East.
+    /// On the torus the shorter ring direction wins; an exact half-ring
+    /// tie breaks East (positive), deterministically.
+    #[inline]
+    pub fn dx(&self, a: Coord, b: Coord) -> i32 {
+        Self::ring_delta(a.x, b.x, self.width, self.topology == Topology::Torus)
+    }
+
+    /// Shortest signed y-displacement from `a` to `b`: positive = South.
+    /// Torus ties break South (positive).
+    #[inline]
+    pub fn dy(&self, a: Coord, b: Coord) -> i32 {
+        Self::ring_delta(a.y, b.y, self.height, self.topology == Topology::Torus)
+    }
+
+    #[inline]
+    fn ring_delta(from: u16, to: u16, len: u16, wrap: bool) -> i32 {
+        let d = to as i32 - from as i32;
+        if !wrap {
+            return d;
+        }
+        let len = len as i32;
+        // Normalize into (-len/2, len/2]: the shorter ring direction, with
+        // the exact half-ring tie deterministically positive (East/South).
+        let mut d = d.rem_euclid(len);
+        if d > len / 2 {
+            d -= len;
+        }
+        d
     }
 
     #[inline]
@@ -77,24 +149,36 @@ impl Mesh {
     }
 
     /// Neighbour in a cardinal direction, or `None` at the mesh edge.
+    /// On the torus every cardinal direction has a neighbour (wraparound).
     /// `Direction::Local` has no neighbour.
     pub fn neighbor(&self, n: NodeId, d: Direction) -> Option<NodeId> {
         let c = self.coord_of(n);
+        let wrap = self.topology == Topology::Torus;
         let nc = match d {
             Direction::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            Direction::North if wrap => Coord {
+                x: c.x,
+                y: self.height - 1,
+            },
             Direction::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::South if wrap => Coord { x: c.x, y: 0 },
             Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::East if wrap => Coord { x: 0, y: c.y },
             Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            Direction::West if wrap => Coord {
+                x: self.width - 1,
+                y: c.y,
+            },
             _ => return None,
         };
         Some(self.node_at(nc))
     }
 
-    /// Minimal hop distance (Manhattan).
+    /// Minimal hop distance (Manhattan; shortest-ring on the torus).
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
         let ca = self.coord_of(a);
         let cb = self.coord_of(b);
-        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u32
+        (self.dx(ca, cb).unsigned_abs() + self.dy(ca, cb).unsigned_abs()) as u32
     }
 
     /// All directed links as `(from, direction, to)` triples, in node order.
@@ -113,8 +197,12 @@ impl Mesh {
     }
 
     /// Whether the node is on the mesh boundary (relevant for the fairness
-    /// discussion: edge-injected flits age faster through the centre).
+    /// discussion: edge-injected flits age faster through the centre). The
+    /// torus has no boundary.
     pub fn is_edge(&self, n: NodeId) -> bool {
+        if self.topology == Topology::Torus {
+            return false;
+        }
         let c = self.coord_of(n);
         c.x == 0 || c.y == 0 || c.x + 1 == self.width || c.y + 1 == self.height
     }
@@ -124,6 +212,42 @@ impl Mesh {
         LINK_DIRECTIONS
             .into_iter()
             .filter(move |&d| self.neighbor(n, d).is_some())
+    }
+
+    /// Terminal-grid width: `2 * width` on the cmesh (each router serves a
+    /// 2x2 block of terminals), `width` otherwise.
+    pub fn terminal_width(&self) -> u16 {
+        match self.topology {
+            Topology::CMesh => self.width * 2,
+            _ => self.width,
+        }
+    }
+
+    /// Terminal-grid height (`2 * height` on the cmesh).
+    pub fn terminal_height(&self) -> u16 {
+        match self.topology {
+            Topology::CMesh => self.height * 2,
+            _ => self.height,
+        }
+    }
+
+    /// Total traffic terminals (`concentration() * num_nodes()`).
+    pub fn num_terminals(&self) -> usize {
+        self.num_nodes() * self.concentration() as usize
+    }
+
+    /// The router serving a terminal coordinate: on the cmesh terminal
+    /// `(tx, ty)` folds onto router `(tx/2, ty/2)`; on other topologies
+    /// terminals and routers coincide.
+    pub fn router_of_terminal(&self, t: Coord) -> NodeId {
+        debug_assert!(t.x < self.terminal_width() && t.y < self.terminal_height());
+        match self.topology {
+            Topology::CMesh => self.node_at(Coord {
+                x: t.x / 2,
+                y: t.y / 2,
+            }),
+            _ => self.node_at(t),
+        }
     }
 
     /// Average minimal hop count over all (src != dst) pairs — the uniform
@@ -222,6 +346,103 @@ mod tests {
     #[should_panic(expected = "at least 2x2")]
     fn degenerate_mesh_rejected() {
         let _ = Mesh::new(1, 8);
+    }
+
+    #[test]
+    fn torus_neighbors_wrap_and_stay_symmetric() {
+        let t = Mesh::torus(8, 8);
+        let nw = t.node_at(Coord { x: 0, y: 0 });
+        assert_eq!(
+            t.neighbor(nw, Direction::North),
+            Some(t.node_at(Coord { x: 0, y: 7 }))
+        );
+        assert_eq!(
+            t.neighbor(nw, Direction::West),
+            Some(t.node_at(Coord { x: 7, y: 0 }))
+        );
+        assert_eq!(t.neighbor(nw, Direction::Local), None);
+        for (from, d, to) in t.links() {
+            assert_eq!(t.neighbor(to, d.opposite()), Some(from));
+        }
+        // Every node has all four links: 4 * 64 directed links.
+        assert_eq!(t.links().count(), 256);
+        for n in t.nodes() {
+            assert_eq!(t.link_dirs(n).count(), 4);
+            assert!(!t.is_edge(n));
+        }
+    }
+
+    #[test]
+    fn torus_hop_distance_takes_the_short_ring() {
+        let t = Mesh::torus(8, 8);
+        let a = t.node_at(Coord { x: 0, y: 0 });
+        let b = t.node_at(Coord { x: 7, y: 7 });
+        // One wrap hop per axis instead of 7 + 7.
+        assert_eq!(t.hop_distance(a, b), 2);
+        // Exact half-ring: still 4, and the delta tie-breaks positive.
+        let c = t.node_at(Coord { x: 4, y: 0 });
+        assert_eq!(t.hop_distance(a, c), 4);
+        assert_eq!(t.dx(Coord { x: 0, y: 0 }, Coord { x: 4, y: 0 }), 4);
+        assert_eq!(t.dx(Coord { x: 0, y: 0 }, Coord { x: 5, y: 0 }), -3);
+        assert_eq!(t.dy(Coord { x: 0, y: 0 }, Coord { x: 0, y: 6 }), -2);
+        // The plain mesh keeps raw deltas.
+        let m = mesh8();
+        assert_eq!(m.dx(Coord { x: 0, y: 0 }, Coord { x: 7, y: 0 }), 7);
+        assert_eq!(m.hop_distance(a, b), 14);
+    }
+
+    #[test]
+    fn torus_average_distance_is_below_mesh() {
+        // Wraparound strictly shortens the average UR path: k/2 per axis
+        // vs ~k/3 — 4.0 vs 16/3 on the 8x8 (over distinct pairs: *64/63).
+        let t = Mesh::torus(8, 8);
+        let expect = 4.0 * 64.0 / 63.0;
+        assert!((t.average_distance() - expect).abs() < 1e-9);
+        assert!(t.average_distance() < mesh8().average_distance());
+    }
+
+    #[test]
+    fn cmesh_terminal_folding() {
+        let c = Mesh::cmesh(4, 4);
+        assert_eq!(c.concentration(), 4);
+        assert_eq!(c.terminal_width(), 8);
+        assert_eq!(c.terminal_height(), 8);
+        assert_eq!(c.num_terminals(), 64);
+        assert_eq!(c.num_nodes(), 16);
+        // Terminal (5, 3) → router (2, 1).
+        assert_eq!(
+            c.router_of_terminal(Coord { x: 5, y: 3 }),
+            c.node_at(Coord { x: 2, y: 1 })
+        );
+        // A 2x2 terminal block maps to one router.
+        for (tx, ty) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            assert_eq!(
+                c.router_of_terminal(Coord { x: tx, y: ty }),
+                c.node_at(Coord { x: 0, y: 0 })
+            );
+        }
+        // Router links are plain-mesh links (no wrap).
+        assert_eq!(c.neighbor(c.node_at(Coord { x: 0, y: 0 }), Direction::West), None);
+        // Non-concentrated topologies are identity maps.
+        let m = mesh8();
+        assert_eq!(m.num_terminals(), 64);
+        assert_eq!(m.router_of_terminal(Coord { x: 5, y: 3 }), m.node_at(Coord { x: 5, y: 3 }));
+    }
+
+    #[test]
+    fn for_config_carries_the_topology() {
+        use noc_core::config::{SimConfig, Topology};
+        let cfg = SimConfig {
+            width: 4,
+            height: 6,
+            topology: Topology::Torus,
+            ..SimConfig::default()
+        };
+        let m = Mesh::for_config(&cfg);
+        assert_eq!(m.width(), 4);
+        assert_eq!(m.height(), 6);
+        assert_eq!(m.topology(), Topology::Torus);
+        assert_eq!(Mesh::for_config(&SimConfig::default()), Mesh::new(8, 8));
     }
 
     proptest! {

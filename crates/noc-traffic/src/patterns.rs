@@ -90,12 +90,22 @@ impl Pattern {
 }
 
 /// A pattern bound to a mesh, with NUR's hot-spot group materialized.
+///
+/// Patterns are computed in *terminal space*: on the concentrated mesh a
+/// `w x h` router grid serves a `2w x 2h` terminal grid, so the pattern
+/// maps terminal indices and the result folds back onto routers. On the
+/// plain mesh and torus terminals and routers coincide, so nothing
+/// changes (the torus wraparound only affects links, not coordinates).
 #[derive(Debug, Clone)]
 pub struct BoundPattern {
     pattern: Pattern,
+    /// The router fabric packets actually traverse.
     mesh: Mesh,
+    /// Terminal-space grid the pattern arithmetic runs on (a plain mesh;
+    /// identical to the router grid unless the fabric is concentrated).
+    tmesh: Mesh,
     bits: u32,
-    /// NUR hot-spot nodes (empty for other patterns).
+    /// NUR hot-spot terminals (empty for other patterns).
     hotspots: Vec<NodeId>,
 }
 
@@ -108,11 +118,12 @@ impl BoundPattern {
     /// Bind `pattern` to `mesh`. For NUR the hot-spot group is drawn from
     /// `seed` (the same seed gives the same group, as in the paper).
     pub fn new(pattern: Pattern, mesh: Mesh, seed: u64) -> BoundPattern {
-        let n = mesh.num_nodes();
+        let tmesh = Mesh::new(mesh.terminal_width(), mesh.terminal_height());
+        let n = tmesh.num_nodes();
         if pattern.needs_pow2() {
             assert!(
                 n.is_power_of_two(),
-                "{:?} requires power-of-two node count",
+                "{:?} requires power-of-two terminal count",
                 pattern
             );
         }
@@ -130,6 +141,7 @@ impl BoundPattern {
         BoundPattern {
             pattern,
             mesh,
+            tmesh,
             bits,
             hotspots,
         }
@@ -139,16 +151,40 @@ impl BoundPattern {
         self.pattern
     }
 
-    /// NUR hot-spot group (empty for other patterns).
+    /// NUR hot-spot group, as terminal indices (empty for other patterns).
     pub fn hotspots(&self) -> &[NodeId] {
         &self.hotspots
     }
 
-    /// Destination for a packet injected at `src`. Returns `None` when the
-    /// pattern maps `src` to itself (that node generates no traffic), which
-    /// happens e.g. on the transpose diagonal.
+    /// Destination router for a packet injected at router `src`. Returns
+    /// `None` when the pattern maps the source to itself (that node
+    /// generates no traffic), e.g. on the transpose diagonal, or — on the
+    /// concentrated mesh — when source and destination terminals share a
+    /// router (delivery is local, no network traffic).
     pub fn dest(&self, src: NodeId, rng: &mut Rng) -> Option<NodeId> {
-        let n = self.mesh.num_nodes();
+        let tsrc = if self.mesh.concentration() == 1 {
+            src
+        } else {
+            // The router injects on behalf of its 2x2 terminal block:
+            // draw the source terminal uniformly within the block.
+            let c = self.mesh.coord_of(src);
+            self.tmesh.node_at(Coord {
+                x: c.x * 2 + rng.gen_index(2) as u16,
+                y: c.y * 2 + rng.gen_index(2) as u16,
+            })
+        };
+        let tdst = self.terminal_dest(tsrc, rng)?;
+        let dst = self.mesh.router_of_terminal(self.tmesh.coord_of(tdst));
+        if dst == src {
+            None
+        } else {
+            Some(dst)
+        }
+    }
+
+    /// The pattern map itself, in terminal space.
+    fn terminal_dest(&self, src: NodeId, rng: &mut Rng) -> Option<NodeId> {
+        let n = self.tmesh.num_nodes();
         let idx = src.index();
         let dst = match self.pattern {
             Pattern::UniformRandom => {
@@ -190,14 +226,14 @@ impl BoundPattern {
                 NodeId((!idx & mask) as u16)
             }
             Pattern::MatrixTranspose => {
-                let c = self.mesh.coord_of(src);
+                let c = self.tmesh.coord_of(src);
                 // Transpose is defined on square meshes; clamp for
                 // rectangular ones by wrapping into range.
                 let t = Coord {
-                    x: c.y % self.mesh.width(),
-                    y: c.x % self.mesh.height(),
+                    x: c.y % self.tmesh.width(),
+                    y: c.x % self.tmesh.height(),
                 };
-                self.mesh.node_at(t)
+                self.tmesh.node_at(t)
             }
             Pattern::PerfectShuffle => {
                 // Rotate the index left by one bit.
@@ -208,22 +244,22 @@ impl BoundPattern {
             Pattern::Neighbor => {
                 // Nearest neighbour to the East, wrapping at the edge
                 // (dimension-wise ring addressing, standard NB definition).
-                let c = self.mesh.coord_of(src);
+                let c = self.tmesh.coord_of(src);
                 let t = Coord {
-                    x: (c.x + 1) % self.mesh.width(),
+                    x: (c.x + 1) % self.tmesh.width(),
                     y: c.y,
                 };
-                self.mesh.node_at(t)
+                self.tmesh.node_at(t)
             }
             Pattern::Tornado => {
                 // Half-way minus one around the X ring.
-                let k = self.mesh.width();
-                let c = self.mesh.coord_of(src);
+                let k = self.tmesh.width();
+                let c = self.tmesh.coord_of(src);
                 let t = Coord {
                     x: (c.x + (k / 2).saturating_sub(1).max(1)) % k,
                     y: c.y,
                 };
-                self.mesh.node_at(t)
+                self.tmesh.node_at(t)
             }
         };
         if dst == src {
@@ -417,6 +453,32 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn pow2_patterns_reject_odd_meshes() {
         let _ = BoundPattern::new(Pattern::BitReversal, Mesh::new(6, 6), 0);
+    }
+
+    #[test]
+    fn cmesh_patterns_run_in_terminal_space() {
+        // A 4x4 cmesh serves 64 terminals, so the pow2 patterns are legal
+        // even though there are only 16 routers.
+        let c = Mesh::cmesh(4, 4);
+        let b = BoundPattern::new(Pattern::Complement, c, 7);
+        let mut rng = Rng::seed_from(1);
+        // Every terminal of router (0,0)'s 2x2 block complements into the
+        // opposite corner block, i.e. router (3,3).
+        for _ in 0..20 {
+            let d = b.dest(NodeId(0), &mut rng).unwrap();
+            assert_eq!(c.coord_of(d), Coord { x: 3, y: 3 });
+        }
+        // Uniform-random destinations stay on the 16 routers; same-router
+        // terminal pairs fold to None (local delivery).
+        let u = BoundPattern::new(Pattern::UniformRandom, c, 7);
+        for i in 0..16u16 {
+            for _ in 0..50 {
+                if let Some(d) = u.dest(NodeId(i), &mut rng) {
+                    assert!(d.index() < 16);
+                    assert_ne!(d, NodeId(i));
+                }
+            }
+        }
     }
 
     proptest! {

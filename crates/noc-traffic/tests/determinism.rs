@@ -11,7 +11,7 @@
 //! `DXBAR_PRINT_HASHES=1` and paste the printed table over `GOLDEN`.
 
 use noc_topology::Mesh;
-use noc_traffic::{Pattern, SyntheticTraffic, TrafficModel};
+use noc_traffic::{BurstSource, BurstyTraffic, Pattern, SyntheticTraffic, TrafficModel};
 
 /// FNV-1a 64 (same constants as noc-campaign's cache hash; local copy
 /// because noc-traffic sits below noc-campaign in the crate DAG).
@@ -27,11 +27,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 const CYCLES: u64 = 400;
 const SEEDS: [u64; 2] = [1, 42];
 
-/// Digest of every packet the generator creates in `CYCLES` cycles on an
-/// 8x8 mesh (power of two, so the bit-permutation patterns are legal).
-fn replay_hash(pattern: Pattern, seed: u64) -> u64 {
-    let mesh = Mesh::new(8, 8);
-    let mut traffic = SyntheticTraffic::new(pattern, mesh, 0.2, 2, seed);
+fn digest_stream(traffic: &mut dyn TrafficModel) -> u64 {
     let mut stream = Vec::new();
     for cycle in 0..CYCLES {
         for p in traffic.poll(cycle) {
@@ -43,6 +39,21 @@ fn replay_hash(pattern: Pattern, seed: u64) -> u64 {
         }
     }
     fnv1a64(&stream)
+}
+
+/// Digest of every packet the generator creates in `CYCLES` cycles on an
+/// 8x8 mesh (power of two, so the bit-permutation patterns are legal).
+fn replay_hash(pattern: Pattern, seed: u64) -> u64 {
+    let mut traffic = SyntheticTraffic::new(pattern, Mesh::new(8, 8), 0.2, 2, seed);
+    digest_stream(&mut traffic)
+}
+
+/// Same digest for the bursty generator (UR spatial pattern, so every
+/// process firing becomes a packet).
+fn bursty_replay_hash(source: BurstSource, seed: u64) -> u64 {
+    let mut traffic =
+        BurstyTraffic::new(Pattern::UniformRandom, Mesh::new(8, 8), source, 0.2, 2, seed);
+    digest_stream(&mut traffic)
 }
 
 /// Pinned digests: one row per pattern, one column per seed in `SEEDS`.
@@ -76,6 +87,21 @@ const GOLDEN: [(Pattern, [u64; 2]); 9] = [
     (Pattern::Tornado, [0x157de1c164ab61da, 0xe29fc41a6ab4422a]),
 ];
 
+/// The bursty sources pinned alongside the patterns: each (source, seed)
+/// stream is part of the same experiment contract.
+const BURSTY_SOURCES: [BurstSource; 3] = [
+    BurstSource::Bernoulli,
+    BurstSource::Mmpp2 { burstiness: 3.0 },
+    BurstSource::ParetoOnOff { duty: 0.25 },
+];
+
+/// Pinned digests for the bursty generator, same seed columns.
+const BURSTY_GOLDEN: [[u64; 2]; 3] = [
+    [0x1aee9e344025b828, 0x9f00ec48b4985eef], // bernoulli
+    [0xa9a2eeea0942a234, 0xef18c5ff87d1ead7], // mmpp:3.000
+    [0xa49b50dc3bfd0d8d, 0xb62afc60607089db], // pareto:0.250
+];
+
 #[test]
 fn replay_hashes_match_golden_table() {
     if std::env::var("DXBAR_PRINT_HASHES").is_ok() {
@@ -85,6 +111,13 @@ fn replay_hashes_match_golden_table() {
                 .map(|&s| format!("0x{:016x}", replay_hash(p, s)))
                 .collect();
             println!("    (Pattern::{p:?}, [{}]),", hs.join(", "));
+        }
+        for src in BURSTY_SOURCES {
+            let hs: Vec<String> = SEEDS
+                .iter()
+                .map(|&s| format!("0x{:016x}", bursty_replay_hash(src, s)))
+                .collect();
+            println!("    [{}], // {}", hs.join(", "), src.name());
         }
         return;
     }
@@ -102,12 +135,40 @@ fn replay_hashes_match_golden_table() {
 }
 
 #[test]
+fn bursty_replay_hashes_match_golden_table() {
+    if std::env::var("DXBAR_PRINT_HASHES").is_ok() {
+        return; // table printed by replay_hashes_match_golden_table
+    }
+    for (row, source) in BURSTY_SOURCES.into_iter().enumerate() {
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let got = bursty_replay_hash(source, seed);
+            let want = BURSTY_GOLDEN[row][i];
+            assert_eq!(
+                got,
+                want,
+                "{} seed {seed}: replay hash drifted (got 0x{got:016x}); \
+                 the bursty injection stream changed",
+                source.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn rebuilt_generator_replays_identically() {
     for pattern in Pattern::ALL {
         assert_eq!(
             replay_hash(pattern, 7),
             replay_hash(pattern, 7),
             "{pattern:?} not reproducible from its seed"
+        );
+    }
+    for source in BURSTY_SOURCES {
+        assert_eq!(
+            bursty_replay_hash(source, 7),
+            bursty_replay_hash(source, 7),
+            "{} not reproducible from its seed",
+            source.name()
         );
     }
 }

@@ -161,7 +161,11 @@ impl VerifyReport {
 /// [`Verifier::finalize`] after the run.
 pub struct Verifier {
     design: String,
-    profile: DesignProfile,
+    /// Oracle profile per node. Homogeneous networks repeat one profile;
+    /// heterogeneous router mixes give each node the profile of the
+    /// design actually running there.
+    profiles: Vec<DesignProfile>,
+    buffer_depth: usize,
     mesh: Mesh,
     opts: VerifyOptions,
     ledger: FlitLedger,
@@ -198,9 +202,11 @@ impl Verifier {
         buffer_depth: usize,
         opts: VerifyOptions,
     ) -> Verifier {
+        let profile = DesignProfile::for_design(design_name, buffer_depth);
         Verifier {
             design: design_name.to_string(),
-            profile: DesignProfile::for_design(design_name, buffer_depth),
+            profiles: vec![profile; mesh.num_nodes()],
+            buffer_depth,
             mesh,
             opts,
             ledger: FlitLedger::new(),
@@ -218,8 +224,37 @@ impl Verifier {
         }
     }
 
+    /// Oracle set matched to `net`'s actual routers: per-node profiles, so
+    /// heterogeneous fabrics enforce each node's own design rules (a BLESS
+    /// node may deflect; its buffered-island neighbour may not).
+    pub fn for_network<R: noc_sim::RouterModel>(net: &Network<R>, opts: VerifyOptions) -> Verifier {
+        let label = if net.is_homogeneous() {
+            net.design_name().to_string()
+        } else {
+            format!("{} + islands", net.design_name())
+        };
+        let mut v =
+            Verifier::with_options(&label, *net.mesh(), net.config().buffer_depth, opts);
+        for node in v.mesh.nodes() {
+            v.set_node_profile(node, net.router_design_name(node));
+        }
+        v
+    }
+
+    /// Override one node's oracle profile by design name.
+    pub fn set_node_profile(&mut self, node: NodeId, design_name: &str) {
+        self.profiles[node.index()] =
+            DesignProfile::for_design(design_name, self.buffer_depth);
+    }
+
+    /// The node-0 profile (homogeneous networks: the only profile).
     pub fn profile(&self) -> &DesignProfile {
-        &self.profile
+        &self.profiles[0]
+    }
+
+    /// The oracle profile enforced at `node`.
+    pub fn node_profile(&self, node: NodeId) -> &DesignProfile {
+        &self.profiles[node.index()]
     }
 
     fn push(&mut self, v: Violation) {
@@ -231,13 +266,14 @@ impl Verifier {
 
     fn check_route_hop(&mut self, node: NodeId, dir: Direction, dst: NodeId, cycle: Cycle) {
         self.checks.route_hops += 1;
-        let legal = match self.profile.route {
+        let route = self.profiles[node.index()].route;
+        let legal = match route {
             RouteRule::Turn(alg) => alg.route(&self.mesh, node, dst).contains(dir),
             RouteRule::MinimalAdaptive => is_productive(&self.mesh, node, dst, dir),
             RouteRule::Deflecting | RouteRule::Any => true,
         };
         if !legal {
-            let rule = match self.profile.route {
+            let rule = match route {
                 RouteRule::Turn(alg) => alg.name(),
                 RouteRule::MinimalAdaptive => "minimal-adaptive",
                 _ => unreachable!(),
@@ -253,6 +289,7 @@ impl Verifier {
     }
 
     fn check_probes(&mut self, node: NodeId, ctx: &StepCtx) {
+        let profile = self.profiles[node.index()];
         // (input, slot) -> output, plus per-output winner counts.
         let mut out_winners: [u8; 5] = [0; 5];
         let mut input_grants: HashMap<u8, Vec<(u8, u8)>> = HashMap::new();
@@ -271,8 +308,7 @@ impl Verifier {
                 }
                 ProbeEvent::FifoDepth { input, depth, cap } => {
                     self.checks.fifo_samples += 1;
-                    let hard_cap = self
-                        .profile
+                    let hard_cap = profile
                         .fifo_capacity
                         .map_or(cap as usize, |c| c.min(cap as usize));
                     if depth as usize > hard_cap {
@@ -324,7 +360,7 @@ impl Verifier {
             if grants.len() <= 1 {
                 continue;
             }
-            let dual_ok = self.profile.dual_input
+            let dual_ok = profile.dual_input
                 && grants.len() == 2
                 && grants[0].0 != grants[1].0
                 && grants[0].1 != grants[1].1;
@@ -504,7 +540,7 @@ impl RunObserver for Verifier {
                 ),
             });
         }
-        if let Some(cap) = self.profile.router_capacity {
+        if let Some(cap) = self.profiles[node.index()].router_capacity {
             if occupancy_after > cap {
                 scratch.push(Violation {
                     kind: ViolationKind::FifoOverflow,
@@ -546,7 +582,7 @@ impl RunObserver for Verifier {
         }
 
         // Drops: legal only for dropping designs, and always ledgered.
-        if !ctx.dropped.is_empty() && !self.profile.drops_allowed {
+        if !ctx.dropped.is_empty() && !self.profiles[node.index()].drops_allowed {
             scratch.push(Violation {
                 kind: ViolationKind::Leak,
                 cycle,

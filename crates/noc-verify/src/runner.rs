@@ -61,12 +61,7 @@ pub fn run_traced_verified<R: RouterModel>(
     energy: &EnergyModel,
     sink: RecordingSink,
 ) -> (RunResult, RecordingSink, VerifyReport) {
-    let verifier = Verifier::with_options(
-        net.design_name(),
-        *net.mesh(),
-        net.config().buffer_depth,
-        VerifyOptions::default(),
-    );
+    let verifier = Verifier::for_network(net, VerifyOptions::default());
     net.set_observer(Box::new(verifier));
     let (result, sink) = noc_sim::runner::run_traced(net, model, mode, energy, sink);
     let verifier = net
@@ -85,12 +80,7 @@ pub fn run_verified_with<R: RouterModel>(
     energy: &EnergyModel,
     opts: VerifyOptions,
 ) -> Result<(RunResult, VerifyReport), Box<VerifyError>> {
-    let verifier = Verifier::with_options(
-        net.design_name(),
-        *net.mesh(),
-        net.config().buffer_depth,
-        opts,
-    );
+    let verifier = Verifier::for_network(net, opts);
     net.set_observer(Box::new(verifier));
     let result = noc_sim::run(net, model, mode, energy);
     let verifier = net

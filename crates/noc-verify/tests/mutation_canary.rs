@@ -31,6 +31,10 @@ enum Bug {
     IllegalDrop,
     /// Emit a flit that never entered the router.
     Phantom,
+    /// Forward one flit through the ring direction *opposite* its
+    /// shortest-path DOR choice — on the torus, taking the wraparound the
+    /// long way round. The wrap-aware route-legality profile must fire.
+    TorusLongWay,
 }
 
 /// Minimal age-priority DOR router with unlimited loser buffering —
@@ -60,6 +64,17 @@ impl RogueRouter {
                 }
                 false
             }
+            Bug::TorusLongWay if !self.fired => {
+                let opp = want.opposite();
+                if self.mesh.neighbor(self.node, opp).is_some()
+                    && ctx.out_links[opp.index()].is_none()
+                {
+                    self.fired = true;
+                    ctx.out_links[opp.index()] = Some(f);
+                    return true;
+                }
+                false
+            }
             Bug::Vanish if !self.fired => {
                 self.fired = true;
                 true // swallowed: no output, no buffer entry
@@ -80,8 +95,13 @@ impl RouterModel for RogueRouter {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        for a in ctx.arrivals.iter().flatten() {
-            self.held.push(*a);
+        // Consume (take) every arrival, as the engine contract requires,
+        // returning a credit for each.
+        for d in LINK_DIRECTIONS {
+            if let Some(f) = ctx.arrivals[d.index()].take() {
+                self.held.push(f);
+                ctx.credits_out[d.index()] = 1;
+            }
         }
         if let Some(inj) = ctx.injection {
             self.held.push(inj);
@@ -127,11 +147,6 @@ impl RouterModel for RogueRouter {
                 ));
             }
         }
-        for d in LINK_DIRECTIONS {
-            if ctx.arrivals[d.index()].is_some() {
-                ctx.credits_out[d.index()] = 1;
-            }
-        }
     }
 
     fn is_idle(&self) -> bool {
@@ -159,8 +174,12 @@ fn cfg() -> SimConfig {
 }
 
 fn run_with_bug(bug: Bug) -> Result<(), Vec<ViolationKind>> {
-    let cfg = cfg();
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    run_on(bug, noc_topology::Topology::Mesh)
+}
+
+fn run_on(bug: Bug, topology: noc_topology::Topology) -> Result<(), Vec<ViolationKind>> {
+    let cfg = SimConfig { topology, ..cfg() };
+    let mesh = Mesh::for_config(&cfg);
     let mut net = Network::new(&cfg, &move |node| {
         Box::new(RogueRouter {
             node,
@@ -223,6 +242,23 @@ fn illegal_drop_is_caught() {
     let kinds = run_with_bug(Bug::IllegalDrop).unwrap_err();
     assert!(
         kinds.contains(&ViolationKind::Leak),
+        "unexpected kinds: {kinds:?}"
+    );
+}
+
+#[test]
+fn control_rogue_on_torus_is_clean() {
+    // Wrap-aware DOR on the torus is exactly what the profile enforces:
+    // a correct router (which does take wrap links on short-ring routes)
+    // must run clean.
+    assert_eq!(run_on(Bug::None, noc_topology::Topology::Torus), Ok(()));
+}
+
+#[test]
+fn torus_long_way_hop_is_caught() {
+    let kinds = run_on(Bug::TorusLongWay, noc_topology::Topology::Torus).unwrap_err();
+    assert!(
+        kinds.contains(&ViolationKind::RouteIllegal),
         "unexpected kinds: {kinds:?}"
     );
 }

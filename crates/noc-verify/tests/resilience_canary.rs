@@ -37,8 +37,13 @@ impl RouterModel for Vehicle {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        for a in ctx.arrivals.iter().flatten() {
-            self.held.push(*a);
+        // Consume (take) every arrival, as the engine contract requires,
+        // returning a credit for each.
+        for d in LINK_DIRECTIONS {
+            if let Some(f) = ctx.arrivals[d.index()].take() {
+                self.held.push(f);
+                ctx.credits_out[d.index()] = 1;
+            }
         }
         if let Some(inj) = ctx.injection {
             self.held.push(inj);
@@ -68,11 +73,6 @@ impl RouterModel for Vehicle {
             ctx.out_links[dir.index()] = Some(f);
         }
         self.held = remaining;
-        for d in LINK_DIRECTIONS {
-            if ctx.arrivals[d.index()].is_some() {
-                ctx.credits_out[d.index()] = 1;
-            }
-        }
     }
 
     fn is_idle(&self) -> bool {

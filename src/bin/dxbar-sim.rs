@@ -125,18 +125,36 @@ fn parse_args() -> Args {
             }
             "--design" => {
                 let v = value("--design");
-                args.design =
-                    parse_design(&v).unwrap_or_else(|| fail(&format!("unknown design '{v}'")));
+                args.design = parse_design(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown design '{v}'; known designs: flit-bless scarab \
+                         buffered4 buffered8 dxbar-dor dxbar-wf unified-dor \
+                         unified-wf afc damq minbd"
+                    ))
+                });
             }
             "--pattern" => {
                 let v = value("--pattern");
-                args.pattern = Pattern::from_abbrev(&v.to_ascii_uppercase())
-                    .unwrap_or_else(|| fail(&format!("unknown pattern '{v}'")));
+                args.pattern = Pattern::from_abbrev(&v.to_ascii_uppercase()).unwrap_or_else(|| {
+                    let known: Vec<&str> = Pattern::ALL.iter().map(|p| p.abbrev()).collect();
+                    fail(&format!(
+                        "unknown pattern '{v}'; known patterns: {}",
+                        known.join(" ")
+                    ))
+                });
             }
             "--splash" => {
                 let v = value("--splash");
-                args.splash =
-                    Some(parse_app(&v).unwrap_or_else(|| fail(&format!("unknown app '{v}'"))));
+                args.splash = Some(parse_app(&v).unwrap_or_else(|| {
+                    let known: Vec<String> = SplashApp::ALL
+                        .iter()
+                        .map(|a| a.name().to_ascii_lowercase())
+                        .collect();
+                    fail(&format!(
+                        "unknown app '{v}'; known apps: {}",
+                        known.join(" ")
+                    ))
+                }));
             }
             "--load" => {
                 let v = value("--load");
@@ -233,7 +251,7 @@ fn print_human(r: &RunResult) {
 
 fn main() {
     let args = parse_args();
-    let mesh = Mesh::new(args.cfg.width, args.cfg.height);
+    let mesh = Mesh::for_config(&args.cfg);
     let plan = if args.fault_pct > 0.0 {
         FaultPlan::generate(
             &mesh,

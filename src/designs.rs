@@ -121,7 +121,7 @@ impl Design {
     /// Build one router of this design for `node` (the factory behind
     /// [`Design::build`], exposed for micro-benchmarks).
     pub fn build_router(self, cfg: &SimConfig, faults: &FaultPlan, node: NodeId) -> RouterKind {
-        let mesh = Mesh::new(cfg.width, cfg.height);
+        let mesh = Mesh::for_config(cfg);
         let depth = cfg.buffer_depth;
         match self {
             Design::FlitBless => RouterKind::Bless(BlessRouter::new(node, mesh)),
@@ -216,7 +216,7 @@ pub fn run_synthetic(
         cfg,
         pattern,
         offered_load,
-        &FaultPlan::none(&Mesh::new(cfg.width, cfg.height)),
+        &FaultPlan::none(&Mesh::for_config(cfg)),
     )
 }
 
@@ -228,7 +228,7 @@ pub fn run_synthetic_with_faults(
     offered_load: f64,
     faults: &FaultPlan,
 ) -> RunResult {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let mut net = design.build(cfg, faults);
     let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let mut result = run(
@@ -251,7 +251,7 @@ pub fn run_synthetic_traced(
     offered_load: f64,
     sink: RecordingSink,
 ) -> (RunResult, RecordingSink) {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let mut net = design.build(cfg, &FaultPlan::none(&mesh));
     let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, sink) = run_traced(
@@ -275,7 +275,7 @@ pub fn run_synthetic_traced_verified(
     offered_load: f64,
     sink: RecordingSink,
 ) -> (RunResult, RecordingSink, noc_verify::VerifyReport) {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let mut net = design.build(cfg, &FaultPlan::none(&mesh));
     let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, sink, report) = noc_verify::run_traced_verified(
@@ -301,7 +301,7 @@ pub fn run_synthetic_verified(
     offered_load: f64,
     faults: &FaultPlan,
 ) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let mut net = design.build(cfg, faults);
     let mut model = synthetic_model(cfg, mesh, pattern, offered_load);
     let (mut result, report) = noc_verify::run_verified(
@@ -327,7 +327,7 @@ pub fn run_synthetic_resilient(
     offered_load: f64,
     plan: &ResiliencePlan,
 ) -> (RunResult, ReachReport) {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let reach = plan.reachability(&mesh);
     let mut net = design.build(cfg, &plan.crossbar);
     net.set_resilience(plan.clone());
@@ -353,7 +353,7 @@ pub fn run_synthetic_resilient_verified(
     offered_load: f64,
     plan: &ResiliencePlan,
 ) -> Result<(RunResult, ReachReport, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let reach = plan.reachability(&mesh);
     let mut net = design.build(cfg, &plan.crossbar);
     net.set_resilience(plan.clone());
@@ -372,7 +372,7 @@ pub fn run_synthetic_resilient_verified(
 /// `max_cycles` caps runaway runs (a design that cannot finish reports
 /// `completed = false`).
 pub fn run_splash(design: Design, cfg: &SimConfig, app: SplashApp, max_cycles: u64) -> RunResult {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let cfg = closed_loop_cfg(cfg, max_cycles);
     let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
     let mut model = SplashTraffic::new(app, mesh, cfg.seed);
@@ -391,7 +391,7 @@ pub fn run_splash_verified(
     app: SplashApp,
     max_cycles: u64,
 ) -> Result<(RunResult, noc_verify::VerifyReport), Box<noc_verify::VerifyError>> {
-    let mesh = Mesh::new(cfg.width, cfg.height);
+    let mesh = Mesh::for_config(cfg);
     let cfg = closed_loop_cfg(cfg, max_cycles);
     let mut net = design.build(&cfg, &FaultPlan::none(&mesh));
     let mut model = SplashTraffic::new(app, mesh, cfg.seed);

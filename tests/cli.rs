@@ -71,6 +71,36 @@ fn unknown_flag_fails_with_help() {
 }
 
 #[test]
+fn unknown_pattern_exits_2_and_lists_patterns() {
+    let out = dxbar_sim()
+        .args(["--pattern", "ZZZ"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pattern"), "stderr: {err}");
+    assert!(err.contains("known patterns:"), "stderr: {err}");
+    for abbrev in ["UR", "NUR", "MT", "TOR"] {
+        assert!(err.contains(abbrev), "abbrev {abbrev} missing from: {err}");
+    }
+}
+
+#[test]
+fn unknown_design_exits_2_and_lists_designs() {
+    let out = dxbar_sim()
+        .args(["--design", "no-such-router"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown design"), "stderr: {err}");
+    assert!(err.contains("known designs:"), "stderr: {err}");
+    for name in ["flit-bless", "damq", "minbd"] {
+        assert!(err.contains(name), "design {name} missing from: {err}");
+    }
+}
+
+#[test]
 fn list_enumerates_everything() {
     let out = dxbar_sim().args(["--list"]).output().expect("binary runs");
     assert!(out.status.success());
