@@ -135,11 +135,7 @@ fn main() {
     let mut fab: Vec<&Aggregate> = aggs.iter().filter(|a| a.group == FABRICS).collect();
     fab.sort_by(|a, b| (&a.workload, &a.design).cmp(&(&b.workload, &b.design)));
     for a in fab {
-        let apps = a
-            .runs
-            .first()
-            .map(|r| r.apps.len())
-            .unwrap_or(0);
+        let apps = a.runs.first().map(|r| r.apps.len()).unwrap_or(0);
         text.push_str(&format!(
             "# {:<16} {:<28} latency {:>7.1}  accepted {:>5.3}  defl/pkt {:>6.3}  apps {}\n",
             a.workload,

@@ -1,0 +1,64 @@
+//! End-to-end acceptance for the chaos-soak harness: run the `chaos_soak`
+//! binary on its quick grid under multiple chaos seeds (including the
+//! claim-holder-kill phase) and require a passing report — byte-identical
+//! aggregates everywhere, zero oracle violations, every injected fault
+//! accounted for.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("noc-chaos-soak-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn quick_soak_is_byte_identical_with_zero_violations() {
+    let root = scratch("quick");
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_soak"))
+        .args(["--quick", "--seeds", "2", "--jobs", "2"])
+        .arg("--cache-root")
+        .arg(&root)
+        .output()
+        .expect("run chaos_soak");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_soak failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    let report = serde_json::parse(&stdout).expect("stdout is the JSON report");
+    assert_eq!(report.field("byte_identical").as_bool(), Some(true));
+    assert_eq!(report.field("violations").as_u64(), Some(0));
+    let runs = report.field("runs").as_array().expect("runs array");
+    assert_eq!(runs.len(), 2, "one entry per chaos seed");
+    let mut injected = 0u64;
+    for run in runs {
+        assert_eq!(run.field("byte_identical").as_bool(), Some(true));
+        assert_eq!(run.field("resume_byte_identical").as_bool(), Some(true));
+        assert_eq!(run.field("quarantined").as_u64(), Some(0));
+        assert_eq!(
+            run.field("unresolved").as_array().map(<[_]>::len),
+            Some(0),
+            "every injected fault must be retried or detected"
+        );
+        let inj = run.field("injections");
+        injected += ["errors", "torn", "bitflips", "claim_delays"]
+            .iter()
+            .map(|f| inj.field(f).as_u64().unwrap_or(0))
+            .sum::<u64>();
+    }
+    // A single seed may roll clean on the tiny quick grid, but the sweep as
+    // a whole is vacuous if no plan ever injected anything.
+    assert!(injected > 0, "no chaos plan injected a single fault");
+    // The claim-holder-kill phase ran and converged too.
+    let ck = report.field("claim_kill");
+    assert_eq!(ck.field("byte_identical").as_bool(), Some(true));
+    assert_eq!(ck.field("violations").as_u64(), Some(0));
+
+    // A passing soak cleans up its scratch caches.
+    assert!(!root.exists(), "passing soak removes its cache root");
+}

@@ -25,9 +25,11 @@
 //! because unlink-while-locked races would let two workers hold "the same"
 //! lock on different inodes.
 
+use crate::io::{IoFault, IoOp, IoPolicy, NoFaults};
 use std::fs::{File, OpenOptions, TryLockError};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Outcome of a claim attempt on one point.
 #[derive(Debug)]
@@ -65,15 +67,25 @@ impl Drop for PointClaim {
 #[derive(Debug, Clone)]
 pub struct CacheLocks {
     dir: PathBuf,
+    policy: Arc<dyn IoPolicy>,
 }
 
 impl CacheLocks {
     /// Open (creating if needed) the `locks/` subdirectory of a cache
-    /// directory.
+    /// directory with the production (no-fault) I/O policy.
     pub fn open(cache_dir: impl AsRef<Path>) -> std::io::Result<CacheLocks> {
+        CacheLocks::open_with(cache_dir, Arc::new(NoFaults))
+    }
+
+    /// Open with an explicit [`IoPolicy`] (fault-injection harnesses use
+    /// this to stall claim acquisition deterministically).
+    pub fn open_with(
+        cache_dir: impl AsRef<Path>,
+        policy: Arc<dyn IoPolicy>,
+    ) -> std::io::Result<CacheLocks> {
         let dir = cache_dir.as_ref().join("locks");
         std::fs::create_dir_all(&dir)?;
-        Ok(CacheLocks { dir })
+        Ok(CacheLocks { dir, policy })
     }
 
     fn lock_path(&self, key: &str) -> PathBuf {
@@ -86,10 +98,19 @@ impl CacheLocks {
     /// read-only or full lock directory degrades to duplicated work, never
     /// to a wrong result or a crash.
     pub fn try_claim(&self, key: &str) -> Claim {
+        let lock_path = self.lock_path(key);
+        // Fault seam: a chaos plan may stall the acquisition (slow lock
+        // directory). Only delays are meaningful here — injected errors on
+        // claims would be indistinguishable from the Busy degradation path
+        // below and could livelock a lone executor, so the policy contract
+        // restricts claim faults to `Delay`.
+        if let Some(IoFault::Delay(d)) = self.policy.inject(IoOp::Claim, &lock_path, 1) {
+            std::thread::sleep(d);
+        }
         let file = match OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.lock_path(key))
+            .open(&lock_path)
         {
             Ok(f) => f,
             Err(_) => return Claim::Busy,

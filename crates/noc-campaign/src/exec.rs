@@ -18,7 +18,8 @@
 use crate::agg::Aggregate;
 use crate::cache::ResultCache;
 use crate::coop::{CacheLocks, Claim, PointClaim};
-use crate::manifest::{CampaignManifest, PointRecord, VerifyBlock};
+use crate::io::{no_faults, IoPolicy};
+use crate::manifest::{CampaignManifest, PointRecord, QuarantinedPoint, VerifyBlock};
 use crate::spec::{CampaignSpec, PointSpec, Workload};
 use crate::CODE_VERSION;
 use dxbar_noc::noc_faults::FaultPlan;
@@ -61,6 +62,10 @@ pub struct ExecOptions {
     /// executor (thread or separate process) holds a claim. Requires
     /// `cache_dir`. See [`crate::coop`].
     pub cooperative: bool,
+    /// Storage-layer fault seam threaded into the cache and lock
+    /// directories. Production uses [`crate::io::NoFaults`]; chaos
+    /// harnesses inject seeded I/O faults here. See [`crate::io`].
+    pub io_policy: std::sync::Arc<dyn IoPolicy>,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +77,7 @@ impl Default for ExecOptions {
             progress: false,
             verify: verify_from_env(),
             cooperative: false,
+            io_policy: no_faults(),
         }
     }
 }
@@ -219,6 +225,24 @@ impl CampaignReport {
         Aggregate::collect(&self.outcomes)
     }
 
+    /// Terminally-failed points as quarantine records: the campaign
+    /// completed *around* them (bounded per-point retries, then isolation)
+    /// and the manifest names each one with its repro handle instead of
+    /// the whole campaign being thrown away.
+    pub fn quarantined(&self) -> Vec<QuarantinedPoint> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| {
+                o.failure().map(|f| QuarantinedPoint {
+                    key: o.key.clone(),
+                    repro: f.repro.clone(),
+                    reason: f.reason.clone(),
+                    attempts: o.attempts,
+                })
+            })
+            .collect()
+    }
+
     /// Total invariant violations across verified points (0 when
     /// verification was off).
     pub fn total_violations(&self) -> u64 {
@@ -253,6 +277,7 @@ impl CampaignReport {
                     .map(|v| v.checks)
                     .sum(),
             }),
+            quarantined: self.quarantined(),
             points: self
                 .outcomes
                 .iter()
@@ -358,8 +383,9 @@ pub fn run_point_verified(p: &PointSpec) -> (RunResult, PointVerify) {
     if let Workload::Scenario { scenario, load } = &p.workload {
         let spec = noc_scenario::ScenarioSpec::resolve(scenario, &p.config)
             .expect("campaign validation resolves scenario names");
-        let (mut r, report) = noc_scenario::run_scenario_verified(p.design, &p.config, &spec, *load)
-            .expect("campaign validation accepts scenario/design pairs");
+        let (mut r, report) =
+            noc_scenario::run_scenario_verified(p.design, &p.config, &spec, *load)
+                .expect("campaign validation accepts scenario/design pairs");
         if let Some(tag) = &p.tag {
             r.traffic = tag.clone();
         }
@@ -452,7 +478,7 @@ fn run_campaign_inner(
     let n = points.len();
     let cache = match &opts.cache_dir {
         Some(dir) => Some(
-            ResultCache::open(dir, salt.clone())
+            ResultCache::open_with(dir, salt.clone(), opts.io_policy.clone())
                 .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
         ),
         None => None,
@@ -463,7 +489,7 @@ fn run_campaign_inner(
             return Err("cooperative execution requires a cache directory".to_string());
         }
         (true, Some(c)) => Some(
-            CacheLocks::open(c.dir())
+            CacheLocks::open_with(c.dir(), opts.io_policy.clone())
                 .map_err(|e| format!("cannot open lock dir under {}: {e}", c.dir().display()))?,
         ),
     };

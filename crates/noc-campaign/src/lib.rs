@@ -60,6 +60,7 @@ pub mod agg;
 pub mod cache;
 pub mod coop;
 pub mod exec;
+pub mod io;
 pub mod manifest;
 pub mod spec;
 
@@ -70,13 +71,17 @@ pub use exec::{
     execute_point, run_campaign, run_campaign_with, run_point, run_point_verified, verify_from_env,
     CampaignReport, ExecOptions, ExecPoint, PointFailure, PointOutcome, PointStatus, PointVerify,
 };
-pub use manifest::{CampaignManifest, PointRecord, VerifyBlock};
+pub use io::{no_faults, IoFault, IoOp, IoPolicy, NoFaults};
+pub use manifest::{CampaignManifest, PointRecord, QuarantinedPoint, VerifyBlock};
 pub use spec::{CampaignSpec, PointGroup, PointSpec, RetryPolicy, Workload, WorkloadAxis};
 
 /// Code-version salt mixed into every cache key. Bump whenever the
 /// simulator's semantics change in a way that invalidates cached results
-/// (router behaviour, energy model, traffic generation, stat definitions).
-pub const CODE_VERSION: &str = "dxbar-sim-v4";
+/// (router behaviour, energy model, traffic generation, stat definitions)
+/// — or, as in v4 → v5, when the cache *entry format* changes (v5 added
+/// the `sum` payload checksum; entries without it must re-run, not
+/// silently skip verification).
+pub const CODE_VERSION: &str = "dxbar-sim-v5";
 
 /// FNV-1a 64-bit over a byte string — the stable content hash behind cache
 /// keys and spec hashes. Chosen over `DefaultHasher` because its output is

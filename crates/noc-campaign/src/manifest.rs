@@ -24,7 +24,25 @@ pub struct CampaignManifest {
     /// Runtime-verification summary; `None` when the campaign ran without
     /// the oracle suite.
     pub verify: Option<VerifyBlock>,
+    /// Points that exhausted their retry budget and were isolated so the
+    /// rest of the campaign could complete. Empty on a clean run. CI gates
+    /// and chaos harnesses read this list to prove nothing was silently
+    /// dropped: every failed point is named here with its repro handle.
+    pub quarantined: Vec<QuarantinedPoint>,
     pub points: Vec<PointRecord>,
+}
+
+/// One terminally-failed point, surfaced instead of failing the campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuarantinedPoint {
+    /// Content-addressed cache key of the point.
+    pub key: String,
+    /// One-line repro descriptor (design, workload, fault axes, seed).
+    pub repro: String,
+    /// Why the point was quarantined (last failure reason).
+    pub reason: String,
+    /// Runner attempts spent before giving up.
+    pub attempts: u32,
 }
 
 /// Aggregate runtime-verification outcome of one campaign.
@@ -108,6 +126,12 @@ mod tests {
                 violations: 1,
                 checks: 9_999,
             }),
+            quarantined: vec![QuarantinedPoint {
+                key: "00ff".into(),
+                repro: "DXbar DOR UR@0.30 seed=0x7".into(),
+                reason: "panicked: boom".into(),
+                attempts: 2,
+            }],
             points: vec![PointRecord {
                 key: "00ff".into(),
                 group: "fig05".into(),
@@ -142,5 +166,8 @@ mod tests {
         assert_eq!(v.verified_points, 2);
         assert_eq!(v.violations, 1);
         assert_eq!(v.checks, 9_999);
+        assert_eq!(back.quarantined.len(), 1);
+        assert_eq!(back.quarantined[0].key, "00ff");
+        assert_eq!(back.quarantined[0].attempts, 2);
     }
 }

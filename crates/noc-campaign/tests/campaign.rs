@@ -199,6 +199,63 @@ fn corrupted_and_truncated_entries_are_misses_not_panics() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Silent bit-rot: an entry whose stored payload no longer matches its
+/// content checksum — while the salt and point identity still parse and
+/// match — must degrade to a *detected* miss for exactly that point, with
+/// the offending path reported, and never be served as a result.
+#[test]
+fn checksum_mismatch_with_matching_identity_is_a_detected_miss() {
+    use noc_campaign::io::{IoFault, IoOp, IoPolicy};
+    use std::sync::{Arc, Mutex};
+
+    /// Records every path the cache reports as a detected-corrupt entry.
+    #[derive(Debug, Default)]
+    struct Detections(Mutex<Vec<PathBuf>>);
+    impl IoPolicy for Detections {
+        fn inject(&self, _op: IoOp, _path: &Path, _attempt: u32) -> Option<IoFault> {
+            None
+        }
+        fn on_detected(&self, path: &Path) {
+            self.0.lock().unwrap().push(path.to_path_buf());
+        }
+    }
+
+    let dir = scratch("bitrot");
+    let spec = tiny_spec();
+    let runner = |p: &PointSpec| fake_result(p);
+    run_campaign_with(&spec, &opts_with_cache(&dir), &runner).unwrap();
+
+    // Rot one digit inside the stored *result* payload of one entry,
+    // leaving the JSON valid and the salt + point identity untouched
+    // (`latency_spread` 1.2 appears nowhere else in the entry text).
+    let key = spec.points()[0].cache_key(&opts_with_cache(&dir).cache_salt());
+    let victim = dir.join(format!("{key}.json"));
+    let text = std::fs::read_to_string(&victim).unwrap();
+    assert_eq!(
+        text.matches("1.2").count(),
+        1,
+        "tamper target must be unique"
+    );
+    std::fs::write(&victim, text.replace("1.2", "3.4")).unwrap();
+
+    let det = Arc::new(Detections::default());
+    let opts = ExecOptions {
+        io_policy: det.clone(),
+        ..opts_with_cache(&dir)
+    };
+    let r = run_campaign_with(&spec, &opts, &runner).unwrap();
+    assert_eq!(r.cache_hits(), 7, "untampered entries still hit");
+    assert_eq!(r.cache_misses(), 1, "exactly the rotten entry misses");
+    assert_eq!(r.failed_count(), 0, "bit-rot must never fail a point");
+    let detected = det.0.lock().unwrap().clone();
+    assert_eq!(detected, vec![victim], "detection names the offending path");
+
+    // The miss re-simulated and re-stored: the cache is repaired.
+    let r = run_campaign_with(&spec, &opts_with_cache(&dir), &runner).unwrap();
+    assert_eq!(r.cache_hits(), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn panicking_point_is_isolated_and_campaign_continues() {
     let dir = scratch("panic");

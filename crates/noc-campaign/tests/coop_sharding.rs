@@ -82,9 +82,9 @@ fn coop_opts(dir: &Path) -> ExecOptions {
         cache_dir: Some(dir.to_path_buf()),
         jobs: Some(2),
         code_salt: CODE_VERSION.into(),
-        progress: false,
         verify: false,
         cooperative: true,
+        ..ExecOptions::default()
     }
 }
 
@@ -145,6 +145,94 @@ fn racing_executors_share_one_cache_without_duplicate_work() {
 
     let _ = std::fs::remove_dir_all(&shared);
     let _ = std::fs::remove_dir_all(&baseline_dir);
+}
+
+/// Child mode of [`claim_holder_crash_releases_the_point_to_survivors`]:
+/// when the env vars are set (the parent re-execs this test binary with an
+/// exact filter), claim the given key and hold it until killed. In a normal
+/// test run the env vars are absent and this is a no-op.
+#[test]
+fn claim_holder_child_holds_claim_until_killed() {
+    let Ok(dir) = std::env::var("NOC_COOP_HOLD_DIR") else {
+        return;
+    };
+    let key = std::env::var("NOC_COOP_HOLD_KEY").expect("key env set with dir");
+    let locks = noc_campaign::CacheLocks::open(&dir).unwrap();
+    loop {
+        match locks.try_claim(&key) {
+            noc_campaign::Claim::Owned(_claim) => loop {
+                // Hold the claim until the parent kills this process.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            },
+            noc_campaign::Claim::Busy => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+}
+
+/// A cooperating process dies while holding a point's claim: the OS
+/// releases the advisory lock with the process, the surviving executor
+/// steals the point, and the final table is byte-identical to a fault-free
+/// run.
+#[test]
+fn claim_holder_crash_releases_the_point_to_survivors() {
+    let shared = scratch("crash");
+    let spec = spec();
+    let opts = coop_opts(&shared);
+    let salt = opts.cache_salt();
+    let key = spec.points()[0].cache_key(&salt);
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "claim_holder_child_holds_claim_until_killed",
+            "--exact",
+            "--nocapture",
+            "--test-threads",
+            "1",
+        ])
+        .env("NOC_COOP_HOLD_DIR", &shared)
+        .env("NOC_COOP_HOLD_KEY", &key)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("re-exec test binary in claim-holder mode");
+
+    // Wait until the child actually holds the claim (our probe claims are
+    // dropped immediately so they never block the child).
+    let locks = noc_campaign::CacheLocks::open(&shared).unwrap();
+    let t0 = std::time::Instant::now();
+    while !matches!(locks.try_claim(&key), noc_campaign::Claim::Busy) {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(20),
+            "claim-holder child never acquired the claim"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Kill the holder mid-claim while the campaign runs. Until the kill,
+    // the claimed point is Busy-deferred; after it, a surviving worker
+    // claims and simulates it.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+    let report = run_campaign_with(&spec, &opts, &|p: &PointSpec| fake_result(p)).unwrap();
+    killer.join().unwrap();
+    assert_eq!(report.failed_count(), 0, "crash must not lose the point");
+
+    // Byte-identical to a fresh fault-free run on its own cache.
+    let clean_dir = scratch("crash-clean");
+    let clean = run_campaign_with(&spec, &coop_opts(&clean_dir), &|p: &PointSpec| {
+        fake_result(p)
+    })
+    .unwrap();
+    assert_eq!(
+        render_table(&report.aggregates()),
+        render_table(&clean.aggregates())
+    );
+    let _ = std::fs::remove_dir_all(&shared);
+    let _ = std::fs::remove_dir_all(&clean_dir);
 }
 
 #[test]

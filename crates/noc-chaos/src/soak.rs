@@ -1,0 +1,271 @@
+//! The chaos-soak end-to-end driver: prove a verify-enabled campaign run
+//! under storage chaos produces **byte-identical aggregates** to the
+//! fault-free run, with zero oracle violations and every injected fault
+//! accounted for.
+//!
+//! Per chaos seed, three phases share one baseline rendering:
+//!
+//! 1. **baseline** — the spec runs once, cache-less and fault-free; its
+//!    [`noc_campaign::render_table`] output is the reference string;
+//! 2. **chaos** — the spec runs cooperatively against a fresh cache with a
+//!    seeded [`ChaosPlan`] armed. Chaos touches only the storage layer,
+//!    never the simulator, so the rendered table must equal the baseline
+//!    byte for byte;
+//! 3. **resume** — the plan is disarmed and the spec runs again over the
+//!    *damaged* cache. Every torn or bit-flipped entry must be detected and
+//!    degrade to a miss (re-simulated), never to a wrong aggregate; the
+//!    rendered table must again equal the baseline.
+//!
+//! Finally the plan's ledger is audited: transient errors must have ended
+//! [`Resolution::RetriedOk`], corruption [`Resolution::Detected`] — a
+//! pending entry means a fault was silently dropped and fails the soak.
+//!
+//! An optional **claim-holder kill** phase spawns a separate process that
+//! takes the advisory claim on the campaign's first point, kills it
+//! mid-run, and asserts a surviving worker steals the point and the final
+//! table still matches the baseline (the OS releases advisory locks with
+//! the process — crash recovery needs no janitor).
+//!
+//! [`Resolution::RetriedOk`]: crate::plan::Resolution::RetriedOk
+//! [`Resolution::Detected`]: crate::plan::Resolution::Detected
+
+use crate::plan::{ChaosConfig, ChaosPlan, LedgerSummary};
+use noc_campaign::{render_table, run_campaign, CacheLocks, CampaignSpec, Claim, ExecOptions};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spawns a process that claims `key` in the cache dir and holds it for
+/// the given number of milliseconds (the soak kills it well before that).
+pub type ClaimHolderSpawn = Box<dyn Fn(&Path, &str, u64) -> std::io::Result<std::process::Child>>;
+
+/// One soak invocation.
+pub struct SoakOptions {
+    pub spec: CampaignSpec,
+    /// Chaos seeds to sweep; each gets a fresh cache and plan.
+    pub seeds: Vec<u64>,
+    /// Run points under the runtime-oracle suite (the soak's "zero
+    /// violations" gate is vacuous without it).
+    pub verify: bool,
+    /// Parent directory for the per-seed cache directories.
+    pub cache_root: PathBuf,
+    pub jobs: Option<usize>,
+    pub progress: bool,
+    /// When set, the claim-holder-kill phase runs after the seed sweep.
+    pub claim_holder: Option<ClaimHolderSpawn>,
+}
+
+/// Outcome of one seed's chaos + resume runs.
+#[derive(Debug, Serialize)]
+pub struct SeedRun {
+    pub seed: u64,
+    /// Chaos-run table equals the fault-free baseline.
+    pub byte_identical: bool,
+    /// Disarmed resume over the damaged cache also equals the baseline.
+    pub resume_byte_identical: bool,
+    pub violations: u64,
+    pub quarantined: u64,
+    pub injections: LedgerSummary,
+    /// Injected faults never retried, detected, or quarantined. Must be
+    /// empty for the soak to pass.
+    pub unresolved: Vec<String>,
+}
+
+/// Outcome of the claim-holder-kill phase.
+#[derive(Debug, Serialize)]
+pub struct ClaimKill {
+    /// Cache key the killed process was holding.
+    pub key: String,
+    pub byte_identical: bool,
+    pub violations: u64,
+    pub wall_ms: u64,
+}
+
+/// The whole soak, serialized as the harness/CI artifact.
+#[derive(Debug, Serialize)]
+pub struct SoakReport {
+    pub campaign: String,
+    /// Every run (chaos, resume, claim-kill) rendered the baseline table.
+    pub byte_identical: bool,
+    /// Oracle violations summed over every run. Gate: 0.
+    pub violations: u64,
+    pub runs: Vec<SeedRun>,
+    pub claim_kill: Option<ClaimKill>,
+}
+
+impl SoakReport {
+    /// The full acceptance predicate: byte-identical everywhere, zero
+    /// violations, nothing quarantined, every injection accounted for.
+    pub fn ok(&self) -> bool {
+        self.byte_identical
+            && self.violations == 0
+            && self
+                .runs
+                .iter()
+                .all(|r| r.unresolved.is_empty() && r.quarantined == 0)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize soak report")
+    }
+}
+
+/// Run the soak. `Err` means the harness itself could not run (bad spec,
+/// unspawnable claim holder); a *failing* soak returns `Ok` with a report
+/// whose [`SoakReport::ok`] is false.
+pub fn run_soak(opts: &SoakOptions) -> Result<SoakReport, String> {
+    opts.spec.validate()?;
+    let base_opts = ExecOptions {
+        cache_dir: None,
+        jobs: opts.jobs,
+        progress: opts.progress,
+        verify: opts.verify,
+        ..ExecOptions::default()
+    };
+    let baseline_report = run_campaign(&opts.spec, &base_opts)?;
+    if baseline_report.failed_count() > 0 {
+        return Err(format!(
+            "baseline run failed {} point(s); chaos comparison is meaningless",
+            baseline_report.failed_count()
+        ));
+    }
+    let baseline = render_table(&baseline_report.aggregates());
+    let mut runs = Vec::new();
+    for &seed in &opts.seeds {
+        if opts.progress {
+            eprintln!("[chaos-soak] seed {seed:#x}: chaos + resume");
+        }
+        runs.push(run_seed(opts, seed, &baseline)?);
+    }
+    let claim_kill = match &opts.claim_holder {
+        Some(spawn) => {
+            if opts.progress {
+                eprintln!("[chaos-soak] claim-holder kill phase");
+            }
+            Some(run_claim_kill(opts, spawn.as_ref(), &baseline)?)
+        }
+        None => None,
+    };
+    let byte_identical = runs
+        .iter()
+        .all(|r| r.byte_identical && r.resume_byte_identical)
+        && claim_kill.as_ref().is_none_or(|c| c.byte_identical);
+    let violations = runs.iter().map(|r| r.violations).sum::<u64>()
+        + claim_kill.as_ref().map_or(0, |c| c.violations);
+    Ok(SoakReport {
+        campaign: opts.spec.name.clone(),
+        byte_identical,
+        violations,
+        runs,
+        claim_kill,
+    })
+}
+
+fn run_seed(opts: &SoakOptions, seed: u64, baseline: &str) -> Result<SeedRun, String> {
+    let plan = Arc::new(ChaosPlan::new(ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    }));
+    let cache_dir = opts.cache_root.join(format!("chaos-{seed:#x}"));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let exec = ExecOptions {
+        cache_dir: Some(cache_dir),
+        jobs: opts.jobs,
+        progress: opts.progress,
+        verify: opts.verify,
+        cooperative: true,
+        io_policy: plan.clone(),
+        ..ExecOptions::default()
+    };
+    let chaos_report = run_campaign(&opts.spec, &exec)?;
+    let byte_identical = render_table(&chaos_report.aggregates()) == baseline;
+    let mut violations = chaos_report.total_violations();
+    let mut quarantined = chaos_report.quarantined().len() as u64;
+
+    // Resume over the damaged cache with injection off: corrupt entries
+    // must be *detected* misses (re-simulated), not wrong results.
+    plan.disarm();
+    let resume_report = run_campaign(&opts.spec, &exec)?;
+    let resume_byte_identical = render_table(&resume_report.aggregates()) == baseline;
+    violations += resume_report.total_violations();
+    quarantined += resume_report.quarantined().len() as u64;
+
+    Ok(SeedRun {
+        seed,
+        byte_identical,
+        resume_byte_identical,
+        violations,
+        quarantined,
+        injections: plan.summary(),
+        unresolved: plan.unresolved(),
+    })
+}
+
+fn run_claim_kill(
+    opts: &SoakOptions,
+    spawn: &dyn Fn(&Path, &str, u64) -> std::io::Result<std::process::Child>,
+    baseline: &str,
+) -> Result<ClaimKill, String> {
+    let t0 = Instant::now();
+    // Distinct seed so this phase's fault pattern is not a replay of the
+    // first sweep seed.
+    let seed = opts.seeds.first().copied().unwrap_or(1) ^ 0x9e37_79b9_7f4a_7c15;
+    let plan = Arc::new(ChaosPlan::new(ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    }));
+    let cache_dir = opts.cache_root.join("claim-kill");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).map_err(|e| e.to_string())?;
+    let exec = ExecOptions {
+        cache_dir: Some(cache_dir.clone()),
+        jobs: opts.jobs,
+        progress: opts.progress,
+        verify: opts.verify,
+        cooperative: true,
+        io_policy: plan,
+        ..ExecOptions::default()
+    };
+    let salt = exec.cache_salt();
+    let key = opts
+        .spec
+        .points()
+        .first()
+        .map(|p| p.cache_key(&salt))
+        .ok_or("spec expands to no points")?;
+    let mut child =
+        spawn(&cache_dir, &key, 60_000).map_err(|e| format!("cannot spawn claim holder: {e}"))?;
+    // Wait until the child actually holds the claim (our own probe claim is
+    // dropped immediately so the child can take it).
+    let locks = CacheLocks::open(&cache_dir).map_err(|e| e.to_string())?;
+    let wait_start = Instant::now();
+    loop {
+        if let Claim::Busy = locks.try_claim(&key) {
+            break;
+        }
+        if wait_start.elapsed() > Duration::from_secs(20) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("claim holder never acquired the claim".into());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Kill the holder mid-run. The OS releases its advisory lock with the
+    // process, the deferred point becomes claimable, and a surviving worker
+    // steals it.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+    let report = run_campaign(&opts.spec, &exec);
+    killer.join().map_err(|_| "killer thread panicked")?;
+    let report = report?;
+    Ok(ClaimKill {
+        key,
+        byte_identical: render_table(&report.aggregates()) == baseline,
+        violations: report.total_violations(),
+        wall_ms: t0.elapsed().as_millis() as u64,
+    })
+}

@@ -74,8 +74,7 @@ impl Deserialize for Topology {
         let s = v
             .as_str()
             .ok_or_else(|| serde::Error::msg("Topology: expected string"))?;
-        Topology::from_name(s)
-            .ok_or_else(|| serde::Error::msg(format!("unknown topology {s:?}")))
+        Topology::from_name(s).ok_or_else(|| serde::Error::msg(format!("unknown topology {s:?}")))
     }
 }
 

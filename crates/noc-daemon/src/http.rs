@@ -8,6 +8,13 @@
 //! status code and a clean connection close — never a panic: the server
 //! additionally wraps the route handler in `catch_unwind` so a handler bug
 //! degrades to a `500` response instead of a dead daemon.
+//!
+//! Slow-client defense: each request has a hard wall-clock deadline
+//! ([`ServeOptions::request_timeout`]) measured from its *first byte*. A
+//! slowloris peer dribbling one header byte at a time defeats any per-read
+//! socket timeout (every byte resets it) but not the deadline — the worker
+//! answers `408 Request Timeout` and closes. Writes carry a socket timeout
+//! too, so a peer that stops *reading* cannot pin a worker thread either.
 
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -15,10 +22,73 @@ use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
+
+/// Tunable limits of one `serve` loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Hard deadline for reading one complete request, measured from its
+    /// first byte (slowloris defense → `408`). Also used as the socket
+    /// write timeout.
+    pub request_timeout: Duration,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the worker closes it.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_body: 1024 * 1024,
+            request_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-request wall-clock deadline. Armed by the first byte of a request;
+/// between requests the socket sits on the (longer) idle timeout.
+struct RequestClock {
+    /// A dup of the connection socket, used only to adjust timeouts (they
+    /// apply to the shared underlying socket, not the handle).
+    sock: TcpStream,
+    limit: Duration,
+    started: Option<Instant>,
+}
+
+impl RequestClock {
+    /// Note request activity: the first byte arms the deadline and tightens
+    /// the per-read socket timeout to it.
+    fn mark_byte(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+            let _ = self.sock.set_read_timeout(Some(self.limit));
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.started.is_some()
+    }
+
+    fn expired(&self) -> bool {
+        self.started.is_some_and(|t0| t0.elapsed() >= self.limit)
+    }
+
+    /// Back to between-requests idling.
+    fn reset_idle(&mut self, idle: Duration) {
+        self.started = None;
+        let _ = self.sock.set_read_timeout(Some(idle));
+    }
+}
+
+fn timed_out() -> ParseEnd {
+    ParseEnd::Bad(Response::error(408, "request read deadline exceeded"))
+}
 
 /// One parsed request.
 #[derive(Debug)]
@@ -75,6 +145,7 @@ impl Response {
             401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
@@ -109,9 +180,18 @@ enum ParseEnd {
     Bad(Response),
 }
 
-fn read_line_limited(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseEnd> {
+fn read_line_limited(
+    r: &mut impl BufRead,
+    budget: &mut usize,
+    clock: &mut RequestClock,
+) -> Result<String, ParseEnd> {
     let mut line = Vec::new();
     loop {
+        // A dribbling peer keeps every individual read short of its socket
+        // timeout; the per-request deadline is what actually fires here.
+        if clock.expired() {
+            return Err(timed_out());
+        }
         let mut byte = [0u8; 1];
         match r.read(&mut byte) {
             Ok(0) => {
@@ -122,6 +202,7 @@ fn read_line_limited(r: &mut impl BufRead, budget: &mut usize) -> Result<String,
                 }
             }
             Ok(_) => {
+                clock.mark_byte();
                 if *budget == 0 {
                     return Err(ParseEnd::Bad(Response::error(
                         413,
@@ -140,16 +221,31 @@ fn read_line_limited(r: &mut impl BufRead, budget: &mut usize) -> Result<String,
                 }
                 line.push(byte[0]);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Err(ParseEnd::Eof),
-            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => return Err(ParseEnd::Eof),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Socket timeout mid-request means the deadline lapsed with
+                // the peer stalled; between requests it is a normal idle
+                // keep-alive close.
+                return if clock.armed() {
+                    Err(timed_out())
+                } else {
+                    Err(ParseEnd::Eof)
+                };
+            }
             Err(_) => return Err(ParseEnd::Eof),
         }
     }
 }
 
-fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd {
+fn parse_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+    clock: &mut RequestClock,
+) -> ParseEnd {
     let mut budget = MAX_HEAD;
-    let request_line = match read_line_limited(reader, &mut budget) {
+    let request_line = match read_line_limited(reader, &mut budget, clock) {
         Ok(l) => l,
         Err(end) => return end,
     };
@@ -166,7 +262,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
     let mut chunked = false;
     let mut authorization: Option<String> = None;
     loop {
-        let line = match read_line_limited(reader, &mut budget) {
+        let line = match read_line_limited(reader, &mut budget, clock) {
             Ok(l) => l,
             Err(ParseEnd::Eof) => return ParseEnd::Bad(Response::error(400, "truncated headers")),
             Err(end) => return end,
@@ -205,11 +301,28 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
             format!("body exceeds {max_body} byte limit"),
         ));
     }
+    // Body read honours the same per-request deadline: a peer dribbling a
+    // large Content-Length body one byte at a time gets a 408, not a
+    // permanently pinned worker thread.
     let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        if let Err(e) = reader.read_exact(&mut body) {
-            let _ = e;
-            return ParseEnd::Bad(Response::error(400, "truncated body"));
+    let mut filled = 0;
+    while filled < content_length {
+        if clock.expired() {
+            return timed_out();
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return ParseEnd::Bad(Response::error(400, "truncated body")),
+            Ok(n) => {
+                clock.mark_byte();
+                filled += n;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return timed_out();
+            }
+            Err(_) => return ParseEnd::Bad(Response::error(400, "truncated body")),
         }
     }
     let (path, query) = match target.split_once('?') {
@@ -229,16 +342,27 @@ fn parse_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ParseEnd
 /// The route handler type: pure request → response.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
-fn handle_connection(stream: TcpStream, handler: Handler, max_body: usize) {
-    // Bound how long an idle keep-alive connection can pin its thread.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+fn handle_connection(stream: TcpStream, handler: Handler, opts: &ServeOptions) {
+    // A peer that stops reading cannot pin the worker in write_all either.
+    let _ = stream.set_write_timeout(Some(opts.request_timeout));
+    let Ok(clock_sock) = stream.try_clone() else {
+        return;
+    };
+    let mut clock = RequestClock {
+        sock: clock_sock,
+        limit: opts.request_timeout,
+        started: None,
+    };
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut stream = stream;
     loop {
-        match parse_request(&mut reader, max_body) {
+        // Bound how long an idle keep-alive connection can pin its thread;
+        // the first byte of the next request arms the request deadline.
+        clock.reset_idle(opts.idle_timeout);
+        match parse_request(&mut reader, opts.max_body, &mut clock) {
             ParseEnd::Ok(req) => {
                 let resp = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
                     Ok(r) => r,
@@ -261,7 +385,7 @@ fn handle_connection(stream: TcpStream, handler: Handler, max_body: usize) {
 /// non-blocking so shutdown is honoured within ~50 ms without platform
 /// magic. Each connection gets its own thread (control-plane traffic is
 /// low-rate; simulation work lives on the scheduler's worker threads).
-pub fn serve(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>, max_body: usize) {
+pub fn serve(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>, opts: ServeOptions) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
@@ -271,9 +395,8 @@ pub fn serve(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>, max
             Ok((stream, _addr)) => {
                 let _ = stream.set_nonblocking(false);
                 let h = handler.clone();
-                conns.push(std::thread::spawn(move || {
-                    handle_connection(stream, h, max_body)
-                }));
+                let o = opts.clone();
+                conns.push(std::thread::spawn(move || handle_connection(stream, h, &o)));
                 conns.retain(|c| !c.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -36,7 +36,8 @@ pub mod signals;
 use crate::figures::FigureRegistry;
 use crate::queue::{Job, JobId, JobState, Journal, Priority};
 use dxbar_noc::noc_verify::cache_namespace;
-use noc_campaign::{CacheLocks, CampaignSpec, ResultCache, CODE_VERSION};
+use noc_campaign::io::IoPolicy;
+use noc_campaign::{no_faults, CacheLocks, CampaignSpec, ResultCache, CODE_VERSION};
 use serde::{Serialize, Value};
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
@@ -72,6 +73,13 @@ pub struct DaemonConfig {
     /// `POST /shutdown`) require `Authorization: Bearer <token>`; read-only
     /// endpoints stay open. `None` (the default) disables authentication.
     pub auth_token: Option<String>,
+    /// Hard wall-clock budget for reading one HTTP request (slowloris
+    /// defense, `408` on breach) and for writing one response.
+    pub request_timeout_ms: u64,
+    /// Storage fault seam threaded into the result caches, claim locks and
+    /// journal. Production keeps [`noc_campaign::no_faults`]; chaos
+    /// harnesses inject a seeded plan here.
+    pub io_policy: Arc<dyn IoPolicy>,
 }
 
 impl Default for DaemonConfig {
@@ -87,6 +95,8 @@ impl Default for DaemonConfig {
             code_salt: CODE_VERSION.to_string(),
             drop_poll_ms: 500,
             auth_token: None,
+            request_timeout_ms: 10_000,
+            io_policy: no_faults(),
         }
     }
 }
@@ -121,12 +131,18 @@ impl DaemonState {
         if let Some(d) = &cfg.drop_dir {
             std::fs::create_dir_all(d)?;
         }
-        let cache_plain =
-            ResultCache::open(&cfg.cache_dir, cache_namespace(&cfg.code_salt, false))?;
-        let cache_verified =
-            ResultCache::open(&cfg.cache_dir, cache_namespace(&cfg.code_salt, true))?;
-        let locks = CacheLocks::open(&cfg.cache_dir)?;
-        let journal = Journal::new(&cfg.state_dir);
+        let cache_plain = ResultCache::open_with(
+            &cfg.cache_dir,
+            cache_namespace(&cfg.code_salt, false),
+            cfg.io_policy.clone(),
+        )?;
+        let cache_verified = ResultCache::open_with(
+            &cfg.cache_dir,
+            cache_namespace(&cfg.code_salt, true),
+            cfg.io_policy.clone(),
+        )?;
+        let locks = CacheLocks::open_with(&cfg.cache_dir, cfg.io_policy.clone())?;
+        let journal = Journal::with_policy(&cfg.state_dir, cfg.io_policy.clone());
         let (mut jobs, next_id, seq, drop_seen) = journal.load(&cfg.code_salt);
         // Re-number submission order for resumed jobs (journal order is
         // submission order).
@@ -495,11 +511,15 @@ impl Daemon {
         let state = DaemonState::new(cfg)?;
         let http_stop = Arc::new(AtomicBool::new(false));
         let handler = api::handler(state.clone());
-        let max_body = state.cfg.max_body;
+        let serve_opts = http::ServeOptions {
+            max_body: state.cfg.max_body,
+            request_timeout: Duration::from_millis(state.cfg.request_timeout_ms.max(1)),
+            ..http::ServeOptions::default()
+        };
         let hs = http_stop.clone();
         let http = std::thread::Builder::new()
             .name("noc-daemon-http".into())
-            .spawn(move || http::serve(listener, handler, hs, max_body))?;
+            .spawn(move || http::serve(listener, handler, hs, serve_opts))?;
         let mut workers = Vec::new();
         for i in 0..state.cfg.workers.max(1) {
             let s = state.clone();

@@ -11,10 +11,12 @@
 //! simulates again.
 
 use dxbar_noc::noc_verify::cache_namespace;
+use noc_campaign::io::{no_faults, store_atomic, IoOp, IoPolicy};
 use noc_campaign::{CampaignSpec, PointFailure, PointOutcome, PointSpec};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 pub type JobId = u64;
@@ -265,12 +267,19 @@ impl Job {
 /// The serializable journal: queue + terminal-job records.
 pub struct Journal {
     path: PathBuf,
+    policy: Arc<dyn IoPolicy>,
 }
 
 impl Journal {
     pub fn new(state_dir: &Path) -> Journal {
+        Journal::with_policy(state_dir, no_faults())
+    }
+
+    /// Journal with an explicit storage fault seam (chaos harnesses).
+    pub fn with_policy(state_dir: &Path, policy: Arc<dyn IoPolicy>) -> Journal {
         Journal {
             path: state_dir.join("journal.json"),
+            policy,
         }
     }
 
@@ -317,12 +326,19 @@ impl Journal {
         let tmp = self
             .path
             .with_extension(format!("tmp.{}", std::process::id()));
-        let write = std::fs::write(&tmp, root.to_json_pretty())
-            .and_then(|()| std::fs::rename(&tmp, &self.path));
-        if let Err(e) = write {
-            let _ = std::fs::remove_file(&tmp);
+        // Transient I/O errors (full disk being cleaned, EIO blips) are
+        // retried with capped backoff; a store that still fails is reported
+        // and the previous journal generation stays in place (atomic
+        // rename), so the queue is never left half-written.
+        if let Err(e) = store_atomic(
+            self.policy.as_ref(),
+            IoOp::JournalStore,
+            &tmp,
+            &self.path,
+            root.to_json_pretty().as_bytes(),
+        ) {
             eprintln!(
-                "[daemon] warning: failed to persist journal {}: {e}",
+                "[daemon] warning: failed to persist journal {} after retries: {e}",
                 self.path.display()
             );
         }
@@ -330,19 +346,23 @@ impl Journal {
 
     /// Restore the queue. Live jobs (queued/running at crash or shutdown)
     /// come back `Queued` with a fresh expansion; terminal jobs come back
-    /// as summary-only records. Unreadable journals start an empty queue —
-    /// the daemon must come up even if its state was corrupted.
+    /// as summary-only records. Unreadable journals are *salvaged*: every
+    /// complete job object still present in the torn file is restored, so
+    /// the daemon comes up and resumes surviving jobs even if its state
+    /// file was truncated mid-write.
     pub fn load(&self, code_salt: &str) -> (Vec<Job>, JobId, u64, Vec<String>) {
         let fallback = (Vec::new(), 1, 0, Vec::new());
         let Ok(text) = std::fs::read_to_string(&self.path) else {
             return fallback;
         };
         let Ok(root) = serde_json::parse(&text) else {
+            let salvaged = Self::salvage(&text, code_salt);
             eprintln!(
-                "[daemon] warning: corrupt journal {} ignored",
-                self.path.display()
+                "[daemon] warning: torn or corrupt journal {}; salvaged {} job(s)",
+                self.path.display(),
+                salvaged.0.len()
             );
-            return fallback;
+            return salvaged;
         };
         let next_id = root.field("next_id").as_u64().unwrap_or(1);
         let seq = root.field("seq").as_u64().unwrap_or(0);
@@ -360,6 +380,32 @@ impl Journal {
             };
             jobs.push(job);
         }
+        (jobs, next_id, seq, drop_seen)
+    }
+
+    /// Best-effort recovery from a journal that fails to parse as a whole
+    /// (typically truncated by a crash mid-write on a filesystem without
+    /// atomic rename, or by fault injection). Scans the `"jobs"` array
+    /// region for balanced, complete JSON objects and restores every one
+    /// that still decodes; the trailing half-written element is simply not
+    /// yielded. Counters are recovered by digit scan, with `next_id`
+    /// clamped above every salvaged job id so ids never collide.
+    fn salvage(text: &str, code_salt: &str) -> (Vec<Job>, JobId, u64, Vec<String>) {
+        let mut jobs: Vec<Job> = Vec::new();
+        if let Some(start) = text.find("\"jobs\"") {
+            for candidate in scan_array_objects(&text[start..]) {
+                let Ok(jv) = serde_json::parse(candidate) else {
+                    continue;
+                };
+                if let Some(job) = Self::load_job(&jv, code_salt) {
+                    jobs.push(job);
+                }
+            }
+        }
+        let max_id = jobs.iter().map(|j| j.id).max().unwrap_or(0);
+        let next_id = scan_u64(text, "\"next_id\"").unwrap_or(0).max(max_id + 1);
+        let seq = scan_u64(text, "\"seq\"").unwrap_or(0);
+        let drop_seen = scan_string_array(text, "\"drop_seen\"");
         (jobs, next_id, seq, drop_seen)
     }
 
@@ -408,4 +454,108 @@ impl Journal {
         job.submitted_unix_ms = submitted;
         Some(job)
     }
+}
+
+/// Slice out the top-level `{...}` elements of the first JSON array found
+/// in `text`. String-aware (quotes, escapes), so braces inside string
+/// values don't confuse the depth count; an unbalanced trailing object —
+/// the torn tail of a truncated file — is not yielded.
+fn scan_array_objects(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut i = match text.find('[') {
+        Some(p) => p + 1,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut obj_start: Option<usize> = None;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == b'\\' {
+                escape = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b'{' => {
+                    if depth == 0 {
+                        obj_start = Some(i);
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(s) = obj_start.take() {
+                            out.push(&text[s..=i]);
+                        }
+                    }
+                }
+                b']' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recover `"<key>": <digits>` from possibly-torn JSON text by digit scan.
+fn scan_u64(text: &str, quoted_key: &str) -> Option<u64> {
+    let pos = text.find(quoted_key)?;
+    let rest = text[pos + quoted_key.len()..]
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start();
+    let digits: &str = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
+}
+
+/// Recover a flat array of strings (`"<key>": ["a", "b"]`) from
+/// possibly-torn JSON text. Returns empty if the array itself is torn.
+fn scan_string_array(text: &str, quoted_key: &str) -> Vec<String> {
+    let Some(pos) = text.find(quoted_key) else {
+        return Vec::new();
+    };
+    let rest = &text[pos + quoted_key.len()..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let bytes = rest.as_bytes();
+    let mut in_str = false;
+    let mut escape = false;
+    for i in open + 1..bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == b'\\' {
+                escape = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else if c == b'"' {
+            in_str = true;
+        } else if c == b']' {
+            let Ok(v) = serde_json::parse(&rest[open..=i]) else {
+                return Vec::new();
+            };
+            return v
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|s| s.as_str().map(String::from))
+                .collect();
+        }
+    }
+    Vec::new()
 }

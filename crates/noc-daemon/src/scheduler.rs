@@ -233,6 +233,15 @@ impl DaemonState {
         } else {
             JobState::Done
         };
+        // Terminally-failed points are quarantined, not silently dropped:
+        // name each one with its repro handle so operators (and the chaos
+        // harness) can account for every loss.
+        for q in report.quarantined() {
+            eprintln!(
+                "[daemon] job {}: quarantined point {} ({}) after {} attempt(s): {}",
+                job.id, q.key, q.repro, q.attempts, q.reason
+            );
+        }
         // Figure delta: every key this job resolved successfully is now in
         // the cache (stored by us or adopted from a sibling worker).
         let completed: HashSet<String> = report

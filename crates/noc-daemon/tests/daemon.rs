@@ -43,6 +43,7 @@ fn job_lifecycle_matches_batch_executor_and_survives_restart() {
             progress: false,
             verify: false,
             cooperative: false,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
@@ -175,6 +176,7 @@ fn drained_unfinished_job_resumes_from_the_journal_and_cache() {
             progress: false,
             verify: false,
             cooperative: false,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
@@ -239,6 +241,7 @@ fn two_daemons_shard_one_cache_with_zero_duplicate_simulation() {
             progress: false,
             verify: false,
             cooperative: false,
+            ..ExecOptions::default()
         },
     )
     .unwrap();

@@ -128,6 +128,80 @@ fn protocol_edges_return_clean_statuses_and_never_kill_the_daemon() {
     let _ = std::fs::remove_dir_all(&state_dir);
 }
 
+/// Slowloris and friends: clients that dribble or stall a request must be
+/// cut off by the per-request wall-clock deadline with a 408 — dribbling a
+/// byte per read resets the socket timeout but never the deadline — and a
+/// slow client must not wedge the worker for anyone else.
+#[test]
+fn slow_clients_hit_the_request_deadline_not_the_worker() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let state_dir = common::scratch("slowloris");
+    let handle = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state_dir.clone(),
+        cache_dir: state_dir.join("cache"),
+        workers: 1,
+        request_timeout_ms: 300,
+        code_salt: "daemon-slowloris-test-v1".into(),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr;
+
+    let read_all = |mut s: TcpStream| -> String {
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    // Classic slowloris: dribble header bytes, never finishing the head.
+    // Every byte lands before the 300 ms deadline expires; the dribbling
+    // stops just short of it so the 408 is read intact.
+    let t0 = std::time::Instant::now();
+    let mut s = TcpStream::connect(addr).unwrap();
+    for b in b"GET /healthz" {
+        if s.write_all(&[*b]).is_err() {
+            break; // server already gave up on us — that is the point
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let resp = read_all(s);
+    assert_eq!(status_of(&resp), 408, "{resp}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "deadline did not bound the dribbled request"
+    );
+
+    // A fully stalled header: the first byte arms the deadline, then
+    // nothing more ever comes (and the connection stays open).
+    let t0 = std::time::Instant::now();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HT").unwrap();
+    let resp = read_all(s);
+    assert_eq!(status_of(&resp), 408, "{resp}");
+    assert!(t0.elapsed() < Duration::from_secs(8));
+
+    // A stalled body: complete head whose Content-Length promises bytes
+    // that never arrive, without a half-close — so no EOF, just silence.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\n{}")
+        .unwrap();
+    let resp = read_all(s);
+    assert_eq!(status_of(&resp), 408, "{resp}");
+
+    // All that dawdling never wedged the daemon: a healthy request on a
+    // fresh connection still answers.
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+
+    handle.begin_drain();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
 #[test]
 fn bearer_token_guards_mutating_endpoints() {
     let state_dir = common::scratch("auth");

@@ -244,7 +244,10 @@ mod tests {
         let a = run_scenario(Design::FlitBless, &c, &spec, 0.2).unwrap();
         let b = run_scenario(Design::FlitBless, &c, &spec, 0.2).unwrap();
         assert_eq!(a.accepted_packets, b.accepted_packets);
-        assert_eq!(a.avg_packet_latency.to_bits(), b.avg_packet_latency.to_bits());
+        assert_eq!(
+            a.avg_packet_latency.to_bits(),
+            b.avg_packet_latency.to_bits()
+        );
         assert_eq!(a.apps, b.apps);
     }
 }

@@ -118,10 +118,9 @@ impl RouterMix {
 impl Serialize for RouterMix {
     fn to_value(&self) -> Value {
         match self {
-            RouterMix::Uniform => Value::Object(vec![(
-                "kind".into(),
-                Value::Str("uniform".into()),
-            )]),
+            RouterMix::Uniform => {
+                Value::Object(vec![("kind".into(), Value::Str("uniform".into()))])
+            }
             RouterMix::Islands { island, spacing } => Value::Object(vec![
                 ("kind".into(), Value::Str("islands".into())),
                 ("island".into(), island.to_value()),
@@ -331,7 +330,10 @@ impl ScenarioSpec {
         }
         for (i, a) in self.apps.iter().enumerate() {
             if a.name.is_empty() {
-                return Err(format!("scenario {:?}: app #{i} has an empty name", self.name));
+                return Err(format!(
+                    "scenario {:?}: app #{i} has an empty name",
+                    self.name
+                ));
             }
             if !(a.load_scale.is_finite() && a.load_scale > 0.0) {
                 return Err(format!(
@@ -422,10 +424,7 @@ mod tests {
         let cfg = cfg8();
         let s = ScenarioSpec::named("interfere2:1.5", &cfg).unwrap();
         assert_eq!(s.name, "interfere2:1.500");
-        assert_eq!(
-            s.apps[1].source,
-            BurstSource::Mmpp2 { burstiness: 1.5 }
-        );
+        assert_eq!(s.apps[1].source, BurstSource::Mmpp2 { burstiness: 1.5 });
         assert_eq!(s.apps[0].source, BurstSource::Bernoulli);
         let p = ScenarioSpec::named("pareto_ur:0.5", &cfg).unwrap();
         assert_eq!(p.apps[0].source, BurstSource::ParetoOnOff { duty: 0.5 });
@@ -466,7 +465,10 @@ mod tests {
         let mut s = ScenarioSpec::named("mixed_islands", &cfg).unwrap();
         s.validate(&cfg, Design::FlitBless).unwrap();
         // A credit-consuming base under islands is rejected...
-        assert!(s.validate(&cfg, Design::DXbarDor).unwrap_err().contains("credit"));
+        assert!(s
+            .validate(&cfg, Design::DXbarDor)
+            .unwrap_err()
+            .contains("credit"));
         // ... and so is a credit-consuming island.
         s.mix = RouterMix::Islands {
             island: Design::Buffered4,
@@ -476,11 +478,17 @@ mod tests {
 
         let mut s = ScenarioSpec::named("interfere2", &cfg).unwrap();
         s.apps[1].region = s.apps[0].region;
-        assert!(s.validate(&cfg, Design::DXbarDor).unwrap_err().contains("overlap"));
+        assert!(s
+            .validate(&cfg, Design::DXbarDor)
+            .unwrap_err()
+            .contains("overlap"));
 
         let mut s = ScenarioSpec::named("mmpp_ur", &cfg).unwrap();
         s.apps[0].region.width = 99;
-        assert!(s.validate(&cfg, Design::DXbarDor).unwrap_err().contains("grid"));
+        assert!(s
+            .validate(&cfg, Design::DXbarDor)
+            .unwrap_err()
+            .contains("grid"));
     }
 
     #[test]

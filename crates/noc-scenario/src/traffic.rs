@@ -44,7 +44,12 @@ impl ScenarioTraffic {
     /// Build the model for `spec` at `offered_load` (fraction of network
     /// capacity, scaled per app by its `load_scale`). `mesh` must be the
     /// scenario-topology mesh of `cfg`.
-    pub fn new(spec: &ScenarioSpec, mesh: Mesh, cfg: &SimConfig, offered_load: f64) -> ScenarioTraffic {
+    pub fn new(
+        spec: &ScenarioSpec,
+        mesh: Mesh,
+        cfg: &SimConfig,
+        offered_load: f64,
+    ) -> ScenarioTraffic {
         let mut app_of_node: Vec<Option<usize>> = vec![None; mesh.num_nodes()];
         let mut apps = Vec::with_capacity(spec.apps.len());
         let mut app_names = Vec::with_capacity(spec.apps.len());

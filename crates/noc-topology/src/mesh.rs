@@ -178,7 +178,7 @@ impl Mesh {
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
         let ca = self.coord_of(a);
         let cb = self.coord_of(b);
-        (self.dx(ca, cb).unsigned_abs() + self.dy(ca, cb).unsigned_abs()) as u32
+        self.dx(ca, cb).unsigned_abs() + self.dy(ca, cb).unsigned_abs()
     }
 
     /// All directed links as `(from, direction, to)` triples, in node order.
@@ -422,11 +422,17 @@ mod tests {
             );
         }
         // Router links are plain-mesh links (no wrap).
-        assert_eq!(c.neighbor(c.node_at(Coord { x: 0, y: 0 }), Direction::West), None);
+        assert_eq!(
+            c.neighbor(c.node_at(Coord { x: 0, y: 0 }), Direction::West),
+            None
+        );
         // Non-concentrated topologies are identity maps.
         let m = mesh8();
         assert_eq!(m.num_terminals(), 64);
-        assert_eq!(m.router_of_terminal(Coord { x: 5, y: 3 }), m.node_at(Coord { x: 5, y: 3 }));
+        assert_eq!(
+            m.router_of_terminal(Coord { x: 5, y: 3 }),
+            m.node_at(Coord { x: 5, y: 3 })
+        );
     }
 
     #[test]

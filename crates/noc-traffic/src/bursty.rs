@@ -71,7 +71,10 @@ impl BurstSource {
         };
         match (kind.to_ascii_lowercase().as_str(), param) {
             ("bernoulli", None) => Some(BurstSource::Bernoulli),
-            ("mmpp", Some(p)) => p.parse().ok().map(|burstiness| BurstSource::Mmpp2 { burstiness }),
+            ("mmpp", Some(p)) => p
+                .parse()
+                .ok()
+                .map(|burstiness| BurstSource::Mmpp2 { burstiness }),
             ("mmpp", None) => Some(BurstSource::Mmpp2 { burstiness: 3.0 }),
             ("pareto", Some(p)) => p.parse().ok().map(|duty| BurstSource::ParetoOnOff { duty }),
             ("pareto", None) => Some(BurstSource::ParetoOnOff { duty: 0.25 }),
@@ -106,7 +109,7 @@ impl BurstSource {
                 }
             }
             BurstSource::ParetoOnOff { duty } => {
-                let duty = duty.clamp(rate.min(1.0).max(1e-6), 1.0);
+                let duty = duty.clamp(rate.clamp(1e-6, 1.0), 1.0);
                 let mean_off = PARETO_MEAN_ON * (1.0 - duty) / duty;
                 // Pareto mean = alpha * xm / (alpha - 1) => xm = mean / 3
                 // at alpha = 1.5.
@@ -260,10 +263,7 @@ impl BurstyTraffic {
             .iter()
             .map(|n| Rng::stream(seed, 0x6B57_A11C ^ n.index() as u64))
             .collect();
-        let states = rngs
-            .iter_mut()
-            .map(|rng| source.bind(rate, rng))
-            .collect();
+        let states = rngs.iter_mut().map(|rng| source.bind(rate, rng)).collect();
         let label = format!("{}+{}@{:.3}", pattern.abbrev(), source.name(), rate);
         BurstyTraffic {
             pattern: BoundPattern::new(pattern, mesh, seed),
@@ -408,7 +408,14 @@ mod tests {
         // The Bernoulli burst source consumes RNG draws exactly like the
         // plain generator: same coin, then the pattern's draws — so the
         // per-cycle packet count distribution matches.
-        let mut a = BurstyTraffic::new(Pattern::Complement, mesh8(), BurstSource::Bernoulli, 1.0, 1, 3);
+        let mut a = BurstyTraffic::new(
+            Pattern::Complement,
+            mesh8(),
+            BurstSource::Bernoulli,
+            1.0,
+            1,
+            3,
+        );
         assert_eq!(a.poll(0).len(), 64);
     }
 
@@ -446,15 +453,36 @@ mod tests {
         let m = mesh8();
         let solo = vec![NodeId(17)];
         let mut a = BurstyTraffic::for_sources(
-            Pattern::Tornado, m, solo, BurstSource::ParetoOnOff { duty: 0.25 }, 0.3, 1, 5,
+            Pattern::Tornado,
+            m,
+            solo,
+            BurstSource::ParetoOnOff { duty: 0.25 },
+            0.3,
+            1,
+            5,
         );
-        let mut b = BurstyTraffic::new(Pattern::Tornado, m, BurstSource::ParetoOnOff { duty: 0.25 }, 0.3, 1, 5);
+        let mut b = BurstyTraffic::new(
+            Pattern::Tornado,
+            m,
+            BurstSource::ParetoOnOff { duty: 0.25 },
+            0.3,
+            1,
+            5,
+        );
         for c in 0..2_000 {
-            let only: Vec<_> = b.poll(c).into_iter().filter(|p| p.src == NodeId(17)).collect();
+            let only: Vec<_> = b
+                .poll(c)
+                .into_iter()
+                .filter(|p| p.src == NodeId(17))
+                .collect();
             let mine = a.poll(c);
             assert_eq!(
-                mine.iter().map(|p| (p.src, p.dst, p.created)).collect::<Vec<_>>(),
-                only.iter().map(|p| (p.src, p.dst, p.created)).collect::<Vec<_>>(),
+                mine.iter()
+                    .map(|p| (p.src, p.dst, p.created))
+                    .collect::<Vec<_>>(),
+                only.iter()
+                    .map(|p| (p.src, p.dst, p.created))
+                    .collect::<Vec<_>>(),
             );
         }
     }
@@ -471,7 +499,10 @@ mod tests {
             let back: BurstSource = serde::Deserialize::from_value(&v).unwrap();
             assert_eq!(back, s);
         }
-        assert_eq!(BurstSource::from_name("mmpp"), Some(BurstSource::Mmpp2 { burstiness: 3.0 }));
+        assert_eq!(
+            BurstSource::from_name("mmpp"),
+            Some(BurstSource::Mmpp2 { burstiness: 3.0 })
+        );
         assert!(BurstSource::from_name("weibull").is_none());
         assert!(BurstSource::from_name("mmpp:abc").is_none());
         // Legacy specs without the field deserialize to Bernoulli.
@@ -482,7 +513,12 @@ mod tests {
     #[test]
     fn label_names_pattern_process_and_rate() {
         let t = BurstyTraffic::new(
-            Pattern::UniformRandom, mesh8(), BurstSource::Mmpp2 { burstiness: 3.0 }, 0.2, 1, 1,
+            Pattern::UniformRandom,
+            mesh8(),
+            BurstSource::Mmpp2 { burstiness: 3.0 },
+            0.2,
+            1,
+            1,
         );
         assert_eq!(t.label(), "UR+mmpp:3.000@0.200");
     }

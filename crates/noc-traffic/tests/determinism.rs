@@ -51,8 +51,14 @@ fn replay_hash(pattern: Pattern, seed: u64) -> u64 {
 /// Same digest for the bursty generator (UR spatial pattern, so every
 /// process firing becomes a packet).
 fn bursty_replay_hash(source: BurstSource, seed: u64) -> u64 {
-    let mut traffic =
-        BurstyTraffic::new(Pattern::UniformRandom, Mesh::new(8, 8), source, 0.2, 2, seed);
+    let mut traffic = BurstyTraffic::new(
+        Pattern::UniformRandom,
+        Mesh::new(8, 8),
+        source,
+        0.2,
+        2,
+        seed,
+    );
     digest_stream(&mut traffic)
 }
 

@@ -233,8 +233,7 @@ impl Verifier {
         } else {
             format!("{} + islands", net.design_name())
         };
-        let mut v =
-            Verifier::with_options(&label, *net.mesh(), net.config().buffer_depth, opts);
+        let mut v = Verifier::with_options(&label, *net.mesh(), net.config().buffer_depth, opts);
         for node in v.mesh.nodes() {
             v.set_node_profile(node, net.router_design_name(node));
         }
@@ -243,8 +242,7 @@ impl Verifier {
 
     /// Override one node's oracle profile by design name.
     pub fn set_node_profile(&mut self, node: NodeId, design_name: &str) {
-        self.profiles[node.index()] =
-            DesignProfile::for_design(design_name, self.buffer_depth);
+        self.profiles[node.index()] = DesignProfile::for_design(design_name, self.buffer_depth);
     }
 
     /// The node-0 profile (homogeneous networks: the only profile).
